@@ -1,0 +1,37 @@
+"""Benchmark: regenerate the design-choice ablations (PWC scaling,
+five-level page tables, PT-region holes)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import ablations
+
+
+def test_pwc_scaling(benchmark):
+    table = run_once(benchmark, ablations.run_pwc_scaling, BENCH_SCALE)
+    print()
+    print(table.render())
+    average = table.row_by("workload", "Average")
+    # Doubling PWCs buys almost nothing (paper: ~2%) — the case for
+    # prefetching over more caching.
+    assert -2.0 < average["red_%"] < 10.0
+
+
+def test_five_level(benchmark):
+    table = run_once(benchmark, ablations.run_five_level, BENCH_SCALE)
+    print()
+    print(table.render())
+    for row in table.rows:
+        assert row["5L_P1+P2+P3"] <= row["5L_P1+P2"] * 1.01
+        assert row["5L_red_%"] > 0
+
+
+def test_holes(benchmark):
+    table = run_once(benchmark, ablations.run_holes, BENCH_SCALE)
+    print()
+    print(table.render())
+    walks = [row["avg_walk"] for row in table.rows]
+    useful = [row["useful_prefetch_%"] for row in table.rows]
+    # More holes -> monotonically less useful prefetching, graceful
+    # latency degradation bounded by the baseline.
+    assert useful == sorted(useful, reverse=True)
+    assert walks[-1] >= walks[0]

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 10 (virtualized ASAP ladder)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark):
+    isolation, colocation = run_once(benchmark, fig10.run, BENCH_SCALE)
+    print()
+    print(isolation.render())
+    print()
+    print(colocation.render())
+    for table in (isolation, colocation):
+        avg = table.row_by("workload", "Average")
+        # The ladder: every config beats the baseline, deeper prefetching
+        # never hurts, and the full two-dimension config is the best.
+        assert avg["P1g"] < avg["Baseline"]
+        assert avg["P1g+P2g"] <= avg["P1g"] * 1.01
+        assert avg["P1g+P1h"] < avg["Baseline"]
+        best = avg["P1g+P1h+P2g+P2h"]
+        assert best <= avg["P1g+P1h"] * 1.01
+        assert best <= avg["P1g+P2g"] * 1.01
+    # Colocation increases both the baseline and ASAP's win.
+    assert colocation.row_by("workload", "Average")["Baseline"] > \
+        isolation.row_by("workload", "Average")["Baseline"]

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 11 + Table 7 (Clustered TLB vs ASAP)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import fig11
+
+
+def test_fig11_table7(benchmark):
+    fig, tab7 = run_once(benchmark, fig11.run, BENCH_SCALE)
+    print()
+    print(fig.render())
+    print()
+    print(tab7.render())
+    avg = fig.row_by("workload", "Average")
+    # ASAP beats Clustered TLB on walk cycles and the two compose (§5.4.1).
+    assert avg["ASAP_%"] > avg["ClusteredTLB_%"]
+    assert avg["Clustered+ASAP_%"] >= avg["ASAP_%"]
+    # Table 7: coalescing is highly effective for the small-footprint
+    # workloads and marginal for the big ones.
+    by_app = {row["workload"]: row["reduction_%"] for row in tab7.rows}
+    assert by_app["mcf"] > 30
+    assert by_app["canneal"] > 20
+    assert by_app["mc400"] < 20

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 12 (ASAP with 2MB host pages)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import fig12
+
+
+def test_fig12(benchmark):
+    table = run_once(benchmark, fig12.run, BENCH_SCALE)
+    print()
+    print(table.render())
+    average = table.row_by("workload", "Average")
+    # Even with host walks shortened by 2MB pages, ASAP still delivers a
+    # considerable reduction, larger under colocation (§5.4.2).
+    assert average["red_%"] > 5
+    assert average["coloc_red_%"] > average["red_%"] * 0.8
+    assert average["Baseline+coloc"] > average["Baseline"]

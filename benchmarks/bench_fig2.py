@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 2 (% of execution time in page walks)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import fig2
+
+
+def test_fig2(benchmark):
+    table = run_once(benchmark, fig2.run, BENCH_SCALE)
+    print()
+    print(table.render())
+    average = table.row_by("workload", "Average")
+    # Walks eat a large share of time, and each pressure dimension
+    # (colocation, virtualization) increases it.
+    assert average["native"] > 10
+    assert average["native+coloc"] >= average["native"]
+    assert average["virtualized"] > average["native"]
+    assert average["virt+coloc"] >= average["virtualized"] * 0.95

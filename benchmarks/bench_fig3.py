@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 3 (walk latency across scenarios)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import fig3
+
+
+def test_fig3(benchmark):
+    table = run_once(benchmark, fig3.run, BENCH_SCALE)
+    print()
+    print(table.render())
+    average = table.row_by("workload", "Average")
+    assert average["native"] < average["native+coloc"]
+    assert average["native"] < average["virtualized"]
+    assert average["virt+coloc"] == max(average[c] for c in
+                                        table.columns[1:])

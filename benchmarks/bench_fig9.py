@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 9 (per-PT-level service distribution)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark):
+    panels = run_once(benchmark, fig9.run, BENCH_SCALE)
+    print()
+    for panel in panels:
+        print(panel.render())
+        print()
+    mcf_iso, redis_iso, mcf_coloc, _redis_coloc = panels
+    # mcf in isolation: PL4/PL3 essentially all covered by the PWC, and
+    # most PL1 requests served by the L1-D (the paper's Figure 9a story).
+    assert mcf_iso.row_by("pt_level", "PL4")["PWC"] > 90
+    assert mcf_iso.row_by("pt_level", "PL3")["PWC"] > 60
+    assert mcf_iso.row_by("pt_level", "PL1")["L1"] > 40
+    # redis misses the PWC at PL2 far more than mcf does (9b).
+    assert redis_iso.row_by("pt_level", "PL2")["PWC"] < \
+        mcf_iso.row_by("pt_level", "PL2")["PWC"]
+    # Colocation drains the L1-D share (9c vs 9a).
+    assert mcf_coloc.row_by("pt_level", "PL1")["L1"] < \
+        mcf_iso.row_by("pt_level", "PL1")["L1"]

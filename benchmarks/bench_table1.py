@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 1 (memcached latency under pressure)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    table = run_once(benchmark, table1.run, BENCH_SCALE)
+    print()
+    print(table.render())
+    rows = {row["scenario"]: row["normalised"] for row in table.rows}
+    # Shape assertions mirroring the paper's ordering.
+    assert rows["5x larger dataset (400GB)"] > 1.0
+    assert rows["virtualization"] > rows["SMT colocation"]
+    assert (rows["virtualization + SMT colocation"]
+            > rows["virtualization"])

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 2 (VMA and PT inventory)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark):
+    table = run_once(benchmark, table2.run, BENCH_SCALE)
+    print()
+    print(table.render())
+    by_app = {row["application"]: row for row in table.rows}
+    # A handful of VMAs covers 99% everywhere (the range-register premise).
+    assert all(row["vmas_for_99pct"] <= 16 for row in table.rows)
+    # PT pages are scattered into many contiguous regions under the buddy
+    # allocator (the paper's motivation for inducing contiguity).
+    assert by_app["mc400"]["contig_phys_regions"] > 1000
+    # PT page count tracks footprint/2MB (~1 PL1 node per 2MB).
+    assert 30_000 < by_app["mc80"]["pt_page_count"] < 60_000

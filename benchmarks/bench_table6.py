@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 6 (performance improvement projection)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import table6
+
+
+def test_table6(benchmark):
+    table = run_once(benchmark, table6.run, BENCH_SCALE)
+    print()
+    print(table.render())
+    average = table.row_by("workload", "Average")
+    # Walks are a substantial critical-path share; ASAP converts a large
+    # virtualized walk reduction into a double-digit-ish speedup estimate.
+    assert average["critical_path_%"] > 10
+    assert average["asap_reduction_%"] > 15
+    assert average["min_improvement_%"] > 3
+    # The memory-bound workloads (graphs, redis) project far larger
+    # improvements than the PWC-friendly mcf — the paper's ordering.
+    by = {row["workload"]: row["min_improvement_%"] for row in table.rows}
+    assert by["bfs"] > by["mcf"]
+    assert by["pagerank"] > by["mcf"] * 0.9

@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures at
+``BENCH_SCALE`` (reduced trace length so a full ``pytest benchmarks/
+--benchmark-only`` pass stays tractable) and prints the rendered table so
+the output can be read next to the paper.  Absolute latencies shift a few
+cycles with scale; the orderings and reduction percentages are stable.
+
+Every benchmark runs exactly once (``pedantic`` with one round): these are
+macro experiments, not microbenchmarks, and their interesting output is
+the table, with wall-clock time as a secondary signal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.runner import BENCH_SCALE
+
+__all__ = ["BENCH_SCALE", "run_once"]
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def bench_scale():
+    return BENCH_SCALE

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Graph analytics at 60GB: bfs and pagerank, ASAP vs TLB coalescing.
+
+The paper's intro motivates ASAP with exactly these workloads: huge,
+irregular footprints whose TLB misses defeat every caching structure.
+This example compares four designs on the graph workloads:
+
+  1. the stock baseline,
+  2. Clustered TLB (coalescing up to 8 translations/entry, §5.4.1),
+  3. ASAP (P1+P2),
+  4. Clustered TLB + ASAP combined,
+
+reporting total page-walk cycles — reach techniques remove (cheap) walks,
+ASAP shortens (expensive) ones, and they compose.
+
+Run:  python examples/graph_analytics.py
+"""
+
+from repro import BASELINE, P1_P2, Scale
+from repro.sim.runner import run_native
+
+SCALE = Scale(trace_length=24_000, warmup=5_000, seed=42)
+
+
+def compare(workload: str) -> None:
+    print(f"\n--- {workload} (60GB synthetic Twitter-like graph) ---")
+    variants = (
+        ("baseline", BASELINE, False),
+        ("clustered TLB", BASELINE, True),
+        ("ASAP P1+P2", P1_P2, False),
+        ("clustered + ASAP", P1_P2, True),
+    )
+    baseline_cycles = None
+    for label, config, clustered in variants:
+        stats = run_native(workload, config, clustered_tlb=clustered,
+                           scale=SCALE, collect_service=False)
+        if baseline_cycles is None:
+            baseline_cycles = stats.walk_cycles
+            saved = ""
+        else:
+            saved = (f"  (-{100 * (1 - stats.walk_cycles / baseline_cycles):.1f}%"
+                     " walk cycles)")
+        print(f"  {label:18s} walks={stats.walks:6d}  "
+              f"avg={stats.avg_walk_latency:6.1f} cy  "
+              f"walk_cycles={stats.walk_cycles:9d}{saved}")
+
+
+def main() -> None:
+    print("Native execution, Table 5 machine model.")
+    for workload in ("bfs", "pagerank"):
+        compare(workload)
+    print(
+        "\nReading: coalescing removes some short walks (limited by the\n"
+        "graph's poor physical contiguity); ASAP attacks the long walks\n"
+        "that remain, and the two compose additively (paper Figure 11)."
+    )
+
+
+if __name__ == "__main__":
+    main()

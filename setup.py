@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP
+660 editable installs (``pip install -e .``) cannot build.  This shim keeps
+the legacy ``python setup.py develop`` path working; all real metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

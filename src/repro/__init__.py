@@ -1,0 +1,72 @@
+"""Reproduction of *Prefetched Address Translation* (ASAP), MICRO-52 2019.
+
+ASAP hides page-walk latency by prefetching the deep levels of the radix
+page table on every TLB miss, enabled by an OS layout that keeps each PT
+level's nodes physically contiguous and sorted by virtual address.
+
+Public API tour
+---------------
+* ``repro.core`` — the contribution: :class:`~repro.core.AsapConfig`
+  ladders, range registers and the prefetch engine.
+* ``repro.kernelsim`` — the simulated OS: buddy allocator, VMAs, demand
+  paging, the ASAP PT layout, and nested virtualization.
+* ``repro.pagetable`` / ``repro.tlb`` / ``repro.mem`` — the hardware
+  substrate: radix tree, walkers, PWCs, TLBs and the cache hierarchy.
+* ``repro.workloads`` — the Table 3 benchmark suite and the SMT co-runner.
+* ``repro.sim`` — trace-driven simulators; ``run_native`` and
+  ``run_virtualized`` are the one-call entry points.
+* ``repro.experiments`` — one module per reproduced table/figure.
+
+Quickstart
+----------
+>>> from repro import run_native, P1_P2, BASELINE, Scale
+>>> scale = Scale(trace_length=5000, warmup=1000)
+>>> base = run_native("mc80", BASELINE, scale=scale)
+>>> asap = run_native("mc80", P1_P2, scale=scale)
+>>> asap.avg_walk_latency < base.avg_walk_latency
+True
+"""
+
+from repro.core.config import (
+    BASELINE,
+    FULL_2D,
+    LARGE_HOST,
+    NATIVE_LADDER,
+    P1,
+    P1G,
+    P1G_P1H,
+    P1G_P2G,
+    P1_P2,
+    P1_P2_P3,
+    VIRT_LADDER,
+    AsapConfig,
+)
+from repro.params import DEFAULT_MACHINE, MachineParams
+from repro.sim.runner import Scale, run_native, run_virtualized
+from repro.sim.stats import SimStats
+from repro.workloads.suite import WORKLOADS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AsapConfig",
+    "BASELINE",
+    "DEFAULT_MACHINE",
+    "FULL_2D",
+    "LARGE_HOST",
+    "MachineParams",
+    "NATIVE_LADDER",
+    "P1",
+    "P1G",
+    "P1G_P1H",
+    "P1G_P2G",
+    "P1_P2",
+    "P1_P2_P3",
+    "Scale",
+    "SimStats",
+    "VIRT_LADDER",
+    "WORKLOADS",
+    "__version__",
+    "run_native",
+    "run_virtualized",
+]

@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+* ``list``                     — show workloads and ASAP configurations
+* ``run WORKLOAD [options]``   — one scenario, print its statistics
+* ``experiment NAME``          — regenerate one table/figure (e.g. fig8)
+* ``report [--fast]``          — regenerate everything
+* ``validate``                 — check the paper's qualitative shapes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import config as cfg
+from repro.sim.runner import Scale, run_native, run_virtualized
+from repro.workloads.suite import ALL_NAMES, WORKLOADS
+
+_CONFIGS = {
+    "baseline": cfg.BASELINE,
+    "p1": cfg.P1,
+    "p1+p2": cfg.P1_P2,
+    "p1g": cfg.P1G,
+    "p1g+p2g": cfg.P1G_P2G,
+    "p1g+p1h": cfg.P1G_P1H,
+    "full": cfg.FULL_2D,
+    "large-host": cfg.LARGE_HOST,
+}
+
+
+def _cmd_list(_args) -> int:
+    print("Workloads (Table 3):")
+    for name, spec in WORKLOADS.items():
+        print(f"  {name:10s} {spec.footprint_bytes / (1 << 30):6.0f} GB  "
+              f"{spec.description}")
+    print("\nASAP configurations:")
+    for key, config in _CONFIGS.items():
+        print(f"  {key:12s} {config.name}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = _CONFIGS[args.config]
+    scale = Scale(trace_length=args.trace_length,
+                  warmup=args.trace_length // 5, seed=args.seed)
+    runner = run_virtualized if args.virtualized else run_native
+    kwargs = dict(colocated=args.colocated, scale=scale)
+    if args.virtualized:
+        if config.native_levels:
+            print("note: native-dimension configs are ignored under "
+                  "--virtualized; use p1g/full/...", file=sys.stderr)
+        kwargs["host_page_level"] = 2 if args.large_host_pages else 1
+    else:
+        if config.guest_levels or config.host_levels:
+            print("error: guest/host configs need --virtualized",
+                  file=sys.stderr)
+            return 2
+    stats = runner(args.workload, config, **kwargs)
+    print(f"workload={args.workload} config={config.name} "
+          f"virtualized={args.virtualized} colocated={args.colocated}")
+    print(f"  avg walk latency : {stats.avg_walk_latency:8.1f} cycles")
+    print(f"  walks            : {stats.walks:8d} "
+          f"({100 * stats.tlb_miss_ratio:.1f}% of accesses)")
+    print(f"  % time in walks  : {100 * stats.walk_fraction:8.1f}%")
+    print(f"  TLB MPKI         : {stats.mpki:8.1f}")
+    if stats.prefetches_issued:
+        print(f"  prefetches       : {stats.prefetches_issued:8d} issued, "
+              f"{stats.prefetches_useful} useful, "
+              f"{stats.prefetches_dropped} dropped")
+    print("  service distribution (per PT level):")
+    for level in stats.service.levels():
+        fractions = stats.service.fractions(level)
+        row = "  ".join(f"{k}:{100 * v:5.1f}%"
+                        for k, v in fractions.items())
+        print(f"    {level}: {row}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import report
+
+    lookup = {
+        "table1": "Table 1", "table2": "Table 2", "fig2": "Figure 2",
+        "fig3": "Figure 3", "fig8": "Figure 8", "fig9": "Figure 9",
+        "fig10": "Figure 10", "table6": "Table 6",
+        "fig11": "Figure 11 + Table 7", "table7": "Figure 11 + Table 7",
+        "fig12": "Figure 12", "ablations": "Ablations",
+    }
+    wanted = lookup.get(args.name)
+    if wanted is None:
+        print(f"unknown experiment {args.name!r}; one of "
+              f"{sorted(set(lookup))}", file=sys.stderr)
+        return 2
+    scale = Scale(trace_length=args.trace_length,
+                  warmup=args.trace_length // 5, seed=args.seed)
+    for name, runner in report.SECTIONS:
+        if name == wanted:
+            result = runner(scale)
+            for table in report._tables(result):
+                print(table.render())
+                print()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments import report
+
+    argv = ["--fast"] if args.fast else []
+    return report.main(argv)
+
+
+def _cmd_validate(args) -> int:
+    from repro.validation import validate_shapes
+
+    scale = Scale(trace_length=args.trace_length,
+                  warmup=args.trace_length // 5, seed=args.seed)
+    failures = validate_shapes(scale, verbose=True)
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show workloads and configs")
+
+    run = sub.add_parser("run", help="run one scenario")
+    run.add_argument("workload", choices=ALL_NAMES)
+    run.add_argument("--config", choices=sorted(_CONFIGS),
+                     default="baseline")
+    run.add_argument("--virtualized", action="store_true")
+    run.add_argument("--colocated", action="store_true")
+    run.add_argument("--large-host-pages", action="store_true")
+    run.add_argument("--trace-length", type=int, default=30_000)
+    run.add_argument("--seed", type=int, default=42)
+
+    exp = sub.add_parser("experiment", help="regenerate one table/figure")
+    exp.add_argument("name")
+    exp.add_argument("--trace-length", type=int, default=30_000)
+    exp.add_argument("--seed", type=int, default=42)
+
+    rep = sub.add_parser("report", help="regenerate everything")
+    rep.add_argument("--fast", action="store_true")
+
+    val = sub.add_parser("validate", help="check paper-shape invariants")
+    val.add_argument("--trace-length", type=int, default=20_000)
+    val.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+        "report": _cmd_report,
+        "validate": _cmd_validate,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

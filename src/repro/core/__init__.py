@@ -1,0 +1,38 @@
+"""ASAP — the paper's contribution: range registers, configurations and the
+prefetch engine that accelerates page walks."""
+
+from repro.core.config import (
+    BASELINE,
+    FULL_2D,
+    LARGE_HOST,
+    NATIVE_LADDER,
+    P1,
+    P1G,
+    P1G_P1H,
+    P1G_P2G,
+    P1_P2,
+    P1_P2_P3,
+    VIRT_LADDER,
+    AsapConfig,
+)
+from repro.core.prefetcher import AsapPrefetcher, PrefetchStats
+from repro.core.range_registers import RangeRegisterFile, VmaDescriptor
+
+__all__ = [
+    "AsapConfig",
+    "AsapPrefetcher",
+    "BASELINE",
+    "FULL_2D",
+    "LARGE_HOST",
+    "NATIVE_LADDER",
+    "P1",
+    "P1G",
+    "P1G_P1H",
+    "P1G_P2G",
+    "P1_P2",
+    "P1_P2_P3",
+    "PrefetchStats",
+    "RangeRegisterFile",
+    "VIRT_LADDER",
+    "VmaDescriptor",
+]

@@ -1,0 +1,97 @@
+"""ASAP configurations — which PT levels are prefetched in which dimension.
+
+The paper evaluates a specific ladder of configurations; the presets below
+carry the exact names used in Figures 8, 10 and 12 so experiment tables read
+like the paper:
+
+* native: ``P1`` (prefetch PL1), ``P1+P2`` (PL1 and PL2) — Figure 8;
+* virtualized: ``P1g``, ``P1g+P2g``, ``P1g+P1h``, ``P1g+P1h+P2g+P2h`` —
+  Figure 10;
+* 2MB host pages: ``P1g+P2g+P2h`` (host leaf is PL2, so host PL1 does not
+  exist) — Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _validated(levels: tuple[int, ...], what: str) -> tuple[int, ...]:
+    for level in levels:
+        if level not in (1, 2, 3):
+            raise ValueError(
+                f"{what} prefetch level {level} is not a deep PT level; "
+                "ASAP targets PL1/PL2 (PL3 only for the 5-level extension)"
+            )
+    return tuple(sorted(set(levels)))
+
+
+@dataclass(frozen=True)
+class AsapConfig:
+    """Which page-table levels ASAP prefetches, per dimension.
+
+    ``native_levels`` drive the 1D (non-virtualized) prefetcher;
+    ``guest_levels``/``host_levels`` drive the two dimensions of nested
+    walks.  An empty config is the paper's baseline.
+    """
+
+    name: str = "Baseline"
+    native_levels: tuple[int, ...] = ()
+    guest_levels: tuple[int, ...] = ()
+    host_levels: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "native_levels", _validated(self.native_levels, "native")
+        )
+        object.__setattr__(
+            self, "guest_levels", _validated(self.guest_levels, "guest")
+        )
+        object.__setattr__(
+            self, "host_levels", _validated(self.host_levels, "host")
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.native_levels or self.guest_levels
+                    or self.host_levels)
+
+    @property
+    def needs_native_layout(self) -> bool:
+        return bool(self.native_levels)
+
+    @property
+    def needs_guest_layout(self) -> bool:
+        return bool(self.guest_levels)
+
+    @property
+    def needs_host_layout(self) -> bool:
+        return bool(self.host_levels)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+BASELINE = AsapConfig()
+
+# --- native (Figure 8) -------------------------------------------------
+P1 = AsapConfig(name="P1", native_levels=(1,))
+P1_P2 = AsapConfig(name="P1+P2", native_levels=(1, 2))
+
+# --- 5-level extension (§3.5) ------------------------------------------
+P1_P2_P3 = AsapConfig(name="P1+P2+P3", native_levels=(1, 2, 3))
+
+# --- virtualized (Figure 10) -------------------------------------------
+P1G = AsapConfig(name="P1g", guest_levels=(1,))
+P1G_P2G = AsapConfig(name="P1g+P2g", guest_levels=(1, 2))
+P1G_P1H = AsapConfig(name="P1g+P1h", guest_levels=(1,), host_levels=(1,))
+FULL_2D = AsapConfig(
+    name="P1g+P1h+P2g+P2h", guest_levels=(1, 2), host_levels=(1, 2)
+)
+
+# --- virtualized with 2MB host pages (Figure 12) -----------------------
+LARGE_HOST = AsapConfig(name="P1g+P2g+P2h", guest_levels=(1, 2),
+                        host_levels=(2,))
+
+NATIVE_LADDER = (BASELINE, P1, P1_P2)
+VIRT_LADDER = (BASELINE, P1G, P1G_P2G, P1G_P1H, FULL_2D)

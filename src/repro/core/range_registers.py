@@ -1,0 +1,93 @@
+"""Architecturally exposed range registers — ASAP's VMA descriptors (§3.4).
+
+One descriptor per tracked VMA: the virtual range plus, per prefetch-target
+PT level, the base operand of the base-plus-offset computation
+
+    entry_addr(va, L) = base_L + ((va >> level_shift(L)) << 3)
+
+The shift amounts (the paper's ``s1``/``s2``) are fixed per level; the base
+absorbs both the region's physical position and the VMA's first node tag
+(see `repro.kernelsim.pt_layout`).  Descriptors are part of per-thread
+architectural state, loaded by the OS — here via
+:meth:`RangeRegisterFile.load` — and looked up on every TLB miss.
+
+The file holds at most ``capacity`` descriptors (16 by default; the paper
+shows 8-16 cover 99% of the footprint, Table 2), sorted for bisection.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.pagetable.constants import ENTRY_BYTES, level_shift
+
+
+@dataclass(frozen=True)
+class VmaDescriptor:
+    """Range registers for one VMA: [start, end) plus per-level bases."""
+
+    start: int
+    end: int
+    level_bases: tuple[tuple[int, int], ...]  # ((level, base), ...)
+
+    def covers(self, va: int) -> bool:
+        return self.start <= va < self.end
+
+    def entry_addr(self, va: int, level: int) -> int | None:
+        """Physical address of the level-``level`` entry for ``va``,
+        or None when this descriptor has no base for that level."""
+        for lvl, base in self.level_bases:
+            if lvl == level:
+                return base + ((va >> level_shift(level)) * ENTRY_BYTES)
+        return None
+
+    @property
+    def levels(self) -> tuple[int, ...]:
+        return tuple(lvl for lvl, _ in self.level_bases)
+
+
+class RangeRegisterFile:
+    """Fixed-capacity, bisect-searchable set of VMA descriptors."""
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError("the register file needs at least one entry")
+        self.capacity = capacity
+        self._descriptors: list[VmaDescriptor] = []
+        self._starts: list[int] = []
+        self.hits = 0
+        self.misses = 0
+
+    def load(self, descriptors: list[VmaDescriptor]) -> None:
+        """Load descriptors (an OS context-switch), largest ranges first
+        when over capacity."""
+        chosen = descriptors
+        if len(chosen) > self.capacity:
+            chosen = sorted(
+                descriptors, key=lambda d: d.end - d.start, reverse=True
+            )[: self.capacity]
+        chosen = sorted(chosen, key=lambda d: d.start)
+        for prev, cur in zip(chosen, chosen[1:]):
+            if prev.end > cur.start:
+                raise ValueError("descriptors must not overlap")
+        self._descriptors = chosen
+        self._starts = [d.start for d in chosen]
+
+    def lookup(self, va: int) -> VmaDescriptor | None:
+        """The descriptor covering ``va``, consulted on each TLB miss."""
+        idx = bisect_right(self._starts, va) - 1
+        if idx >= 0:
+            descriptor = self._descriptors[idx]
+            if descriptor.covers(va):
+                self.hits += 1
+                return descriptor
+        self.misses += 1
+        return None
+
+    def __len__(self) -> int:
+        return len(self._descriptors)
+
+    @property
+    def coverage_bytes(self) -> int:
+        return sum(d.end - d.start for d in self._descriptors)

@@ -1,0 +1,37 @@
+"""One module per reproduced table/figure of the paper's evaluation.
+
+Each module exposes ``run(scale=None)`` returning one or more
+:class:`~repro.experiments.common.ExperimentTable` objects that render in
+the paper's layout.  ``repro.experiments.report`` regenerates everything.
+"""
+
+from repro.experiments import (
+    ablations,
+    fig2,
+    fig3,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    table1,
+    table2,
+    table6,
+)
+from repro.experiments.common import DEFAULT_SCALE, ExperimentTable
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "ExperimentTable",
+    "ablations",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig2",
+    "fig3",
+    "fig8",
+    "fig9",
+    "table1",
+    "table2",
+    "table6",
+]

@@ -1,0 +1,138 @@
+"""Design-choice ablations called out in the paper's text.
+
+* **PWC capacity** (§5.1.1): doubling every PWC buys only ~2-3% walk
+  latency — the motivation for attacking latency with prefetching rather
+  than more caching.
+* **Five-level page tables** (§2.6/§3.5): the coming fifth level deepens
+  every walk; ASAP extends naturally with one more prefetch target and
+  claws the extra latency back.
+* **Region holes** (§3.7.2): growing VMAs past their reserved PT regions
+  leaves holes that simply lose acceleration — walks stay correct and the
+  hit is proportional to the hole rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import AsapConfig, BASELINE, P1_P2, P1_P2_P3
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentTable,
+    mean,
+    reduction,
+)
+from repro.params import DEFAULT_MACHINE
+from repro.sim.runner import Scale, make_trace, run_native
+from repro.sim.simulator import NativeSimulation
+from repro.workloads.suite import ALL_NAMES, get
+
+PWC_WORKLOADS = ("mcf", "pagerank", "mc80", "redis")
+
+
+def run_pwc_scaling(scale: Scale | None = None) -> ExperimentTable:
+    """Doubling PWC capacity (native, isolation)."""
+    scale = scale or DEFAULT_SCALE
+    doubled = DEFAULT_MACHINE.with_pwc_scale(2)
+    table = ExperimentTable(
+        title="Ablation (§5.1.1): doubling every PWC's capacity",
+        columns=["workload", "default_pwc", "doubled_pwc", "red_%"],
+        notes="Paper: ~2% reduction in native scenarios.",
+    )
+    for name in PWC_WORKLOADS:
+        base = run_native(name, BASELINE, scale=scale,
+                          collect_service=False)
+        big = run_native(name, BASELINE, machine=doubled, scale=scale,
+                         collect_service=False)
+        table.add_row(
+            workload=name,
+            default_pwc=base.avg_walk_latency,
+            doubled_pwc=big.avg_walk_latency,
+            **{"red_%": reduction(base.avg_walk_latency,
+                                  big.avg_walk_latency)},
+        )
+    table.add_row(
+        workload="Average",
+        **{
+            column: mean([row[column] for row in table.rows])
+            for column in table.columns[1:]
+        },
+    )
+    return table
+
+
+def run_five_level(scale: Scale | None = None) -> ExperimentTable:
+    """Four- vs five-level page tables, baseline and ASAP (§3.5)."""
+    scale = scale or DEFAULT_SCALE
+    table = ExperimentTable(
+        title="Ablation (§3.5): five-level page tables",
+        columns=["workload", "4L_base", "5L_base", "5L_P1+P2",
+                 "5L_P1+P2+P3", "5L_red_%"],
+        notes="The extra level deepens walks; the P3 prefetch target "
+              "recovers the added latency.",
+    )
+    for name in ("mcf", "mc80", "redis"):
+        base4 = run_native(name, BASELINE, scale=scale, pt_levels=4,
+                           collect_service=False)
+        base5 = run_native(name, BASELINE, scale=scale, pt_levels=5,
+                           collect_service=False)
+        p12 = run_native(name, P1_P2, scale=scale, pt_levels=5,
+                         collect_service=False)
+        p123 = run_native(name, P1_P2_P3, scale=scale, pt_levels=5,
+                          collect_service=False)
+        table.add_row(
+            workload=name,
+            **{
+                "4L_base": base4.avg_walk_latency,
+                "5L_base": base5.avg_walk_latency,
+                "5L_P1+P2": p12.avg_walk_latency,
+                "5L_P1+P2+P3": p123.avg_walk_latency,
+                "5L_red_%": reduction(base5.avg_walk_latency,
+                                      p123.avg_walk_latency),
+            },
+        )
+    return table
+
+
+def run_holes(scale: Scale | None = None) -> ExperimentTable:
+    """PT-region holes degrade gracefully (§3.7.2)."""
+    scale = scale or DEFAULT_SCALE
+    spec = get("mc80")
+    trace = make_trace(spec, scale)
+    table = ExperimentTable(
+        title="Ablation (§3.7.2): ASAP with PT-region holes (mc80, P1+P2)",
+        columns=["hole_rate", "avg_walk", "useful_prefetch_%"],
+        notes="Holes lose acceleration for their walks but never break "
+              "correctness.",
+    )
+    for hole_rate in (0.0, 0.05, 0.2, 0.5):
+        # Holes are injected at node-placement (fault) time, so the
+        # failure probability must be set before anything is populated.
+        process = spec.build_process(asap_levels=(1, 2), seed=scale.seed)
+        assert process.asap_layout is not None
+        process.asap_layout.pinned_failure_prob = hole_rate
+        simulation = NativeSimulation(process, asap=P1_P2)
+        stats = simulation.run(trace, warmup=scale.warmup,
+                               collect_service=False)
+        useful = (100.0 * stats.prefetches_useful / stats.prefetches_issued
+                  if stats.prefetches_issued else 0.0)
+        table.add_row(
+            hole_rate=f"{hole_rate:.0%}",
+            avg_walk=stats.avg_walk_latency,
+            **{"useful_prefetch_%": useful},
+        )
+    return table
+
+
+def run(scale: Scale | None = None) -> list[ExperimentTable]:
+    return [
+        run_pwc_scaling(scale),
+        run_five_level(scale),
+        run_holes(scale),
+    ]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for table in run():
+        print(table.render())
+        print()

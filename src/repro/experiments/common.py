@@ -1,0 +1,85 @@
+"""Shared infrastructure for the per-figure/table experiment modules.
+
+Every experiment module exposes ``run(scale=None) -> ExperimentTable``;
+the table carries labelled rows and renders itself in the paper's layout
+so benchmark output reads side by side with the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.runner import Scale
+
+#: Default scale for experiment modules when none is given.
+DEFAULT_SCALE = Scale(trace_length=60_000, warmup=12_000, seed=42)
+
+
+@dataclass
+class ExperimentTable:
+    """Labelled rows plus formatting, one per reproduced table/figure."""
+
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def row_by(self, key_column: str, key: Any) -> dict[str, Any]:
+        for row in self.rows:
+            if row.get(key_column) == key:
+                return row
+        raise KeyError(f"no row with {key_column}={key!r}")
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.2f}"
+            return str(value)
+
+        widths = {
+            column: max(
+                len(column),
+                *(len(fmt(row.get(column, ""))) for row in self.rows),
+            ) if self.rows else len(column)
+            for column in self.columns
+        }
+        header = "  ".join(c.ljust(widths[c]) for c in self.columns)
+        rule = "-" * len(header)
+        lines = [self.title, rule, header, rule]
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    fmt(row.get(c, "")).rjust(widths[c])
+                    if isinstance(row.get(c), (int, float))
+                    else fmt(row.get(c, "")).ljust(widths[c])
+                    for c in self.columns
+                )
+            )
+        lines.append(rule)
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def reduction(baseline: float, improved: float) -> float:
+    """Relative reduction (%), the paper's headline arithmetic."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (1.0 - improved / baseline)
+
+
+def mean(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

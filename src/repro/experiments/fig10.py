@@ -1,0 +1,63 @@
+"""Figure 10: virtualized page-walk latency across the ASAP ladder.
+
+Configurations: Baseline, P1g, P1g+P2g, P1g+P1h, P1g+P1h+P2g+P2h, in
+isolation (a) and under SMT colocation (b).  Paper: guest-only prefetching
+buys 13-15%; adding the host dimension 35-39% (isolation) and 37-45%
+(colocation), with a 55% best case on mc400.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import VIRT_LADDER
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentTable,
+    mean,
+    reduction,
+)
+from repro.sim.runner import Scale, run_virtualized
+from repro.workloads.suite import ALL_NAMES
+
+
+def _panel(colocated: bool, scale: Scale) -> ExperimentTable:
+    label = "under SMT colocation" if colocated else "in isolation"
+    config_names = [config.name for config in VIRT_LADDER]
+    table = ExperimentTable(
+        title=f"Figure 10{'b' if colocated else 'a'}: virtualized walk "
+              f"latency {label} (cycles; lower is better)",
+        columns=["workload", *config_names, "best_red_%"],
+    )
+    for name in ALL_NAMES:
+        row: dict[str, object] = {"workload": name}
+        baseline_latency = None
+        for config in VIRT_LADDER:
+            stats = run_virtualized(name, config, colocated=colocated,
+                                    scale=scale, collect_service=False)
+            row[config.name] = stats.avg_walk_latency
+            if baseline_latency is None:
+                baseline_latency = stats.avg_walk_latency
+        row["best_red_%"] = reduction(
+            baseline_latency, row[config_names[-1]]
+        )
+        table.add_row(**row)
+    table.add_row(
+        workload="Average",
+        **{
+            column: mean([r[column] for r in table.rows])
+            for column in table.columns[1:]
+        },
+    )
+    return table
+
+
+def run(scale: Scale | None = None) -> tuple[ExperimentTable,
+                                             ExperimentTable]:
+    scale = scale or DEFAULT_SCALE
+    return _panel(False, scale), _panel(True, scale)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    isolation, colocation = run()
+    print(isolation.render())
+    print()
+    print(colocation.render())

@@ -1,0 +1,79 @@
+"""Figure 11 + Table 7: Clustered TLB vs ASAP vs the two combined.
+
+Figure 11 reports the reduction in total page-walk *cycles* (frequency x
+latency) for native execution in isolation: Clustered TLB mostly removes
+cheap walks (5% average), ASAP shortens the expensive ones (14%), and the
+two compose additively (22%, up to 41%).  Table 7 reports the TLB MPKI
+reduction from Clustered TLB alone (58%/48% for the small-footprint mcf
+and canneal, 4-16% for the rest).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BASELINE, P1_P2
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentTable,
+    mean,
+    reduction,
+)
+from repro.sim.runner import Scale, run_native
+from repro.workloads.suite import ALL_NAMES
+
+
+def run(scale: Scale | None = None) -> tuple[ExperimentTable,
+                                             ExperimentTable]:
+    scale = scale or DEFAULT_SCALE
+    fig = ExperimentTable(
+        title="Figure 11: reduction in page-walk cycles, native isolation "
+              "(higher is better)",
+        columns=["workload", "ClusteredTLB_%", "ASAP_%",
+                 "Clustered+ASAP_%"],
+        notes="Paper averages: 5% / 14% / 22% (41% best case).",
+    )
+    tab7 = ExperimentTable(
+        title="Table 7: reduction in TLB MPKI with Clustered TLB",
+        columns=["workload", "baseline_mpki", "clustered_mpki",
+                 "reduction_%"],
+        notes="Paper: 58/48/10/16/4/9/12 %, average 15%.",
+    )
+    for name in ALL_NAMES:
+        base = run_native(name, BASELINE, scale=scale,
+                          collect_service=False)
+        clustered = run_native(name, BASELINE, clustered_tlb=True,
+                               scale=scale, collect_service=False)
+        asap = run_native(name, P1_P2, scale=scale, collect_service=False)
+        both = run_native(name, P1_P2, clustered_tlb=True, scale=scale,
+                          collect_service=False)
+        fig.add_row(
+            workload=name,
+            **{
+                "ClusteredTLB_%": reduction(base.walk_cycles,
+                                            clustered.walk_cycles),
+                "ASAP_%": reduction(base.walk_cycles, asap.walk_cycles),
+                "Clustered+ASAP_%": reduction(base.walk_cycles,
+                                              both.walk_cycles),
+            },
+        )
+        tab7.add_row(
+            workload=name,
+            baseline_mpki=base.mpki,
+            clustered_mpki=clustered.mpki,
+            **{"reduction_%": reduction(base.mpki, clustered.mpki)},
+        )
+    for table in (fig, tab7):
+        table.add_row(
+            workload="Average",
+            **{
+                column: mean([row[column] for row in table.rows])
+                for column in table.columns[1:]
+            },
+        )
+    return fig, tab7
+
+
+if __name__ == "__main__":  # pragma: no cover
+    fig, tab7 = run()
+    print(fig.render())
+    print()
+    print(tab7.render())

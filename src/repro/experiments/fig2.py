@@ -1,0 +1,53 @@
+"""Figure 2: fraction of execution time spent in page walks.
+
+Four scenarios per workload — native, native + SMT colocation,
+virtualized, virtualized + colocation — for the Figure 2 workload set
+(mc400 is excluded there, as in the paper).  The paper reports up to 82%
+(native) and 93% (virtualized) of CPU cycles lost to walks.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BASELINE
+from repro.experiments.common import DEFAULT_SCALE, ExperimentTable, mean
+from repro.sim.runner import Scale, run_native, run_virtualized
+from repro.workloads.suite import FIGURE2_NAMES
+
+
+def run(scale: Scale | None = None) -> ExperimentTable:
+    scale = scale or DEFAULT_SCALE
+    table = ExperimentTable(
+        title="Figure 2: % of execution time spent in page walks",
+        columns=["workload", "native", "native+coloc", "virtualized",
+                 "virt+coloc"],
+    )
+    for name in FIGURE2_NAMES:
+        native = run_native(name, BASELINE, scale=scale,
+                            collect_service=False)
+        coloc = run_native(name, BASELINE, colocated=True, scale=scale,
+                           collect_service=False)
+        virt = run_virtualized(name, BASELINE, scale=scale,
+                               collect_service=False)
+        virt_coloc = run_virtualized(name, BASELINE, colocated=True,
+                                     scale=scale, collect_service=False)
+        table.add_row(
+            workload=name,
+            **{
+                "native": 100 * native.walk_fraction,
+                "native+coloc": 100 * coloc.walk_fraction,
+                "virtualized": 100 * virt.walk_fraction,
+                "virt+coloc": 100 * virt_coloc.walk_fraction,
+            },
+        )
+    table.add_row(
+        workload="Average",
+        **{
+            column: mean([row[column] for row in table.rows])
+            for column in table.columns[1:]
+        },
+    )
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,51 @@
+"""Figure 3: average page-walk latency in the four deployment scenarios.
+
+The paper's headline motivation: latency climbs from tens of cycles
+(native, isolated) to hundreds (virtualized + colocated).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BASELINE
+from repro.experiments.common import DEFAULT_SCALE, ExperimentTable, mean
+from repro.sim.runner import Scale, run_native, run_virtualized
+from repro.workloads.suite import ALL_NAMES
+
+
+def run(scale: Scale | None = None) -> ExperimentTable:
+    scale = scale or DEFAULT_SCALE
+    table = ExperimentTable(
+        title="Figure 3: average page walk latency (cycles)",
+        columns=["workload", "native", "native+coloc", "virtualized",
+                 "virt+coloc"],
+    )
+    for name in ALL_NAMES:
+        native = run_native(name, BASELINE, scale=scale,
+                            collect_service=False)
+        coloc = run_native(name, BASELINE, colocated=True, scale=scale,
+                           collect_service=False)
+        virt = run_virtualized(name, BASELINE, scale=scale,
+                               collect_service=False)
+        virt_coloc = run_virtualized(name, BASELINE, colocated=True,
+                                     scale=scale, collect_service=False)
+        table.add_row(
+            workload=name,
+            **{
+                "native": native.avg_walk_latency,
+                "native+coloc": coloc.avg_walk_latency,
+                "virtualized": virt.avg_walk_latency,
+                "virt+coloc": virt_coloc.avg_walk_latency,
+            },
+        )
+    table.add_row(
+        workload="Average",
+        **{
+            column: mean([row[column] for row in table.rows])
+            for column in table.columns[1:]
+        },
+    )
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,70 @@
+"""Figure 8: native page-walk latency — Baseline vs P1 vs P1+P2.
+
+(a) in isolation, (b) under SMT colocation.  Paper: P1 cuts 12% (20% under
+colocation), P1+P2 cuts 14% (25% under colocation, up to 42% on mc400).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BASELINE, P1, P1_P2
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentTable,
+    mean,
+    reduction,
+)
+from repro.sim.runner import Scale, run_native
+from repro.workloads.suite import ALL_NAMES
+
+
+def _panel(colocated: bool, scale: Scale) -> ExperimentTable:
+    label = "under SMT colocation" if colocated else "in isolation"
+    table = ExperimentTable(
+        title=f"Figure 8{'b' if colocated else 'a'}: native walk latency "
+              f"{label} (cycles; lower is better)",
+        columns=["workload", "Baseline", "P1", "P1+P2",
+                 "P1_red_%", "P1+P2_red_%"],
+    )
+    for name in ALL_NAMES:
+        base = run_native(name, BASELINE, colocated=colocated, scale=scale,
+                          collect_service=False)
+        p1 = run_native(name, P1, colocated=colocated, scale=scale,
+                        collect_service=False)
+        p12 = run_native(name, P1_P2, colocated=colocated, scale=scale,
+                         collect_service=False)
+        table.add_row(
+            workload=name,
+            Baseline=base.avg_walk_latency,
+            P1=p1.avg_walk_latency,
+            **{
+                "P1+P2": p12.avg_walk_latency,
+                "P1_red_%": reduction(base.avg_walk_latency,
+                                      p1.avg_walk_latency),
+                "P1+P2_red_%": reduction(base.avg_walk_latency,
+                                         p12.avg_walk_latency),
+            },
+        )
+    table.add_row(
+        workload="Average",
+        Baseline=mean([r["Baseline"] for r in table.rows]),
+        P1=mean([r["P1"] for r in table.rows]),
+        **{
+            "P1+P2": mean([r["P1+P2"] for r in table.rows]),
+            "P1_red_%": mean([r["P1_red_%"] for r in table.rows]),
+            "P1+P2_red_%": mean([r["P1+P2_red_%"] for r in table.rows]),
+        },
+    )
+    return table
+
+
+def run(scale: Scale | None = None) -> tuple[ExperimentTable,
+                                             ExperimentTable]:
+    scale = scale or DEFAULT_SCALE
+    return _panel(False, scale), _panel(True, scale)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    isolation, colocation = run()
+    print(isolation.render())
+    print()
+    print(colocation.render())

@@ -1,0 +1,51 @@
+"""Figure 9: which memory-hierarchy level serves each PT level's requests.
+
+Four panels: mcf and redis, in isolation and under SMT colocation.  The
+paper's reading: mcf's upper levels are ~all PWC hits and its PL1 mostly
+L1-D (little for ASAP to overlap); redis misses the PWC far more at PL2,
+giving ASAP room; colocation drains the L1-D share everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BASELINE
+from repro.experiments.common import DEFAULT_SCALE, ExperimentTable
+from repro.sim.runner import Scale, run_native
+from repro.sim.stats import SERVICE_LABELS
+
+PANELS = (
+    ("a", "mcf", False),
+    ("b", "redis", False),
+    ("c", "mcf", True),
+    ("d", "redis", True),
+)
+
+
+def _panel(letter: str, workload: str, colocated: bool,
+           scale: Scale) -> ExperimentTable:
+    label = "under SMT colocation" if colocated else "in isolation"
+    stats = run_native(workload, BASELINE, colocated=colocated, scale=scale)
+    table = ExperimentTable(
+        title=f"Figure 9{letter}: {workload} {label} — % of walk requests "
+              "served per level",
+        columns=["pt_level", *SERVICE_LABELS],
+    )
+    for pt_level in (4, 3, 2, 1):
+        fractions = stats.service.fractions(pt_level)
+        table.add_row(
+            pt_level=f"PL{pt_level}",
+            **{lbl: 100 * fractions.get(lbl, 0.0) for lbl in SERVICE_LABELS},
+        )
+    return table
+
+
+def run(scale: Scale | None = None) -> list[ExperimentTable]:
+    scale = scale or DEFAULT_SCALE
+    return [_panel(letter, workload, colocated, scale)
+            for letter, workload, colocated in PANELS]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for panel in run():
+        print(panel.render())
+        print()

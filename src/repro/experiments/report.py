@@ -1,0 +1,86 @@
+"""Regenerate every reproduced table and figure in one pass.
+
+Run as ``python -m repro.experiments.report [--fast]``.  The full pass at
+the default scale takes tens of minutes (it reruns every scenario of the
+paper's evaluation); ``--fast`` uses a reduced scale for a quick look.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    fig2,
+    fig3,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    table1,
+    table2,
+    table6,
+)
+from repro.experiments.common import DEFAULT_SCALE
+from repro.sim.runner import Scale
+
+#: (name, callable) in the paper's presentation order.
+SECTIONS = (
+    ("Table 1", table1.run),
+    ("Table 2", table2.run),
+    ("Figure 2", fig2.run),
+    ("Figure 3", fig3.run),
+    ("Figure 8", fig8.run),
+    ("Figure 9", fig9.run),
+    ("Figure 10", fig10.run),
+    ("Table 6", table6.run),
+    ("Figure 11 + Table 7", fig11.run),
+    ("Figure 12", fig12.run),
+    ("Ablations", ablations.run),
+)
+
+
+def _tables(result) -> list:
+    if isinstance(result, (list, tuple)):
+        return list(result)
+    return [result]
+
+
+def generate(scale: Scale, out=sys.stdout) -> None:
+    for name, runner in SECTIONS:
+        started = time.time()
+        for table in _tables(runner(scale)):
+            print(table.render(), file=out)
+            print(file=out)
+        print(f"[{name}: {time.time() - started:.0f}s]", file=out)
+        print(file=out)
+        out.flush()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced scale (quick smoke pass)")
+    parser.add_argument("--trace-length", type=int, default=None)
+    parser.add_argument("--warmup", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    args = parser.parse_args(argv)
+    scale = DEFAULT_SCALE
+    if args.fast:
+        scale = scale.smaller(4)
+    if args.trace_length:
+        scale = Scale(
+            trace_length=args.trace_length,
+            warmup=args.warmup
+            if args.warmup is not None else args.trace_length // 5,
+            seed=args.seed if args.seed is not None else scale.seed,
+        )
+    generate(scale)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

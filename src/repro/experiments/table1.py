@@ -1,0 +1,49 @@
+"""Table 1: memcached page-walk latency under deployment pressure.
+
+Normalised to native execution in isolation with the 80GB dataset.  The
+paper reports: 5x larger dataset 1.2x, SMT colocation 2.7x, virtualization
+5.3x, virtualization + colocation 12.0x.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BASELINE
+from repro.experiments.common import DEFAULT_SCALE, ExperimentTable
+from repro.sim.runner import Scale, run_native, run_virtualized
+
+
+def run(scale: Scale | None = None) -> ExperimentTable:
+    scale = scale or DEFAULT_SCALE
+    base = run_native("mc80", BASELINE, scale=scale, collect_service=False)
+    bigger = run_native("mc400", BASELINE, scale=scale,
+                        collect_service=False)
+    coloc = run_native("mc80", BASELINE, colocated=True, scale=scale,
+                       collect_service=False)
+    virt = run_virtualized("mc80", BASELINE, scale=scale,
+                           collect_service=False)
+    virt_coloc = run_virtualized("mc80", BASELINE, colocated=True,
+                                 scale=scale, collect_service=False)
+    reference = base.avg_walk_latency
+    table = ExperimentTable(
+        title=("Table 1: increase in memcached page walk latency "
+               "(normalised to native, isolated, 80GB)"),
+        columns=["scenario", "avg_walk_cycles", "normalised"],
+        notes="Paper: 1.2x / 2.7x / 5.3x / 12.0x.",
+    )
+    for label, stats in (
+        ("native 80GB (reference)", base),
+        ("5x larger dataset (400GB)", bigger),
+        ("SMT colocation", coloc),
+        ("virtualization", virt),
+        ("virtualization + SMT colocation", virt_coloc),
+    ):
+        table.add_row(
+            scenario=label,
+            avg_walk_cycles=stats.avg_walk_latency,
+            normalised=stats.avg_walk_latency / reference,
+        )
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

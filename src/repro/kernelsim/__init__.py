@@ -1,0 +1,31 @@
+"""Simulated OS substrate: physical memory, buddy allocator, VMAs, demand
+paging, the ASAP page-table layout extension and nested virtualization."""
+
+from repro.kernelsim.buddy import BuddyAllocator, OutOfMemoryError
+from repro.kernelsim.hypervisor import VirtualMachine
+from repro.pagetable.nested import NestedStep, NestedWalkPath
+from repro.kernelsim.phys import PhysicalMemory
+from repro.kernelsim.process import (
+    ProcessAddressSpace,
+    SegmentationFault,
+    TouchResult,
+)
+from repro.kernelsim.pt_layout import AsapPtLayout, PtRegion
+from repro.kernelsim.vma import Vma, VmaKind, VmaOverlapError, VmaTree
+
+__all__ = [
+    "AsapPtLayout",
+    "BuddyAllocator",
+    "NestedStep",
+    "NestedWalkPath",
+    "OutOfMemoryError",
+    "PhysicalMemory",
+    "ProcessAddressSpace",
+    "PtRegion",
+    "SegmentationFault",
+    "TouchResult",
+    "Vma",
+    "VmaKind",
+    "VmaOverlapError",
+    "VmaTree",
+]

@@ -1,0 +1,167 @@
+"""A process address space with demand paging over the simulated OS.
+
+Ties the substrates together the way Linux does: a VMA tree describes what
+is allocated, the radix page table is populated *lazily* on first touch
+(page fault), data frames come from the buddy allocator's ``data`` pool and
+PT-node frames from its ``pt`` pool — unless an :class:`AsapPtLayout` is
+attached, in which case the prefetch-target levels are placed into their
+reserved, sorted regions (§3.3).
+
+Large pages: a VMA created with ``page_level=2`` is backed by 2MB mappings
+(512-frame aligned), exercising the §3.5 interaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernelsim.buddy import BuddyAllocator
+from repro.kernelsim.pt_layout import AsapPtLayout
+from repro.kernelsim.vma import Vma, VmaKind, VmaTree
+from repro.pagetable import constants as c
+from repro.pagetable.radix import FaultPath, RadixPageTable, WalkPath
+
+
+class SegmentationFault(Exception):
+    """Access to an address outside every VMA."""
+
+
+@dataclass
+class TouchResult:
+    frame: int
+    faulted: bool
+    leaf_level: int
+    created_nodes: list[tuple[int, int, int]]  # (level, tag, phys_base)
+
+
+# Vma gains a page-size attribute through composition here rather than on
+# the dataclass: the OS decides backing granularity per mapping request.
+class ProcessAddressSpace:
+    """One process: VMAs + page table + demand paging."""
+
+    def __init__(
+        self,
+        buddy: BuddyAllocator | None = None,
+        levels: int = 4,
+        asap_layout: AsapPtLayout | None = None,
+        data_pool: str = "data",
+        pt_pool: str = "pt",
+    ) -> None:
+        self.buddy = buddy or BuddyAllocator()
+        self.vmas = VmaTree()
+        self.asap_layout = asap_layout
+        self.data_pool = data_pool
+        self.pt_pool = pt_pool
+        self._page_levels: dict[int, int] = {}  # id(vma) -> leaf level
+        self._fault_vma: Vma | None = None
+        self.page_table = RadixPageTable(levels, node_placer=self._place_node)
+        self.faults = 0
+
+    # ------------------------------------------------------------------
+    # address-space management
+    # ------------------------------------------------------------------
+    def mmap(
+        self,
+        start: int,
+        size: int,
+        kind: VmaKind = VmaKind.MMAP,
+        name: str = "",
+        growable: bool = False,
+        page_level: int = 1,
+    ) -> Vma:
+        if start % c.PAGE_SIZE or size % c.PAGE_SIZE:
+            raise ValueError("mappings must be page aligned")
+        if page_level == 2 and (start % c.LARGE_PAGE_SIZE
+                                or size % c.LARGE_PAGE_SIZE):
+            raise ValueError("2MB-backed mappings must be 2MB aligned")
+        vma = self.vmas.insert(
+            Vma(start=start, size=size, kind=kind, name=name,
+                growable=growable)
+        )
+        self._page_levels[id(vma)] = page_level
+        if self.asap_layout is not None:
+            self.asap_layout.register_vma(vma)
+        return vma
+
+    def brk(self, vma: Vma, delta: int) -> None:
+        """Grow a VMA upward; PT regions extend lazily on later faults."""
+        self.vmas.extend(vma, delta)
+
+    def page_level_of(self, vma: Vma) -> int:
+        return self._page_levels[id(vma)]
+
+    # ------------------------------------------------------------------
+    # demand paging
+    # ------------------------------------------------------------------
+    def _place_node(self, level: int, tag: int) -> int:
+        vma = self._fault_vma
+        if self.asap_layout is not None:
+            return self.asap_layout.place_node(vma, level, tag)
+        return self.buddy.alloc_frame(self.pt_pool) << c.PAGE_SHIFT
+
+    def touch(self, va: int) -> TouchResult:
+        """Translate ``va``, faulting the page in on first access."""
+        hit = self.page_table.lookup(va)
+        if hit is not None:
+            return TouchResult(frame=hit[0], faulted=False,
+                               leaf_level=hit[1], created_nodes=[])
+        vma = self.vmas.find(va)
+        if vma is None:
+            raise SegmentationFault(f"{va:#x} is not mapped by any VMA")
+        leaf_level = self._page_levels[id(vma)]
+        if leaf_level == 2:
+            frame = self.buddy.alloc_run(
+                c.ENTRIES_PER_NODE, pool=self.data_pool, aligned=True
+            )
+        else:
+            frame = self.buddy.alloc_frame(self.data_pool)
+        self._fault_vma = vma
+        try:
+            created = self.page_table.map_page(va, frame, leaf_level)
+        finally:
+            self._fault_vma = None
+        self.faults += 1
+        hit = self.page_table.lookup(va)
+        assert hit is not None
+        return TouchResult(frame=hit[0], faulted=True, leaf_level=leaf_level,
+                           created_nodes=created)
+
+    def populate(self, vpns) -> int:
+        """Pre-fault a sequence of vpns (steady-state warm-up); returns the
+        number of faults taken."""
+        before = self.faults
+        for vpn in vpns:
+            self.touch(int(vpn) << c.PAGE_SHIFT)
+        return self.faults - before
+
+    # ------------------------------------------------------------------
+    # translation services for the simulator
+    # ------------------------------------------------------------------
+    def walk_path(self, va: int) -> WalkPath:
+        return self.page_table.walk_path(va)
+
+    def fault_path(self, va: int) -> FaultPath:
+        return self.page_table.fault_path(va)
+
+    def frame_of(self, vpn: int) -> int | None:
+        return self.page_table.frame_of(vpn)
+
+    def cluster_frames(self, vpn: int) -> list[int | None]:
+        return self.page_table.cluster_frames(vpn)
+
+    # ------------------------------------------------------------------
+    # Table 2 inventory
+    # ------------------------------------------------------------------
+    def pt_page_count(self) -> int:
+        return self.page_table.node_count()
+
+    def pt_contiguous_regions(self) -> int:
+        """Number of maximal physically contiguous runs of PT pages."""
+        frames = sorted(self.page_table.node_frames())
+        if not frames:
+            return 0
+        regions = 1
+        for prev, cur in zip(frames, frames[1:]):
+            if cur != prev + 1:
+                regions += 1
+        return regions

@@ -1,0 +1,14 @@
+"""Cache-hierarchy substrate: set-associative caches, MSHRs, L1/L2/L3+DRAM."""
+
+from repro.mem.cache import CacheStats, SetAssociativeCache
+from repro.mem.hierarchy import LEVELS, AccessResult, CacheHierarchy
+from repro.mem.mshr import MshrFile
+
+__all__ = [
+    "AccessResult",
+    "CacheHierarchy",
+    "CacheStats",
+    "LEVELS",
+    "MshrFile",
+    "SetAssociativeCache",
+]

@@ -1,0 +1,112 @@
+"""A set-associative, write-allocate cache model with true-LRU replacement.
+
+The model tracks cache *lines by line number* (physical address >> 6); it
+never stores data.  Each set is a dict used as an ordered LRU queue: Python
+dicts preserve insertion order, so deleting and re-inserting a key moves it
+to the MRU position in O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.params import CacheParams
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over abstract line numbers.
+
+    Parameters
+    ----------
+    params:
+        Geometry (size, associativity, line size).  Latency is *not* used
+        here; the hierarchy is responsible for pricing accesses.
+    name:
+        Label used in stats reporting and repr.
+    """
+
+    def __init__(self, params: CacheParams, name: str = "cache") -> None:
+        self.params = params
+        self.name = name
+        self.num_sets = params.sets
+        self.ways = params.ways
+        self._sets: list[dict[int, None]] = [{} for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def _set_index(self, line: int) -> int:
+        return line % self.num_sets
+
+    def lookup(self, line: int, update_lru: bool = True) -> bool:
+        """Probe for ``line``; on a hit optionally promote it to MRU."""
+        cache_set = self._sets[self._set_index(line)]
+        if line in cache_set:
+            self.stats.hits += 1
+            if update_lru:
+                del cache_set[line]
+                cache_set[line] = None
+            return True
+        self.stats.misses += 1
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Non-mutating membership test (no stats, no LRU update)."""
+        return line in self._sets[self._set_index(line)]
+
+    def install(self, line: int) -> int | None:
+        """Insert ``line`` as MRU; return the evicted line, if any."""
+        cache_set = self._sets[self._set_index(line)]
+        victim = None
+        if line in cache_set:
+            del cache_set[line]
+        elif len(cache_set) >= self.ways:
+            victim = next(iter(cache_set))
+            del cache_set[victim]
+            self.stats.evictions += 1
+        cache_set[line] = None
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if present; returns whether it was resident."""
+        cache_set = self._sets[self._set_index(line)]
+        if line in cache_set:
+            del cache_set[line]
+            return True
+        return False
+
+    def flush(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<{self.name}: {self.params.size_bytes >> 10}KB "
+            f"{self.ways}-way, {self.occupancy}/{self.params.lines} lines>"
+        )

@@ -1,0 +1,146 @@
+"""Three-level cache hierarchy plus main memory (Table 5).
+
+An access probes L1 → L2 → L3 and is served by the first hit (or memory).
+The line is then installed in every level above the serving one, modelling
+the fill path.  Latencies are *total* access latencies at the serving level:
+4 / 12 / 40 / 191 cycles for L1 / L2 / LLC / memory.
+
+The hierarchy operates on line numbers (physical byte address >> 6); helper
+``access_addr`` accepts byte addresses.  It is shared state: the application
+thread, the page walker, ASAP prefetches and any SMT co-runner all touch the
+same instance, which is what creates the cache pressure the paper studies.
+
+Prefetches (ASAP's path) are best effort: they allocate an L1 MSHR before
+anything is fetched and are dropped — with no architectural side effect —
+when the MSHR file is full (§3.4).  A demand access that misses the L1 while
+a prefetch to the same line is still in flight *merges* with it and
+completes when the prefetch does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.mshr import MshrFile
+from repro.params import HierarchyParams
+
+#: Canonical serving-level labels, closest first.
+LEVELS = ("L1", "L2", "L3", "MEM")
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one hierarchy access."""
+
+    latency: int
+    level: str  # one of LEVELS, or "MSHR" for merges with a prefetch
+
+
+class CacheHierarchy:
+    """Shared L1/L2/L3 + memory with an L1 MSHR file for prefetches."""
+
+    def __init__(self, params: HierarchyParams | None = None) -> None:
+        self.params = params or HierarchyParams()
+        self.l1 = SetAssociativeCache(self.params.l1, name="L1")
+        self.l2 = SetAssociativeCache(self.params.l2, name="L2")
+        self.l3 = SetAssociativeCache(self.params.l3, name="L3")
+        self.mshrs = MshrFile(self.params.mshr_entries)
+        self._latencies = {
+            "L1": self.params.l1.latency,
+            "L2": self.params.l2.latency,
+            "L3": self.params.l3.latency,
+            "MEM": self.params.memory_latency,
+        }
+        self.served: dict[str, int] = {level: 0 for level in LEVELS}
+        self.prefetches_issued = 0
+        self.prefetches_dropped = 0
+
+    # ------------------------------------------------------------------
+    # demand path
+    # ------------------------------------------------------------------
+    def access_line(self, line: int, now: int = 0) -> AccessResult:
+        """Demand access to ``line``; installs into upper levels on miss."""
+        if self.l1.lookup(line):
+            self.served["L1"] += 1
+            return AccessResult(self._latencies["L1"], "L1")
+        merged = self.mshrs.inflight_completion(line, now)
+        if merged is not None and merged > now:
+            # An in-flight prefetch to the same line: the demand access
+            # completes when the prefetch does (already accounted for).
+            self.l1.install(line)
+            return AccessResult(merged - now, "MSHR")
+        level = self._serving_level_below_l1(line)
+        self._fill(line, level)
+        self.served[level] += 1
+        return AccessResult(self._latencies[level], level)
+
+    def access_addr(self, phys_addr: int, now: int = 0) -> AccessResult:
+        return self.access_line(phys_addr >> 6, now)
+
+    def _serving_level_below_l1(self, line: int) -> str:
+        if self.l2.lookup(line):
+            return "L2"
+        if self.l3.lookup(line):
+            return "L3"
+        return "MEM"
+
+    def _fill(self, line: int, served_at: str) -> None:
+        self.l1.install(line)
+        if served_at in ("L3", "MEM"):
+            self.l2.install(line)
+        if served_at == "MEM":
+            self.l3.install(line)
+
+    # ------------------------------------------------------------------
+    # prefetch path (used by ASAP)
+    # ------------------------------------------------------------------
+    def prefetch_line(
+        self, line: int, now: int, require_mshr: bool = True
+    ) -> int | None:
+        """Issue a best-effort prefetch for ``line`` at time ``now``.
+
+        Returns the absolute completion time, or None when the prefetch was
+        dropped for lack of an MSHR.  On success the line is installed into
+        the L1-D (and intermediate levels), exactly like a demand fill.
+        """
+        if self.l1.lookup(line):
+            # Already resident: the "prefetch" is a free L1 hit.
+            self.served["L1"] += 1
+            return now + self._latencies["L1"]
+        level = self._serving_level_below_l1(line)
+        completion = now + self._latencies[level]
+        if require_mshr and not self.mshrs.try_allocate(line, now, completion):
+            self.prefetches_dropped += 1
+            return None
+        self._fill(line, level)
+        self.served[level] += 1
+        self.prefetches_issued += 1
+        return completion
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def warm(self, lines: Iterable[int]) -> None:
+        """Pre-install lines in all levels (used by tests and warmup)."""
+        for line in lines:
+            self.l1.install(line)
+            self.l2.install(line)
+            self.l3.install(line)
+
+    def flush(self) -> None:
+        self.l1.flush()
+        self.l2.flush()
+        self.l3.flush()
+        self.mshrs.reset()
+
+    def latency_of(self, level: str) -> int:
+        return self._latencies[level]
+
+    def reset_stats(self) -> None:
+        for cache in (self.l1, self.l2, self.l3):
+            cache.stats.reset()
+        self.served = {level: 0 for level in LEVELS}
+        self.prefetches_issued = 0
+        self.prefetches_dropped = 0

@@ -1,0 +1,68 @@
+"""Miss Status Holding Registers for the L1-D cache.
+
+ASAP prefetches are best effort: a prefetch is issued only if an MSHR is
+available (Section 3.4, "Prefetches are thus best-effort").  The file tracks
+in-flight misses by completion time; entries whose completion time has
+passed are retired lazily on each allocation attempt.
+
+A demand access to a line that already has an in-flight MSHR *merges* with
+it instead of allocating a new entry — that is how the walker's demand read
+picks up an ASAP prefetch that has not yet completed.
+"""
+
+from __future__ import annotations
+
+
+class MshrFile:
+    """Fixed-capacity set of in-flight misses keyed by line number."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("an MSHR file needs at least one entry")
+        self.capacity = entries
+        self._inflight: dict[int, int] = {}
+        self.allocations = 0
+        self.rejections = 0
+        self.merges = 0
+
+    def _retire(self, now: int) -> None:
+        if not self._inflight:
+            return
+        done = [line for line, t in self._inflight.items() if t <= now]
+        for line in done:
+            del self._inflight[line]
+
+    def inflight_completion(self, line: int, now: int) -> int | None:
+        """Completion time of an in-flight miss on ``line``, if any."""
+        self._retire(now)
+        when = self._inflight.get(line)
+        if when is not None:
+            self.merges += 1
+        return when
+
+    def try_allocate(self, line: int, now: int, completion: int) -> bool:
+        """Reserve an MSHR for a miss on ``line`` finishing at ``completion``.
+
+        Returns False (prefetch must be dropped) when the file is full.
+        Allocating for a line that is already in flight merges and succeeds.
+        """
+        self._retire(now)
+        if line in self._inflight:
+            self.merges += 1
+            return True
+        if len(self._inflight) >= self.capacity:
+            self.rejections += 1
+            return False
+        self._inflight[line] = completion
+        self.allocations += 1
+        return True
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._inflight)
+
+    def reset(self) -> None:
+        self._inflight.clear()
+        self.allocations = 0
+        self.rejections = 0
+        self.merges = 0

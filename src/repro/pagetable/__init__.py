@@ -1,0 +1,29 @@
+"""Page-table substrate: the radix tree, walk paths, PWCs and both walkers."""
+
+from repro.pagetable import constants
+from repro.pagetable.nested import NestedPageWalker, NestedStep, NestedWalkPath
+from repro.pagetable.pwc import SplitPwc
+from repro.pagetable.radix import (
+    FaultPath,
+    PageFault,
+    RadixPageTable,
+    WalkPath,
+    WalkStep,
+)
+from repro.pagetable.walker import PWC_LABEL, PageWalker, WalkOutcome
+
+__all__ = [
+    "FaultPath",
+    "NestedPageWalker",
+    "NestedStep",
+    "NestedWalkPath",
+    "PWC_LABEL",
+    "PageFault",
+    "PageWalker",
+    "RadixPageTable",
+    "SplitPwc",
+    "WalkOutcome",
+    "WalkPath",
+    "WalkStep",
+    "constants",
+]

@@ -1,0 +1,78 @@
+"""Split page-walk caches (Table 5, modelled on Intel Core i7).
+
+Each intermediate PT level has its own small cache of recently produced
+entries, tagged by the VA prefix that selects the entry: a PWC hit at level
+L hands the walker the pointer *produced by* the level-L lookup, so the walk
+resumes directly at level L-1.  The walker probes deepest-first (PL2, then
+PL3, then PL4) — one 2-cycle probe regardless of outcome.
+
+Under virtualization each dimension gets its own SplitPwc instance (Table 5:
+"one dedicated PWC for guest PT, one for host PT"); host PWCs are tagged by
+guest-physical addresses.
+"""
+
+from __future__ import annotations
+
+from repro.pagetable.constants import level_tag
+from repro.params import PwcParams, TlbParams
+from repro.tlb.tlb import Tlb
+
+
+class SplitPwc:
+    """Per-level translation caches for the intermediate PT levels."""
+
+    def __init__(self, params: PwcParams | None = None, top_level: int = 4) -> None:
+        self.params = params or PwcParams()
+        self.top_level = top_level
+        geometry = {
+            2: TlbParams(self.params.pl2_entries, self.params.pl2_ways),
+            3: TlbParams(self.params.pl3_entries, self.params.pl3_ways),
+        }
+        # PL4 (and PL5 when present) share the root-level geometry.
+        for level in range(4, top_level + 1):
+            geometry[level] = TlbParams(self.params.pl4_entries,
+                                        self.params.pl4_ways)
+        self._caches = {
+            level: Tlb(geometry[level], name=f"PWC-PL{level}")
+            for level in range(2, top_level + 1)
+        }
+        self.probes = 0
+        self.hits = 0
+
+    @property
+    def latency(self) -> int:
+        return self.params.latency
+
+    def probe(self, va: int) -> int | None:
+        """Deepest cached level for ``va`` (2 is best), or None.
+
+        A hit at level L means the walker skips the accesses to levels
+        top..L and proceeds straight to level L-1.
+        """
+        self.probes += 1
+        for level in range(2, self.top_level + 1):
+            if self._caches[level].lookup(level_tag(va, level)) is not None:
+                self.hits += 1
+                return level
+        return None
+
+    def insert(self, va: int, leaf_level: int = 1) -> None:
+        """Cache the intermediate entries a completed walk produced.
+
+        Entries at the leaf level itself belong in the TLB, not the PWC,
+        so a 2MB walk (leaf at PL2) populates only PL3 and above.
+        """
+        for level in range(leaf_level + 1, self.top_level + 1):
+            self._caches[level].fill(level_tag(va, level), 1)
+
+    def flush(self) -> None:
+        for cache in self._caches.values():
+            cache.flush()
+
+    def hit_rate(self) -> float:
+        if not self.probes:
+            return 0.0
+        return self.hits / self.probes
+
+    def occupancy(self, level: int) -> int:
+        return self._caches[level].occupancy

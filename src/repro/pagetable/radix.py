@@ -1,0 +1,245 @@
+"""The radix-tree page table (Figure 1) and walk paths through it.
+
+The tree is stored *flat*: a node is identified by ``(level, tag)`` where
+the tag is the VA prefix above that level's index field — exactly the bits
+that select the node during a real walk.  The stored value is the node's
+physical base address, assigned by a pluggable *placer* (the buddy
+allocator for vanilla Linux, the ASAP layout allocator for sorted regions).
+Leaf translations live in flat vpn→frame maps, with 2MB large pages kept at
+their own granularity (one PL2 entry per 512 pages, §2.3/§3.5).
+
+Nothing in this module knows about caches or timing; it produces
+:class:`WalkPath` objects — the exact sequence of physical entry addresses a
+hardware walker would touch — which the walker prices against the memory
+hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.pagetable import constants as c
+
+#: placer(level, tag) -> physical byte address of the 4KB node.
+NodePlacer = Callable[[int, int], int]
+
+
+class PageFault(Exception):
+    """Raised when translating an address with no mapping."""
+
+
+@dataclass(frozen=True)
+class WalkStep:
+    """One pointer fetch of a page walk: the PT level and the physical
+    byte address of the entry read at that level."""
+
+    level: int
+    entry_addr: int
+
+    @property
+    def line(self) -> int:
+        return self.entry_addr >> c.LINE_SHIFT
+
+
+@dataclass(frozen=True)
+class WalkPath:
+    """The full pointer chase for one virtual address (root first)."""
+
+    va: int
+    steps: tuple[WalkStep, ...]
+    frame: int
+    leaf_level: int  # 1 for 4KB pages, 2 for 2MB pages
+
+    @property
+    def vpn(self) -> int:
+        return self.va >> c.PAGE_SHIFT
+
+    @property
+    def is_large(self) -> bool:
+        return self.leaf_level >= 2
+
+
+@dataclass(frozen=True)
+class FaultPath:
+    """A truncated walk that ends at the first non-present entry.
+
+    ``resolved_steps`` are readable entries; the walk discovers the fault
+    when the entry *after* them reads as not-present.  With ASAP's reserved
+    regions the missing deep node's location is still known, so the fault
+    is detected after a prefetched read (§3.7.1).
+    """
+
+    va: int
+    resolved_steps: tuple[WalkStep, ...]
+    missing_level: int
+
+
+class RadixPageTable:
+    """An x86-style 4- or 5-level radix page table."""
+
+    def __init__(
+        self,
+        levels: int = 4,
+        node_placer: NodePlacer | None = None,
+    ) -> None:
+        if levels not in (4, 5):
+            raise ValueError("only 4- and 5-level page tables exist on x86")
+        self.levels = levels
+        self._placer = node_placer or self._bump_placer
+        self._bump_next = 1 << 50  # fallback placer: distinct, stable addrs
+        self._nodes: dict[tuple[int, int], int] = {}
+        self._pages: dict[int, int] = {}  # vpn -> frame (4KB)
+        self._large: dict[int, int] = {}  # vpn >> 9 -> frame (2MB)
+        # The root always exists (CR3 points at it).
+        self._ensure_node(levels, 0, self._placer)
+
+    def _bump_placer(self, level: int, tag: int) -> int:
+        addr = self._bump_next
+        self._bump_next += c.NODE_BYTES
+        return addr
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _ensure_node(
+        self, level: int, tag: int, placer: NodePlacer
+    ) -> tuple[int, bool]:
+        key = (level, tag)
+        base = self._nodes.get(key)
+        if base is not None:
+            return base, False
+        base = placer(level, tag)
+        if base % c.NODE_BYTES:
+            raise ValueError("PT nodes must be 4KB aligned")
+        self._nodes[key] = base
+        return base, True
+
+    def map_page(
+        self,
+        va: int,
+        frame: int,
+        leaf_level: int = 1,
+        placer: NodePlacer | None = None,
+    ) -> list[tuple[int, int, int]]:
+        """Create the mapping for the page containing ``va``.
+
+        Returns the list of newly created nodes as ``(level, tag,
+        phys_base)`` so callers (e.g. the hypervisor) can track PT-page
+        frames.  ``leaf_level=2`` installs a 2MB mapping; ``frame`` must
+        then be 512-frame aligned.
+        """
+        if leaf_level not in (1, 2):
+            raise ValueError("leaf level must be 1 (4KB) or 2 (2MB)")
+        place = placer or self._placer
+        created: list[tuple[int, int, int]] = []
+        for level in range(self.levels, leaf_level - 1, -1):
+            tag = c.node_tag(va, level)
+            base, is_new = self._ensure_node(level, tag, place)
+            if is_new:
+                created.append((level, tag, base))
+        if leaf_level == 1:
+            self._pages[c.vpn(va)] = frame
+        else:
+            if frame & (c.ENTRIES_PER_NODE - 1):
+                raise ValueError("2MB mappings need 512-frame aligned frames")
+            self._large[c.vpn(va) >> c.LEVEL_BITS] = frame
+        return created
+
+    def unmap_page(self, va: int) -> bool:
+        """Remove a leaf mapping (nodes are not reclaimed, as in Linux)."""
+        if self._pages.pop(c.vpn(va), None) is not None:
+            return True
+        return self._large.pop(c.vpn(va) >> c.LEVEL_BITS, None) is not None
+
+    # ------------------------------------------------------------------
+    # translation
+    # ------------------------------------------------------------------
+    def lookup(self, va: int) -> tuple[int, int] | None:
+        """Return ``(frame, leaf_level)`` for ``va`` or None if unmapped.
+
+        For a 2MB mapping the returned frame is the frame of the 4KB page
+        *within* the large page, so callers can form byte addresses without
+        caring about the page size.
+        """
+        page = c.vpn(va)
+        frame = self._pages.get(page)
+        if frame is not None:
+            return frame, 1
+        large = self._large.get(page >> c.LEVEL_BITS)
+        if large is not None:
+            return large + (page & (c.ENTRIES_PER_NODE - 1)), 2
+        return None
+
+    def frame_of(self, vpn: int) -> int | None:
+        """Frame of a 4KB vpn (either granularity), or None."""
+        hit = self.lookup(vpn << c.PAGE_SHIFT)
+        return hit[0] if hit else None
+
+    def cluster_frames(self, vpn: int) -> list[int | None]:
+        """Frames of the aligned 8-page cluster holding ``vpn``.
+
+        This is what a walker sees in the PT cache line it fetched; it
+        feeds the Clustered TLB's eager coalescing.
+        """
+        base = vpn & ~7
+        return [self.frame_of(base + i) for i in range(8)]
+
+    # ------------------------------------------------------------------
+    # walk paths
+    # ------------------------------------------------------------------
+    def entry_addr(self, va: int, level: int) -> int | None:
+        """Physical address of the level-``level`` entry for ``va``."""
+        base = self._nodes.get((level, c.node_tag(va, level)))
+        if base is None:
+            return None
+        return c.entry_phys_addr(base, c.level_index(va, level))
+
+    def walk_path(self, va: int) -> WalkPath:
+        """The walk for a *mapped* address; raises PageFault otherwise."""
+        hit = self.lookup(va)
+        if hit is None:
+            raise PageFault(f"no translation for {va:#x}")
+        frame, leaf_level = hit
+        steps = []
+        for level in range(self.levels, leaf_level - 1, -1):
+            addr = self.entry_addr(va, level)
+            assert addr is not None, "mapped page lost an interior node"
+            steps.append(WalkStep(level, addr))
+        return WalkPath(va=va, steps=tuple(steps), frame=frame,
+                        leaf_level=leaf_level)
+
+    def fault_path(self, va: int) -> FaultPath:
+        """The truncated walk for an *unmapped* address (§3.7.1)."""
+        if self.lookup(va) is not None:
+            raise ValueError(f"{va:#x} is mapped; use walk_path")
+        steps = []
+        for level in range(self.levels, 0, -1):
+            addr = self.entry_addr(va, level)
+            if addr is None:
+                return FaultPath(va=va, resolved_steps=tuple(steps),
+                                 missing_level=level)
+            steps.append(WalkStep(level, addr))
+        # All nodes exist but the PTE slot is empty: the fault is detected
+        # when the (readable) PL1 entry is seen to be not-present.
+        return FaultPath(va=va, resolved_steps=tuple(steps), missing_level=0)
+
+    # ------------------------------------------------------------------
+    # inventory (Table 2's "PT page count")
+    # ------------------------------------------------------------------
+    def node_count(self, level: int | None = None) -> int:
+        if level is None:
+            return len(self._nodes)
+        return sum(1 for lvl, _ in self._nodes if lvl == level)
+
+    def node_frames(self) -> Iterable[int]:
+        """Physical frame numbers of all PT pages."""
+        for base in self._nodes.values():
+            yield base >> c.PAGE_SHIFT
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._pages) + len(self._large) * c.ENTRIES_PER_NODE
+
+    def has_node(self, level: int, tag: int) -> bool:
+        return (level, tag) in self._nodes

@@ -1,0 +1,34 @@
+"""Trace-driven simulators (native and virtualized) and their statistics."""
+
+from repro.sim.runner import (
+    BENCH_SCALE,
+    Scale,
+    build_vm,
+    make_trace,
+    run_native,
+    run_virtualized,
+)
+from repro.sim.simulator import NativeSimulation, build_native_descriptors
+from repro.sim.stats import SERVICE_LABELS, ServiceDistribution, SimStats
+from repro.sim.virt import (
+    VirtualizedSimulation,
+    build_guest_descriptors,
+    build_host_descriptor,
+)
+
+__all__ = [
+    "BENCH_SCALE",
+    "NativeSimulation",
+    "SERVICE_LABELS",
+    "Scale",
+    "ServiceDistribution",
+    "SimStats",
+    "VirtualizedSimulation",
+    "build_guest_descriptors",
+    "build_host_descriptor",
+    "build_native_descriptors",
+    "build_vm",
+    "make_trace",
+    "run_native",
+    "run_virtualized",
+]

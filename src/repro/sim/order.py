@@ -1,0 +1,30 @@
+"""First-touch ordering models for demand paging."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def first_touch_order(vpns: np.ndarray, order: str) -> np.ndarray:
+    """The order in which the workload's pages were first faulted in.
+
+    "sequential": VA order (start-up array/graph loading).
+    "chunked": 256-page chunks in first-touch order, VA order inside each
+    chunk (slab/arena allocators).
+    "demand": pure first-touch (request) order.
+    """
+    if order == "sequential":
+        return np.unique(vpns)
+    _, first_index = np.unique(vpns, return_index=True)
+    demand = vpns[np.sort(first_index)]
+    if order == "demand":
+        return demand
+    if order != "chunked":
+        raise ValueError(f"unknown init order {order!r}")
+    chunks = demand >> 8
+    _, chunk_first = np.unique(chunks, return_index=True)
+    pieces = []
+    for index in np.sort(chunk_first):
+        chunk = chunks[index]
+        pieces.append(np.sort(demand[chunks == chunk]))
+    return np.concatenate(pieces)

@@ -1,0 +1,201 @@
+"""The native (1D) trace-driven simulator.
+
+Per trace record (one memory operation):
+
+1. the TLB hierarchy is probed; a miss triggers a page walk,
+2. ASAP, when configured, checks its range registers and issues prefetches
+   concurrently with the walk (§3.4),
+3. the walker prices the walk against the shared cache hierarchy,
+4. the data access itself goes through the same hierarchy,
+5. an optional SMT co-runner issues one random access (§4).
+
+Execution time accumulates ``base + walk + data`` cycles per record, giving
+the Figure 2 / Table 6 fractions; walks are pre-faulted (steady state — the
+paper measures long-running warmed-up services), so page-fault handling
+never pollutes walk-latency measurements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import AsapConfig, BASELINE
+from repro.core.prefetcher import AsapPrefetcher
+from repro.core.range_registers import RangeRegisterFile, VmaDescriptor
+from repro.kernelsim.process import ProcessAddressSpace
+from repro.mem.hierarchy import CacheHierarchy
+from repro.pagetable.pwc import SplitPwc
+from repro.pagetable.walker import PageWalker
+from repro.params import DEFAULT_MACHINE, MachineParams
+from repro.sim.order import first_touch_order
+from repro.sim.stats import SimStats
+from repro.tlb.hierarchy import TlbHierarchy
+from repro.workloads.corunner import Corunner
+
+
+def build_native_descriptors(
+    process: ProcessAddressSpace, max_count: int
+) -> list[VmaDescriptor]:
+    """The descriptors the OS would load for this process: its largest
+    VMAs, with bases from the ASAP PT layout."""
+    layout = process.asap_layout
+    if layout is None:
+        return []
+    descriptors = []
+    for vma in process.vmas.largest(max_count):
+        bases = layout.descriptor_bases(vma)
+        if bases:
+            descriptors.append(
+                VmaDescriptor(
+                    start=vma.start,
+                    end=vma.end,
+                    level_bases=tuple(sorted(bases.items())),
+                )
+            )
+    return descriptors
+
+
+class NativeSimulation:
+    """Drives one process's trace through the native machine model."""
+
+    def __init__(
+        self,
+        process: ProcessAddressSpace,
+        machine: MachineParams = DEFAULT_MACHINE,
+        asap: AsapConfig = BASELINE,
+        clustered_tlb: bool = False,
+        infinite_tlb: bool = False,
+        corunner: Corunner | None = None,
+    ) -> None:
+        self.process = process
+        self.machine = machine
+        self.asap = asap
+        self.clustered_tlb = clustered_tlb
+        self.hierarchy = CacheHierarchy(machine.hierarchy)
+        self.tlbs = TlbHierarchy(
+            machine.tlb, clustered=clustered_tlb, infinite=infinite_tlb
+        )
+        self.pwc = SplitPwc(machine.pwc,
+                            top_level=process.page_table.levels)
+        self.walker = PageWalker(self.hierarchy, self.pwc)
+        self.corunner = corunner
+        self.prefetcher: AsapPrefetcher | None = None
+        if asap.native_levels:
+            if process.asap_layout is None:
+                raise ValueError(
+                    "ASAP configs need a process built with the ASAP PT "
+                    "layout (asap_levels=...)"
+                )
+            registers = RangeRegisterFile(machine.asap.range_registers)
+            registers.load(
+                build_native_descriptors(process,
+                                         machine.asap.range_registers)
+            )
+            layout = process.asap_layout
+            vmas = process.vmas
+
+            def hole_checker(va: int, level: int) -> bool:
+                vma = vmas.find(va)
+                return vma is None or layout.is_hole(vma, level, va)
+
+            self.prefetcher = AsapPrefetcher(
+                self.hierarchy,
+                registers,
+                levels=asap.native_levels,
+                require_mshr=machine.asap.require_free_mshr,
+                hole_checker=hole_checker,
+            )
+
+    # ------------------------------------------------------------------
+    def populate(self, trace: np.ndarray, order: str = "sequential") -> int:
+        """Pre-fault every page of the trace in first-touch order.
+
+        In infinite-TLB mode (Table 6's "execution without TLB misses",
+        the analog of the paper's libhugetlbfs trick) the translations are
+        pre-installed too, so the measured run has no walks at all.
+        """
+        vpns = trace >> 12
+        ordered = first_touch_order(vpns, order)
+        faults = self.process.populate(ordered.tolist())
+        if self.tlbs.infinite:
+            for vpn in ordered.tolist():
+                frame = self.process.frame_of(int(vpn))
+                assert frame is not None
+                self.tlbs.fill(int(vpn), frame)
+        return faults
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: np.ndarray,
+        warmup: int = 0,
+        populate: bool = True,
+        collect_service: bool = True,
+        init_order: str = "sequential",
+    ) -> SimStats:
+        """Simulate the trace; statistics cover post-warmup records only."""
+        if populate:
+            self.populate(trace, order=init_order)
+        if self.corunner is not None:
+            self.corunner.prefill(self.hierarchy)
+        stats = SimStats()
+        process = self.process
+        tlbs = self.tlbs
+        walker = self.walker
+        hierarchy = self.hierarchy
+        prefetcher = self.prefetcher
+        corunner = self.corunner
+        clustered = self.clustered_tlb
+        base_cycles = self.machine.core.base_cycles
+        service = stats.service
+        now = 0
+        measuring = warmup == 0
+        tlb_l1_base = tlb_l2_base = 0
+        addresses = trace.tolist()
+        for index, va in enumerate(addresses):
+            if not measuring and index >= warmup:
+                measuring = True
+                tlb_l1_base = tlbs.l1_hits
+                tlb_l2_base = tlbs.l2_hits
+            vpn = va >> 12
+            frame = tlbs.lookup(vpn)
+            translation = 0
+            if frame is None:
+                path = process.walk_path(va)
+                prefetches = None
+                if prefetcher is not None:
+                    prefetches = prefetcher.on_tlb_miss(va, now)
+                outcome = walker.walk(path, now, prefetches)
+                translation = outcome.latency
+                neighbours = None
+                if clustered and path.leaf_level == 1:
+                    neighbours = process.cluster_frames(vpn)
+                tlbs.fill(
+                    vpn,
+                    path.frame,
+                    large=path.is_large,
+                    neighbour_frames=neighbours,
+                )
+                frame = path.frame
+                if measuring:
+                    stats.walks += 1
+                    stats.walk_cycles += translation
+                    if collect_service:
+                        service.record_walk(outcome.records)
+            data_line = ((frame << 12) | (va & 0xFFF)) >> 6
+            result = hierarchy.access_line(data_line, now + translation)
+            now += base_cycles + translation + result.latency
+            if measuring:
+                stats.accesses += 1
+                stats.base_cycles += base_cycles
+                stats.data_cycles += result.latency
+                stats.cycles += base_cycles + translation + result.latency
+            if corunner is not None:
+                corunner.step(hierarchy, now)
+        stats.tlb_l1_hits = tlbs.l1_hits - tlb_l1_base
+        stats.tlb_l2_hits = tlbs.l2_hits - tlb_l2_base
+        if prefetcher is not None:
+            stats.prefetches_issued = prefetcher.stats.issued
+            stats.prefetches_useful = prefetcher.stats.useful
+            stats.prefetches_dropped = prefetcher.stats.dropped_no_mshr
+        return stats

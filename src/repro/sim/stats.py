@@ -1,0 +1,111 @@
+"""Simulation statistics: the paper's metrics in one place.
+
+* average page-walk latency (Figures 3, 8, 10, 12 — the primary metric),
+* fraction of execution time spent in page walks (Figure 2, Table 6),
+* TLB MPKI (Table 7),
+* total page-walk cycles (Figure 11),
+* per-PT-level service distribution over the memory hierarchy (Figure 9).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+#: Service labels in presentation order (Figure 9's x-axis).
+SERVICE_LABELS = ("PWC", "L1", "MSHR", "L2", "L3", "MEM")
+
+
+class ServiceDistribution:
+    """Counts of which hierarchy level served each PT-level request."""
+
+    def __init__(self) -> None:
+        self._counts: dict[object, dict[str, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+
+    def record(self, pt_level: object, served_by: str) -> None:
+        self._counts[pt_level][served_by] += 1
+
+    def record_walk(self, records: list[tuple[object, str]]) -> None:
+        for pt_level, served_by in records:
+            self._counts[pt_level][served_by] += 1
+
+    def levels(self) -> list[object]:
+        return sorted(self._counts, key=str)
+
+    def fractions(self, pt_level: object) -> dict[str, float]:
+        counts = self._counts.get(pt_level)
+        if not counts:
+            return {}
+        total = sum(counts.values())
+        return {label: counts.get(label, 0) / total
+                for label in SERVICE_LABELS if label in counts}
+
+    def count(self, pt_level: object, served_by: str) -> int:
+        return self._counts.get(pt_level, {}).get(served_by, 0)
+
+    def total(self, pt_level: object) -> int:
+        return sum(self._counts.get(pt_level, {}).values())
+
+
+@dataclass
+class SimStats:
+    """Aggregated outcome of one simulation run."""
+
+    accesses: int = 0
+    cycles: int = 0
+    base_cycles: int = 0
+    data_cycles: int = 0
+    walk_cycles: int = 0
+    walks: int = 0
+    tlb_l1_hits: int = 0
+    tlb_l2_hits: int = 0
+    prefetches_issued: int = 0
+    prefetches_useful: int = 0
+    prefetches_dropped: int = 0
+    service: ServiceDistribution = field(default_factory=ServiceDistribution)
+
+    # ------------------------------------------------------------------
+    @property
+    def avg_walk_latency(self) -> float:
+        """Average page-walk latency in cycles — the headline metric."""
+        if not self.walks:
+            return 0.0
+        return self.walk_cycles / self.walks
+
+    @property
+    def walk_fraction(self) -> float:
+        """Fraction of execution cycles spent in page walks (Figure 2)."""
+        if not self.cycles:
+            return 0.0
+        return self.walk_cycles / self.cycles
+
+    @property
+    def mpki(self) -> float:
+        """TLB misses (walks) per thousand memory accesses."""
+        if not self.accesses:
+            return 0.0
+        return 1000.0 * self.walks / self.accesses
+
+    @property
+    def tlb_miss_ratio(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.walks / self.accesses
+
+    @property
+    def l2_tlb_miss_ratio(self) -> float:
+        """Misses / L2-TLB lookups (the 6-85% figure quoted in §4)."""
+        looked_up = self.tlb_l2_hits + self.walks
+        if not looked_up:
+            return 0.0
+        return self.walks / looked_up
+
+    def summary(self) -> str:
+        return (
+            f"accesses={self.accesses} walks={self.walks} "
+            f"avg_walk={self.avg_walk_latency:.1f}cy "
+            f"walk_fraction={100 * self.walk_fraction:.1f}% "
+            f"mpki={self.mpki:.1f}"
+        )

@@ -1,0 +1,214 @@
+"""The virtualized (2D) trace-driven simulator (§3.6, Figures 10 and 12).
+
+Same structure as the native simulator, but a TLB miss triggers a nested
+2D walk through the guest and host page tables.  ASAP can be configured
+per dimension: the guest prefetcher's descriptors carry *host-physical*
+bases (valid because the hypervisor backs the guest PT regions
+contiguously), and the host prefetcher uses a single descriptor covering
+the VM's entire guest-physical space — one host VMA per VM, the Linux/KVM
+observation of §3.6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import AsapConfig, BASELINE
+from repro.core.prefetcher import AsapPrefetcher
+from repro.core.range_registers import RangeRegisterFile, VmaDescriptor
+from repro.kernelsim.hypervisor import VirtualMachine
+from repro.mem.hierarchy import CacheHierarchy
+from repro.pagetable.nested import NestedPageWalker
+from repro.pagetable.pwc import SplitPwc
+from repro.params import DEFAULT_MACHINE, MachineParams
+from repro.sim.order import first_touch_order
+from repro.sim.stats import SimStats
+from repro.tlb.hierarchy import TlbHierarchy
+from repro.workloads.corunner import Corunner
+
+
+def build_guest_descriptors(
+    vm: VirtualMachine, max_count: int
+) -> list[VmaDescriptor]:
+    """Guest VMA descriptors with host-physical bases (§3.6)."""
+    descriptors = []
+    for vma in vm.guest.vmas.largest(max_count):
+        bases = vm.guest_descriptor_bases(vma)
+        if bases:
+            descriptors.append(
+                VmaDescriptor(
+                    start=vma.start,
+                    end=vma.end,
+                    level_bases=tuple(sorted(bases.items())),
+                )
+            )
+    return descriptors
+
+
+def build_host_descriptor(vm: VirtualMachine) -> VmaDescriptor | None:
+    """The single host descriptor covering the whole guest-physical space."""
+    bases = vm.host_descriptor_bases()
+    if not bases:
+        return None
+    return VmaDescriptor(
+        start=vm.host_vma.start,
+        end=vm.host_vma.end,
+        level_bases=tuple(sorted(bases.items())),
+    )
+
+
+class VirtualizedSimulation:
+    """Drives a guest trace through the nested (2D) machine model."""
+
+    def __init__(
+        self,
+        vm: VirtualMachine,
+        machine: MachineParams = DEFAULT_MACHINE,
+        asap: AsapConfig = BASELINE,
+        infinite_tlb: bool = False,
+        corunner: Corunner | None = None,
+    ) -> None:
+        self.vm = vm
+        self.machine = machine
+        self.asap = asap
+        self.hierarchy = CacheHierarchy(machine.hierarchy)
+        self.tlbs = TlbHierarchy(machine.tlb, infinite=infinite_tlb)
+        self.guest_pwc = SplitPwc(machine.pwc,
+                                  top_level=vm.guest.page_table.levels)
+        self.host_pwc = SplitPwc(machine.pwc, top_level=4)
+        self.walker = NestedPageWalker(self.hierarchy, self.guest_pwc,
+                                       self.host_pwc)
+        self.corunner = corunner
+
+        self.guest_prefetcher: AsapPrefetcher | None = None
+        if asap.guest_levels:
+            registers = RangeRegisterFile(machine.asap.range_registers)
+            descriptors = build_guest_descriptors(
+                vm, machine.asap.range_registers
+            )
+            if not descriptors:
+                raise ValueError(
+                    "guest ASAP needs a guest built with the ASAP layout "
+                    "and a VM backing guest PT regions contiguously"
+                )
+            registers.load(descriptors)
+            layout = vm.guest.asap_layout
+            vmas = vm.guest.vmas
+
+            def hole_checker(va: int, level: int) -> bool:
+                vma = vmas.find(va)
+                return vma is None or layout.is_hole(vma, level, va)
+
+            self.guest_prefetcher = AsapPrefetcher(
+                self.hierarchy,
+                registers,
+                levels=asap.guest_levels,
+                require_mshr=machine.asap.require_free_mshr,
+                hole_checker=hole_checker,
+            )
+
+        self.host_prefetcher: AsapPrefetcher | None = None
+        if asap.host_levels:
+            descriptor = build_host_descriptor(vm)
+            if descriptor is None:
+                raise ValueError(
+                    "host ASAP needs a VM built with host_asap_levels"
+                )
+            registers = RangeRegisterFile(1)
+            registers.load([descriptor])
+            self.host_prefetcher = AsapPrefetcher(
+                self.hierarchy,
+                registers,
+                levels=asap.host_levels,
+                require_mshr=machine.asap.require_free_mshr,
+            )
+
+    # ------------------------------------------------------------------
+    def populate(self, trace: np.ndarray, order: str = "sequential") -> int:
+        """Pre-fault guest pages (and their host backing); in infinite-TLB
+        mode the gVA -> host-frame translations are pre-installed too."""
+        vpns = trace >> 12
+        ordered = first_touch_order(vpns, order)
+        faults = 0
+        for vpn in ordered.tolist():
+            if self.vm.touch(int(vpn) << 12).faulted:
+                faults += 1
+        if self.tlbs.infinite:
+            for vpn in ordered.tolist():
+                path = self.vm.nested_path(int(vpn) << 12)
+                self.tlbs.fill(int(vpn), path.data_frame)
+        return faults
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: np.ndarray,
+        warmup: int = 0,
+        populate: bool = True,
+        collect_service: bool = True,
+        init_order: str = "sequential",
+    ) -> SimStats:
+        if populate:
+            self.populate(trace, order=init_order)
+        if self.corunner is not None:
+            self.corunner.prefill(self.hierarchy)
+        stats = SimStats()
+        vm = self.vm
+        tlbs = self.tlbs
+        walker = self.walker
+        hierarchy = self.hierarchy
+        guest_prefetcher = self.guest_prefetcher
+        host_prefetcher = self.host_prefetcher
+        corunner = self.corunner
+        base_cycles = self.machine.core.base_cycles
+        service = stats.service
+        now = 0
+        measuring = warmup == 0
+        tlb_l1_base = tlb_l2_base = 0
+        addresses = trace.tolist()
+        for index, va in enumerate(addresses):
+            if not measuring and index >= warmup:
+                measuring = True
+                tlb_l1_base = tlbs.l1_hits
+                tlb_l2_base = tlbs.l2_hits
+            vpn = va >> 12
+            frame = tlbs.lookup(vpn)
+            translation = 0
+            if frame is None:
+                path = vm.nested_path(va)
+                guest_prefetches = None
+                if guest_prefetcher is not None:
+                    guest_prefetches = guest_prefetcher.on_tlb_miss(va, now)
+                outcome = walker.walk(
+                    path,
+                    now,
+                    guest_prefetches=guest_prefetches,
+                    host_prefetcher=host_prefetcher,
+                )
+                translation = outcome.latency
+                tlbs.fill(vpn, path.data_frame,
+                          large=path.guest_leaf_level >= 2)
+                frame = path.data_frame
+                if measuring:
+                    stats.walks += 1
+                    stats.walk_cycles += translation
+                    if collect_service:
+                        service.record_walk(outcome.records)
+            data_line = ((frame << 12) | (va & 0xFFF)) >> 6
+            result = hierarchy.access_line(data_line, now + translation)
+            now += base_cycles + translation + result.latency
+            if measuring:
+                stats.accesses += 1
+                stats.base_cycles += base_cycles
+                stats.data_cycles += result.latency
+                stats.cycles += base_cycles + translation + result.latency
+            if corunner is not None:
+                corunner.step(hierarchy, now)
+        stats.tlb_l1_hits = tlbs.l1_hits - tlb_l1_base
+        stats.tlb_l2_hits = tlbs.l2_hits - tlb_l2_base
+        for prefetcher in (guest_prefetcher, host_prefetcher):
+            if prefetcher is not None:
+                stats.prefetches_issued += prefetcher.stats.issued
+                stats.prefetches_useful += prefetcher.stats.useful
+                stats.prefetches_dropped += prefetcher.stats.dropped_no_mshr
+        return stats

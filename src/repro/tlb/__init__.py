@@ -1,0 +1,8 @@
+"""TLB substrate: plain set-associative TLBs, the two-level hierarchy and
+the Clustered TLB coalescing baseline (§5.4.1)."""
+
+from repro.tlb.clustered import CLUSTER_PAGES, ClusteredTlb
+from repro.tlb.hierarchy import TlbHierarchy
+from repro.tlb.tlb import Tlb, TlbStats
+
+__all__ = ["CLUSTER_PAGES", "ClusteredTlb", "Tlb", "TlbHierarchy", "TlbStats"]

@@ -1,0 +1,162 @@
+"""Two-level TLB hierarchy: L1 D-TLB backed by the unified L2 S-TLB.
+
+Page-size handling follows the usual simulator convention: a lookup probes
+both the 4KB tag and the 2MB tag of the address (the page size is unknown
+before the lookup, §2.5), and fills install at the granularity the walk
+discovered.  Tags encode the size class in the low bit so both classes
+share the set-associative structures.
+
+Three variants are exposed through one class:
+
+* the plain Table 5 configuration (64-entry L1, 1536-entry L2),
+* ``clustered=True`` replaces the L2 S-TLB with the Clustered TLB of
+  §5.4.1 (coalescing up to eight translations per entry),
+* ``infinite=True`` never evicts, which reproduces the paper's
+  libhugetlbfs trick of §5.3 (only cold misses remain) for Table 6.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.params import TlbHierarchyParams
+from repro.pagetable.constants import LEVEL_BITS
+from repro.tlb.clustered import ClusteredTlb
+from repro.tlb.tlb import Tlb, TlbStats
+
+
+def _small_tag(vpn: int) -> int:
+    return vpn << 1
+
+def _large_tag(vpn: int) -> int:
+    return ((vpn >> LEVEL_BITS) << 1) | 1
+
+
+class TlbHierarchy:
+    """L1 + L2 TLBs with unified miss accounting (walk triggers)."""
+
+    def __init__(
+        self,
+        params: TlbHierarchyParams | None = None,
+        clustered: bool = False,
+        infinite: bool = False,
+    ) -> None:
+        self.params = params or TlbHierarchyParams()
+        self.clustered = clustered
+        self.infinite = infinite
+        self.l1 = Tlb(self.params.l1, name="L1-DTLB")
+        self.l2_plain: Tlb | None = None
+        self.l2_clustered: ClusteredTlb | None = None
+        if clustered:
+            self.l2_clustered = ClusteredTlb(self.params.l2, name="L2-STLB")
+            # Large pages do not coalesce; they get a small private array.
+            self._large_side = Tlb(self.params.l2, name="L2-large")
+        else:
+            self.l2_plain = Tlb(self.params.l2, name="L2-STLB")
+        self._infinite_store: dict[int, int] = {}
+        self.stats = TlbStats()
+        self.l1_hits = 0
+        self.l2_hits = 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, vpn: int) -> int | None:
+        """Probe the hierarchy for ``vpn``; None means a walk is required."""
+        if self.infinite:
+            frame = self._infinite_store.get(vpn)
+            if frame is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            self.l1_hits += 1
+            return frame
+
+        frame = self.l1.lookup(_small_tag(vpn))
+        if frame is None:
+            frame = self.l1.lookup(_large_tag(vpn))
+        if frame is not None:
+            self.stats.hits += 1
+            self.l1_hits += 1
+            return frame
+
+        frame = self._l2_lookup(vpn)
+        if frame is not None:
+            self.stats.hits += 1
+            self.l2_hits += 1
+            # Refill the first level on an L2 hit (4KB refills only need the
+            # small tag; a large hit refills the large tag).
+            self.l1.fill(_small_tag(vpn), frame)
+            return frame
+
+        self.stats.misses += 1
+        return None
+
+    def _l2_lookup(self, vpn: int) -> int | None:
+        if self.l2_clustered is not None:
+            frame = self.l2_clustered.lookup(vpn)
+            if frame is not None:
+                return frame
+            large = self._large_side.lookup(_large_tag(vpn))
+            return large
+        assert self.l2_plain is not None
+        frame = self.l2_plain.lookup(_small_tag(vpn))
+        if frame is None:
+            frame = self.l2_plain.lookup(_large_tag(vpn))
+        return frame
+
+    # ------------------------------------------------------------------
+    def fill(
+        self,
+        vpn: int,
+        frame: int,
+        large: bool = False,
+        neighbour_frames: Sequence[int | None] | None = None,
+    ) -> None:
+        """Install a translation discovered by a completed page walk."""
+        if self.infinite:
+            self._infinite_store[vpn] = frame
+            return
+        if large:
+            tag = _large_tag(vpn)
+            self.l1.fill(tag, frame)
+            if self.l2_clustered is not None:
+                self._large_side.fill(tag, frame)
+            else:
+                assert self.l2_plain is not None
+                self.l2_plain.fill(tag, frame)
+            return
+        self.l1.fill(_small_tag(vpn), frame)
+        if self.l2_clustered is not None:
+            self.l2_clustered.fill(vpn, frame, neighbour_frames)
+        else:
+            assert self.l2_plain is not None
+            self.l2_plain.fill(_small_tag(vpn), frame)
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        self.l1.flush()
+        if self.l2_clustered is not None:
+            self.l2_clustered.flush()
+            self._large_side.flush()
+        if self.l2_plain is not None:
+            self.l2_plain.flush()
+        self._infinite_store.clear()
+
+    @property
+    def walks_triggered(self) -> int:
+        return self.stats.misses
+
+    def mpki(self, accesses: int) -> float:
+        """TLB misses (page walks) per thousand memory accesses."""
+        if not accesses:
+            return 0.0
+        return 1000.0 * self.stats.misses / accesses
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.l1.stats.reset()
+        if self.l2_plain is not None:
+            self.l2_plain.stats.reset()
+        if self.l2_clustered is not None:
+            self.l2_clustered.stats.reset()

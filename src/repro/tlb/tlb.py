@@ -1,0 +1,91 @@
+"""A set-associative TLB with true-LRU replacement.
+
+Entries are keyed by an integer *tag* supplied by the caller; the two-level
+hierarchy (`repro.tlb.hierarchy`) encodes the page-size class into the tag so
+4KB and 2MB translations share one structure without ambiguity.  The payload
+of an entry is the translated frame number, kept so fills can be validated
+and so clustered designs can be compared like-for-like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import TlbParams
+
+
+@dataclass
+class TlbStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class Tlb:
+    """Plain (non-coalescing) TLB: one tag, one translation."""
+
+    def __init__(self, params: TlbParams, name: str = "tlb") -> None:
+        self.params = params
+        self.name = name
+        self.num_sets = params.sets
+        self.ways = params.ways
+        self._sets: list[dict[int, int]] = [{} for _ in range(self.num_sets)]
+        self.stats = TlbStats()
+
+    def _set_index(self, tag: int) -> int:
+        return tag % self.num_sets
+
+    def lookup(self, tag: int) -> int | None:
+        """Return the cached frame for ``tag`` or None on a miss."""
+        tlb_set = self._sets[self._set_index(tag)]
+        frame = tlb_set.get(tag)
+        if frame is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        del tlb_set[tag]
+        tlb_set[tag] = frame
+        return frame
+
+    def contains(self, tag: int) -> bool:
+        return tag in self._sets[self._set_index(tag)]
+
+    def fill(self, tag: int, frame: int) -> int | None:
+        """Install a translation; returns the evicted tag, if any."""
+        tlb_set = self._sets[self._set_index(tag)]
+        victim = None
+        if tag in tlb_set:
+            del tlb_set[tag]
+        elif len(tlb_set) >= self.ways:
+            victim = next(iter(tlb_set))
+            del tlb_set[victim]
+        tlb_set[tag] = frame
+        return victim
+
+    def invalidate(self, tag: int) -> bool:
+        tlb_set = self._sets[self._set_index(tag)]
+        if tag in tlb_set:
+            del tlb_set[tag]
+            return True
+        return False
+
+    def flush(self) -> None:
+        for tlb_set in self._sets:
+            tlb_set.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,147 @@
+"""Executable checklist of the paper's qualitative claims.
+
+Each check re-runs the relevant scenarios at a configurable scale and
+verifies one *shape* the paper reports — an ordering, a monotonicity, a
+sign.  ``python -m repro validate`` runs them all; the test suite runs
+them at a tiny scale.  This is the repository's continuously verified
+statement of what "reproduced" means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core import config as cfg
+from repro.sim.runner import Scale, run_native, run_virtualized
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    claim: str
+    where: str  # paper section / figure
+    check: Callable[[Scale], bool]
+
+
+def _walk_latency(workload, config, scale, **kwargs) -> float:
+    runner = (run_virtualized if kwargs.pop("virtualized", False)
+              else run_native)
+    return runner(workload, config, scale=scale, collect_service=False,
+                  **kwargs).avg_walk_latency
+
+
+def _check_pressure_ladder(scale: Scale) -> bool:
+    native = _walk_latency("mc80", cfg.BASELINE, scale)
+    coloc = _walk_latency("mc80", cfg.BASELINE, scale, colocated=True)
+    virt = _walk_latency("mc80", cfg.BASELINE, scale, virtualized=True)
+    virt_coloc = _walk_latency("mc80", cfg.BASELINE, scale,
+                               virtualized=True, colocated=True)
+    return native < coloc < virt < virt_coloc
+
+
+def _check_bigger_dataset_slower(scale: Scale) -> bool:
+    return (_walk_latency("mc400", cfg.BASELINE, scale)
+            > _walk_latency("mc80", cfg.BASELINE, scale))
+
+
+def _check_native_asap_ladder(scale: Scale) -> bool:
+    base = _walk_latency("mc400", cfg.BASELINE, scale)
+    p1 = _walk_latency("mc400", cfg.P1, scale)
+    p12 = _walk_latency("mc400", cfg.P1_P2, scale)
+    return p12 <= p1 * 1.01 and p1 < base
+
+
+def _check_coloc_grows_asap_win(scale: Scale) -> bool:
+    base_iso = _walk_latency("mc80", cfg.BASELINE, scale)
+    asap_iso = _walk_latency("mc80", cfg.P1_P2, scale)
+    base_col = _walk_latency("mc80", cfg.BASELINE, scale, colocated=True)
+    asap_col = _walk_latency("mc80", cfg.P1_P2, scale, colocated=True)
+    return (1 - asap_col / base_col) > (1 - asap_iso / base_iso)
+
+
+def _check_host_dimension_dominates(scale: Scale) -> bool:
+    # mc400: the large-footprint case where host walks dominate (§5.2).
+    # The effect needs the host PT to outgrow the caches, which takes a
+    # minimum trace length — below it, this check runs at a scale floor.
+    if scale.trace_length < 30_000:
+        scale = Scale(trace_length=30_000, warmup=6_000, seed=scale.seed)
+    guest_only = _walk_latency("mc400", cfg.P1G_P2G, scale,
+                               virtualized=True)
+    with_host = _walk_latency("mc400", cfg.P1G_P1H, scale,
+                              virtualized=True)
+    return with_host < guest_only
+
+
+def _check_full_2d_best(scale: Scale) -> bool:
+    latencies = [
+        _walk_latency("mc80", config, scale, virtualized=True)
+        for config in cfg.VIRT_LADDER
+    ]
+    return latencies[-1] == min(latencies) and latencies[-1] < latencies[0]
+
+
+def _check_large_host_pages(scale: Scale) -> bool:
+    base_4k = _walk_latency("mc80", cfg.BASELINE, scale, virtualized=True)
+    base_2m = _walk_latency("mc80", cfg.BASELINE, scale, virtualized=True,
+                            host_page_level=2)
+    asap_2m = _walk_latency("mc80", cfg.LARGE_HOST, scale, virtualized=True,
+                            host_page_level=2)
+    return base_2m < base_4k and asap_2m < base_2m
+
+
+def _check_clustered_tlb_composes(scale: Scale) -> bool:
+    base = run_native("mcf", cfg.BASELINE, scale=scale,
+                      collect_service=False)
+    clustered = run_native("mcf", cfg.BASELINE, clustered_tlb=True,
+                           scale=scale, collect_service=False)
+    both = run_native("mcf", cfg.P1_P2, clustered_tlb=True, scale=scale,
+                      collect_service=False)
+    return (clustered.walks < base.walks
+            and both.walk_cycles < base.walk_cycles)
+
+
+def _check_pwc_doubling_marginal(scale: Scale) -> bool:
+    from repro.params import DEFAULT_MACHINE
+
+    base = _walk_latency("redis", cfg.BASELINE, scale)
+    doubled = run_native("redis", cfg.BASELINE,
+                         machine=DEFAULT_MACHINE.with_pwc_scale(2),
+                         scale=scale, collect_service=False)
+    return doubled.avg_walk_latency > base * 0.85  # buys < 15%
+
+
+CHECKS: tuple[ShapeCheck, ...] = (
+    ShapeCheck("walk latency: native < +SMT < virtualized < virt+SMT",
+               "Table 1 / Figure 3", _check_pressure_ladder),
+    ShapeCheck("5x dataset -> longer walks", "Table 1",
+               _check_bigger_dataset_slower),
+    ShapeCheck("native ladder: Baseline > P1 >= P1+P2", "Figure 8",
+               _check_native_asap_ladder),
+    ShapeCheck("ASAP's reduction grows under colocation", "Figure 8b",
+               _check_coloc_grows_asap_win),
+    ShapeCheck("host-dimension prefetching beats guest-only", "Figure 10",
+               _check_host_dimension_dominates),
+    ShapeCheck("P1g+P1h+P2g+P2h is the best virtualized config",
+               "Figure 10", _check_full_2d_best),
+    ShapeCheck("2MB host pages shorten walks; ASAP still helps",
+               "Figure 12", _check_large_host_pages),
+    ShapeCheck("Clustered TLB removes walks and composes with ASAP",
+               "Figure 11 / Table 7", _check_clustered_tlb_composes),
+    ShapeCheck("doubling PWC capacity buys little", "§5.1.1",
+               _check_pwc_doubling_marginal),
+)
+
+
+def validate_shapes(scale: Scale, verbose: bool = False) -> list[str]:
+    """Run every shape check; returns the claims that failed."""
+    failures = []
+    for check in CHECKS:
+        ok = check.check(scale)
+        if verbose:
+            print(f"[{'PASS' if ok else 'FAIL'}] {check.claim} "
+                  f"({check.where})")
+        if not ok:
+            failures.append(check.claim)
+    if verbose:
+        print(f"\n{len(CHECKS) - len(failures)}/{len(CHECKS)} shapes hold.")
+    return failures

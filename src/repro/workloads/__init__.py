@@ -1,0 +1,42 @@
+"""Workload substrate: the Table 3 benchmark suite, trace generators and
+the SMT co-runner."""
+
+from repro.workloads.base import (
+    KeyValue,
+    Mix,
+    PagePattern,
+    Scans,
+    Uniform,
+    VmaSpec,
+    Walk,
+    WorkloadSpec,
+    Zipf,
+)
+from repro.workloads.corunner import Corunner
+from repro.workloads.graph import GraphTraversal
+from repro.workloads.suite import (
+    ALL_NAMES,
+    FIGURE2_NAMES,
+    TABLE6_NAMES,
+    WORKLOADS,
+    get,
+)
+
+__all__ = [
+    "ALL_NAMES",
+    "Corunner",
+    "FIGURE2_NAMES",
+    "GraphTraversal",
+    "KeyValue",
+    "Mix",
+    "PagePattern",
+    "Scans",
+    "TABLE6_NAMES",
+    "Uniform",
+    "VmaSpec",
+    "Walk",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "Zipf",
+    "get",
+]

@@ -1,0 +1,246 @@
+"""Workload model: VMA layouts plus per-VMA access patterns.
+
+A :class:`WorkloadSpec` is the complete recipe for one benchmark of
+Table 3: its VMAs (how many, how big, which cover 99% of the footprint —
+the Table 2 structure), the access pattern inside each VMA, and the
+physical-memory fragmentation the machine shows for its data and PT pools
+(the Table 2 "contiguous regions" structure).
+
+Patterns are small declarative objects with a single vectorised
+``generate`` method producing page indices; the spec turns them into
+virtual addresses over the laid-out VMAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.kernelsim.buddy import BuddyAllocator
+from repro.kernelsim.phys import PhysicalMemory
+from repro.kernelsim.process import ProcessAddressSpace
+from repro.kernelsim.pt_layout import AsapPtLayout
+from repro.kernelsim.vma import Vma, VmaKind
+from repro.pagetable.constants import PAGE_SIZE
+from repro.workloads import generators as g
+
+#: Where large data VMAs are laid out (1GB-aligned; adjacent mappings keep
+#: one application's VMAs inside few PL4/PL3 subtrees, as mmap does).
+BIG_VMA_BASE = 0x5555_0000_0000
+BIG_VMA_GAP = 1 << 30
+#: Where small VMAs (libraries, stack, arenas) go.
+SMALL_VMA_BASE = 0x7F00_0000_0000
+SMALL_VMA_GAP = 1 << 28
+
+
+class PagePattern(Protocol):
+    """Generates page indices within a VMA-sized space."""
+
+    def generate(
+        self, rng: np.random.Generator, space_pages: int, size: int
+    ) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class Uniform:
+    """Uniformly random pages — canneal-style random swaps."""
+
+    def generate(self, rng, space_pages, size):
+        return g.uniform_pages(rng, space_pages, size)
+
+
+@dataclass(frozen=True)
+class Zipf:
+    """Skewed popularity; ``scatter`` decorrelates rank from address."""
+
+    alpha: float = 1.0
+    scatter: bool = True
+
+    def generate(self, rng, space_pages, size):
+        seed = int(rng.integers(1, 2**31)) if self.scatter else None
+        return g.zipf_pages(rng, space_pages, size, self.alpha, seed)
+
+
+@dataclass(frozen=True)
+class Scans:
+    """Sequential sweeps with geometric run lengths (array traversals)."""
+
+    mean_run: float = 32.0
+
+    def generate(self, rng, space_pages, size):
+        return g.sequential_runs(rng, space_pages, size, self.mean_run)
+
+
+@dataclass(frozen=True)
+class Walk:
+    """Gaussian pointer-chase — mcf-style local wandering."""
+
+    step_pages: float = 16.0
+
+    def generate(self, rng, space_pages, size):
+        return g.gaussian_walk(rng, space_pages, size, self.step_pages)
+
+
+@dataclass(frozen=True)
+class Mix:
+    """Weighted mixture of other patterns."""
+
+    parts: tuple[tuple[float, "PagePattern"], ...]
+
+    def generate(self, rng, space_pages, size):
+        streams = [
+            pattern.generate(rng, space_pages, size)
+            for _weight, pattern in self.parts
+        ]
+        weights = [weight for weight, _pattern in self.parts]
+        return g.interleave(rng, streams, weights, size)
+
+
+@dataclass(frozen=True)
+class KeyValue:
+    """A key-value store: hash-bucket probe + Zipf-popular value access.
+
+    The first ``hash_fraction`` of the VMA is the hash table (uniformly
+    probed); the rest holds values reached by Zipf-ranked keys, each access
+    touching ``value_run`` consecutive pages (large objects span pages).
+    ``scatter=False`` models slab allocators that cluster hot items, which
+    makes the PTE lines of the popular tail shareable (Figure 9's "PL1
+    served by L1-D" behaviour).
+    """
+
+    alpha: float = 1.0
+    hash_fraction: float = 0.1
+    value_run: int = 1
+    scatter: bool = True
+
+    def generate(self, rng, space_pages, size):
+        hash_pages = max(1, int(space_pages * self.hash_fraction))
+        value_pages = max(1, space_pages - hash_pages)
+        per_request = 1 + self.value_run
+        requests = -(-size // per_request)
+        # Bucket popularity mirrors key popularity (a hot key lands in the
+        # same bucket every time), scattered by the hash function.
+        buckets = g.zipf_pages(
+            rng, hash_pages, requests, self.alpha,
+            scatter_seed=int(rng.integers(1, 2**31)),
+        )
+        seed = int(rng.integers(1, 2**31)) if self.scatter else None
+        keys = g.zipf_pages(rng, value_pages, requests, self.alpha, seed)
+        out = np.empty(requests * per_request, dtype=np.int64)
+        out[::per_request] = buckets
+        for i in range(self.value_run):
+            out[i + 1:: per_request] = hash_pages + np.minimum(
+                keys + i, value_pages - 1
+            )
+        return out[:size]
+
+
+@dataclass(frozen=True)
+class VmaSpec:
+    """One VMA of a workload: geometry plus its access pattern."""
+
+    name: str
+    size_bytes: int
+    weight: float  # share of the workload's accesses landing here
+    pattern: PagePattern = field(default_factory=Uniform)
+    kind: VmaKind = VmaKind.MMAP
+    growable: bool = False
+    page_level: int = 1
+
+    @property
+    def pages(self) -> int:
+        return self.size_bytes // PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete benchmark recipe (one row of Table 3)."""
+
+    name: str
+    description: str
+    vmas: tuple[VmaSpec, ...]
+    #: Fragmentation knobs: mean contiguous-run length in the buddy pools
+    #: (calibrated against Table 2's contiguous-region counts).
+    pt_run_mean: float = 8.0
+    data_run_mean: float = 16.0
+    #: How the application faults its footprint in: "sequential"
+    #: (array/graph loaders touch VA order at start-up), "chunked" (slab
+    #: allocators carve ~1MB chunks on demand but fill each sequentially —
+    #: memcached), or "demand" (pure request order — redis).  First-touch
+    #: order determines frame contiguity, which is what coalesced TLBs
+    #: exploit (§5.4.1).
+    init_order: str = "sequential"
+
+    def __post_init__(self) -> None:
+        if self.init_order not in ("sequential", "chunked", "demand"):
+            raise ValueError(f"unknown init order {self.init_order!r}")
+
+    @property
+    def footprint_bytes(self) -> int:
+        return sum(v.size_bytes for v in self.vmas)
+
+    # ------------------------------------------------------------------
+    def layout(self) -> list[tuple[VmaSpec, int]]:
+        """Assign a base address to every VMA (big ones low, small high)."""
+        placed = []
+        big_cursor = BIG_VMA_BASE
+        small_cursor = SMALL_VMA_BASE
+        for spec in self.vmas:
+            if spec.size_bytes >= (1 << 28):
+                placed.append((spec, big_cursor))
+                big_cursor += max(
+                    BIG_VMA_GAP,
+                    -(-spec.size_bytes // BIG_VMA_GAP) * BIG_VMA_GAP,
+                )
+            else:
+                placed.append((spec, small_cursor))
+                small_cursor += SMALL_VMA_GAP
+        return placed
+
+    # ------------------------------------------------------------------
+    def build_process(
+        self,
+        asap_levels: tuple[int, ...] = (),
+        seed: int = 0,
+        buddy: BuddyAllocator | None = None,
+        pt_levels: int = 4,
+        memory_bytes: int = 1 << 41,
+    ) -> ProcessAddressSpace:
+        """Instantiate the process: VMAs mapped, nothing yet faulted in."""
+        if buddy is None:
+            buddy = BuddyAllocator(PhysicalMemory(memory_bytes), seed=seed)
+        buddy.configure_pool("data", self.data_run_mean)
+        buddy.configure_pool("pt", self.pt_run_mean)
+        layout = None
+        if asap_levels:
+            layout = AsapPtLayout(buddy, levels=asap_levels, seed=seed)
+        process = ProcessAddressSpace(
+            buddy=buddy, levels=pt_levels, asap_layout=layout
+        )
+        for spec, base in self.layout():
+            process.mmap(
+                base,
+                spec.pages * PAGE_SIZE,
+                kind=spec.kind,
+                name=spec.name,
+                growable=spec.growable,
+                page_level=spec.page_level,
+            )
+        return process
+
+    # ------------------------------------------------------------------
+    def generate_trace(self, length: int, seed: int = 0) -> np.ndarray:
+        """Synthesise ``length`` virtual addresses over the laid-out VMAs."""
+        rng = np.random.default_rng(seed ^ hash(self.name) & 0x7FFFFFFF)
+        streams = []
+        weights = []
+        for spec, base in self.layout():
+            if spec.weight <= 0:
+                continue
+            share = max(64, int(length * spec.weight * 1.3) + 1)
+            pages = spec.pattern.generate(rng, spec.pages, share)
+            streams.append(g.pages_to_addresses(rng, base, pages))
+            weights.append(spec.weight)
+        return g.interleave(rng, streams, weights, length)

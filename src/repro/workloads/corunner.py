@@ -1,0 +1,123 @@
+"""The synthetic SMT co-runner of the paper's colocation methodology (§4).
+
+"We use a synthetic co-runner that issues one request to a random address
+for each memory access by the application thread."  The co-runner shares
+the entire cache hierarchy (SMT), so its traffic — both its random data
+reads and the page-walk reads those trigger (a random address over a big
+footprint misses its TLB essentially every time) — evicts the application's
+PT lines from L1/L2/LLC.  That is the mechanism behind Figure 8b/10b.
+
+TLB and PWC *capacity* contention is deliberately not modelled, matching
+the paper (which notes this makes ASAP's colocation gains conservative):
+the co-runner's walks only generate cache traffic, touching its own PT
+lines, never the application's translation structures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mem.hierarchy import CacheHierarchy
+
+#: The co-runner's physical lines live far above any simulated allocation
+#: (our machines top out below 4TB).
+_CORUNNER_LINE_BASE = 1 << 38
+#: Its page table sits in a separate region.
+_CORUNNER_PT_BASE = 1 << 37
+
+
+class Corunner:
+    """Issues one random data access plus its walk traffic per app access."""
+
+    def __init__(
+        self,
+        footprint_bytes: int = 16 << 30,
+        seed: int = 1234,
+        batch: int = 65536,
+        walk_lines_per_access: float = 1.5,
+        intensity: int = 1,
+    ) -> None:
+        """``intensity`` scales the interference rate: how many co-runner
+        (data + walk) access groups are replayed per application access.
+
+        Simulated traces compress the application's reuse distances by
+        orders of magnitude relative to the billions-of-accesses runs the
+        paper measures; the co-runner's eviction rate must be compressed by
+        the same factor for the LLC-residency transitions of Figures 8b/10b
+        to stay at the same *relative* position.  See EXPERIMENTS.md.
+        """
+        self.footprint_lines = footprint_bytes >> 6
+        # One PL1 line covers 8 pages = 32KB of the co-runner's footprint.
+        self.pt_lines = max(1, footprint_bytes >> 15)
+        self.walk_lines_per_access = walk_lines_per_access
+        self.intensity = max(1, intensity)
+        self._rng = np.random.default_rng(seed)
+        self._batch = batch
+        self._buffer: list[int] = []
+        self._takes: list[int] = []
+        self._cursor = 0
+        self._take_cursor = 0
+        self.accesses = 0
+
+    def _refill(self) -> None:
+        n = self._batch
+        data = self._rng.integers(0, self.footprint_lines, size=n,
+                                  dtype=np.int64) + _CORUNNER_LINE_BASE
+        # Walk traffic: PL1 line of the accessed page, plus upper-level
+        # lines with decreasing probability (they mostly hit the
+        # co-runner's PWC, but the deep levels do not — §3.1).
+        pt1 = self._rng.integers(0, self.pt_lines, size=n,
+                                 dtype=np.int64) + _CORUNNER_PT_BASE
+        extra_mask = self._rng.random(n) < (self.walk_lines_per_access - 1.0)
+        pt2 = self._rng.integers(0, max(1, self.pt_lines >> 9), size=n,
+                                 dtype=np.int64) + _CORUNNER_PT_BASE * 3
+        merged: list[int] = []
+        takes: list[int] = []
+        data_list = data.tolist()
+        pt1_list = pt1.tolist()
+        pt2_list = pt2.tolist()
+        extra = extra_mask.tolist()
+        for i in range(n):
+            merged.append(data_list[i])
+            merged.append(pt1_list[i])
+            if extra[i]:
+                merged.append(pt2_list[i])
+                takes.append(3)
+            else:
+                takes.append(2)
+        self._buffer = merged
+        self._takes = takes
+        self._cursor = 0
+        self._take_cursor = 0
+
+    def prefill(self, hierarchy: CacheHierarchy) -> None:
+        """Install the co-runner's steady-state cache contents.
+
+        A memory-intensive co-runner that has been running alongside the
+        application for billions of accesses keeps the shared caches full
+        of its single-use lines.  Simulated traces are far too short to
+        reach that state by replay, so colocated runs start from it: every
+        cache level begins full of co-runner junk, which the application
+        then has to displace — exactly the §4 colocation pressure.
+        """
+        total = hierarchy.params.l3.lines + hierarchy.params.l2.lines
+        step = max(1, self.footprint_lines // (total + 1))
+        line = _CORUNNER_LINE_BASE
+        for _ in range(total):
+            hierarchy.l1.install(line)
+            hierarchy.l2.install(line)
+            hierarchy.l3.install(line)
+            line += step
+
+    def step(self, hierarchy: CacheHierarchy, now: int) -> None:
+        """One co-runner slot (data + walk lines) through the hierarchy."""
+        for _ in range(self.intensity):
+            if self._take_cursor >= len(self._takes):
+                self._refill()
+            take = self._takes[self._take_cursor]
+            cursor = self._cursor
+            for offset in range(take):
+                hierarchy.access_line(self._buffer[cursor + offset], now)
+            self._cursor = cursor + take
+            self._take_cursor += 1
+        self.accesses += 1

@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernelsim.buddy import BuddyAllocator
+from repro.kernelsim.phys import PhysicalMemory
+from repro.kernelsim.process import ProcessAddressSpace
+from repro.kernelsim.pt_layout import AsapPtLayout
+from repro.kernelsim.vma import VmaKind
+from repro.mem.hierarchy import CacheHierarchy
+from repro.pagetable.constants import PAGE_SIZE
+
+#: A convenient VMA base well inside the canonical lower half.
+HEAP_BASE = 0x5555_0000_0000
+
+
+def make_process(
+    heap_pages: int = 4096,
+    asap_levels: tuple[int, ...] = (),
+    seed: int = 1,
+    growable: bool = False,
+    page_level: int = 1,
+):
+    """A process with one heap VMA, optionally with the ASAP PT layout."""
+    buddy = BuddyAllocator(PhysicalMemory(1 << 40), seed=seed)
+    layout = None
+    if asap_levels:
+        layout = AsapPtLayout(buddy, levels=asap_levels, seed=seed)
+    process = ProcessAddressSpace(buddy=buddy, asap_layout=layout)
+    heap = process.mmap(
+        HEAP_BASE,
+        heap_pages * PAGE_SIZE,
+        kind=VmaKind.HEAP,
+        name="heap",
+        growable=growable,
+        page_level=page_level,
+    )
+    return process, heap
+
+
+@pytest.fixture
+def hierarchy() -> CacheHierarchy:
+    return CacheHierarchy()

@@ -1,0 +1,121 @@
+"""Unit tests for the buddy-allocator model."""
+
+import pytest
+
+from repro.kernelsim.buddy import BuddyAllocator, OutOfMemoryError
+from repro.kernelsim.phys import PhysicalMemory
+
+
+def make(seed=0, mean_run=8.0):
+    return BuddyAllocator(PhysicalMemory(1 << 38), seed=seed,
+                          default_mean_run=mean_run)
+
+
+def test_frames_are_unique():
+    buddy = make()
+    frames = buddy.alloc_frames(10_000)
+    assert len(set(frames)) == 10_000
+
+
+def test_pools_do_not_interleave_within_runs():
+    buddy = make(mean_run=1000.0)
+    a = [buddy.alloc_frame("a") for _ in range(5)]
+    b = [buddy.alloc_frame("b") for _ in range(5)]
+    # Each pool's frames are consecutive within its own run.
+    assert a == list(range(a[0], a[0] + 5))
+    assert b == list(range(b[0], b[0] + 5))
+    assert set(a).isdisjoint(b)
+
+
+def test_mean_run_controls_contiguity():
+    def region_count(mean_run):
+        buddy = make(seed=3, mean_run=mean_run)
+        frames = sorted(buddy.alloc_frames(2000))
+        return 1 + sum(1 for x, y in zip(frames, frames[1:]) if y != x + 1)
+
+    fragmented = region_count(2.0)
+    healthy = region_count(64.0)
+    assert fragmented > healthy * 3
+
+
+def test_break_run_forces_discontinuity():
+    buddy = make(mean_run=1000.0)
+    first = buddy.alloc_frame()
+    buddy.break_run()
+    second = buddy.alloc_frame()
+    assert second != first + 1
+
+
+def test_aligned_run_allocation():
+    buddy = make()
+    base = buddy.alloc_run(512, aligned=True)
+    assert base % 512 == 0
+    other = buddy.alloc_run(512, aligned=True)
+    assert other % 512 == 0
+    assert other != base
+
+
+def test_runs_pack_within_slots():
+    buddy = make()
+    bases = [buddy.alloc_run(512, pool="large") for _ in range(8)]
+    # A 4096-frame slot holds eight 512-frame runs.
+    assert max(bases) - min(bases) == 7 * 512
+
+
+def test_alloc_run_validation():
+    buddy = make()
+    with pytest.raises(ValueError):
+        buddy.alloc_run(0)
+    with pytest.raises(ValueError):
+        buddy.alloc_run(5000)
+    with pytest.raises(ValueError):
+        buddy.alloc_run(100, aligned=True)  # not a power of two
+
+
+def test_reservations_do_not_overlap_pools():
+    buddy = make()
+    base = buddy.reserve_contiguous(100_000)
+    frames = set(buddy.alloc_frames(5000))
+    reserved = set(range(base, base + 100_000))
+    assert frames.isdisjoint(reserved)
+
+
+def test_reservations_are_contiguous_and_distinct():
+    buddy = make()
+    a = buddy.reserve_contiguous(1000)
+    b = buddy.reserve_contiguous(1000)
+    assert abs(a - b) >= 1000
+
+
+def test_reservation_alignment():
+    buddy = make()
+    base = buddy.reserve_contiguous(100, align=512)
+    assert base % 512 == 0
+
+
+def test_extension_consumes_headroom_then_fails():
+    buddy = make()
+    base = buddy.reserve_contiguous(10, headroom=5)
+    assert buddy.try_extend(base, 3)
+    assert buddy.try_extend(base, 2)
+    assert not buddy.try_extend(base, 1)
+    assert buddy.reservation_size(base) == 15
+    assert buddy.stats.extensions_failed == 1
+
+
+def test_reservation_exhaustion_raises():
+    buddy = BuddyAllocator(PhysicalMemory(1 << 24), seed=0)  # 4096 frames
+    with pytest.raises(OutOfMemoryError):
+        buddy.reserve_contiguous(10_000)
+
+
+def test_deterministic_with_seed():
+    a = make(seed=7).alloc_frames(100)
+    b = make(seed=7).alloc_frames(100)
+    assert a == b
+
+
+def test_configure_pool_validation():
+    buddy = make()
+    with pytest.raises(ValueError):
+        buddy.configure_pool("x", 0.5)

@@ -1,0 +1,92 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.mem.cache import SetAssociativeCache
+from repro.params import CacheParams
+
+
+def small_cache(ways: int = 2, sets: int = 4) -> SetAssociativeCache:
+    params = CacheParams(size_bytes=64 * ways * sets, ways=ways, latency=1)
+    return SetAssociativeCache(params, name="test")
+
+
+def test_miss_then_hit():
+    cache = small_cache()
+    assert not cache.lookup(10)
+    cache.install(10)
+    assert cache.lookup(10)
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_lru_eviction_order():
+    cache = small_cache(ways=2, sets=1)
+    cache.install(1)
+    cache.install(2)
+    cache.lookup(1)  # promote 1 to MRU; 2 becomes LRU
+    victim = cache.install(3)
+    assert victim == 2
+    assert cache.contains(1)
+    assert not cache.contains(2)
+
+
+def test_install_existing_line_is_not_an_eviction():
+    cache = small_cache(ways=2, sets=1)
+    cache.install(1)
+    cache.install(2)
+    victim = cache.install(1)
+    assert victim is None
+    assert cache.stats.evictions == 0
+
+
+def test_sets_isolate_conflicts():
+    cache = small_cache(ways=1, sets=4)
+    # Lines 0 and 4 conflict (same set); 1 does not.
+    cache.install(0)
+    cache.install(1)
+    cache.install(4)
+    assert not cache.contains(0)
+    assert cache.contains(1)
+    assert cache.contains(4)
+
+
+def test_lookup_without_lru_update_keeps_order():
+    cache = small_cache(ways=2, sets=1)
+    cache.install(1)
+    cache.install(2)
+    cache.lookup(1, update_lru=False)
+    victim = cache.install(3)
+    assert victim == 1  # still LRU despite the probe
+
+
+def test_invalidate_and_flush():
+    cache = small_cache()
+    cache.install(7)
+    assert cache.invalidate(7)
+    assert not cache.invalidate(7)
+    cache.install(8)
+    cache.flush()
+    assert cache.occupancy == 0
+
+
+def test_occupancy_bounded_by_capacity():
+    cache = small_cache(ways=2, sets=4)
+    for line in range(100):
+        cache.install(line)
+    assert cache.occupancy <= 8
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        CacheParams(size_bytes=100, ways=2, latency=1)  # not line aligned
+    with pytest.raises(ValueError):
+        CacheParams(size_bytes=64 * 3, ways=2, latency=1)  # 3 lines, 2 ways
+
+
+def test_hit_rate():
+    cache = small_cache()
+    cache.install(1)
+    cache.lookup(1)
+    cache.lookup(2)
+    assert cache.stats.hit_rate == pytest.approx(0.5)

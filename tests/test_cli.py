@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "mc400" in out
+    assert "P1g+P1h+P2g+P2h" in out
+
+
+def test_run_native(capsys):
+    assert main(["run", "mcf", "--config", "p1+p2",
+                 "--trace-length", "3000"]) == 0
+    out = capsys.readouterr().out
+    assert "avg walk latency" in out
+    assert "prefetches" in out
+
+
+def test_run_virtualized(capsys):
+    assert main(["run", "mcf", "--config", "full", "--virtualized",
+                 "--trace-length", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "virtualized=True" in out
+
+
+def test_run_rejects_guest_config_without_virt(capsys):
+    assert main(["run", "mcf", "--config", "p1g",
+                 "--trace-length", "2000"]) == 2
+
+
+def test_experiment_command(capsys):
+    assert main(["experiment", "table2", "--trace-length", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+
+
+def test_experiment_unknown(capsys):
+    assert main(["experiment", "fig99"]) == 2
+
+
+def test_parser_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "nonexistent"])
+
+
+def test_validate_command(capsys):
+    assert main(["validate", "--trace-length", "4000"]) in (0, 1)
+    out = capsys.readouterr().out
+    assert "shapes hold" in out

@@ -1,0 +1,109 @@
+"""Unit tests for the Clustered TLB coalescing design (§5.4.1)."""
+
+import pytest
+
+from repro.params import TlbParams
+from repro.tlb.clustered import CLUSTER_PAGES, ClusteredTlb
+
+
+def make(entries: int = 16, ways: int = 4) -> ClusteredTlb:
+    return ClusteredTlb(TlbParams(entries=entries, ways=ways))
+
+
+def test_basic_fill_and_lookup():
+    tlb = make()
+    tlb.fill(10, 1000)
+    assert tlb.lookup(10) == 1000
+    assert tlb.lookup(11) is None
+
+
+def test_cluster_coalesces_contiguous_translations():
+    tlb = make()
+    # vpns 0..7 -> frames 64..71: same physical cluster (64 >> 3 == 8).
+    neighbours = [64 + i for i in range(CLUSTER_PAGES)]
+    tlb.fill(0, 64, neighbour_frames=neighbours)
+    assert tlb.occupancy == 1
+    for vpn in range(CLUSTER_PAGES):
+        assert tlb.lookup(vpn) == 64 + vpn
+    assert tlb.coalesced_fills == CLUSTER_PAGES - 1
+
+
+def test_neighbours_in_other_physical_clusters_do_not_coalesce():
+    tlb = make()
+    neighbours = [64, 65, 200, None, 66, 999, 67, 700]
+    tlb.fill(0, 64, neighbour_frames=neighbours)
+    assert tlb.lookup(0) == 64
+    assert tlb.lookup(1) == 65
+    assert tlb.lookup(4) == 66
+    assert tlb.lookup(6) == 67
+    # Frames 200/999/700 are outside physical cluster 8.
+    assert tlb.lookup(2) is None
+    assert tlb.lookup(5) is None
+    assert tlb.lookup(7) is None
+
+
+def test_shuffled_frames_within_cluster_still_coalesce():
+    # Clustered TLB stores a 3-bit sub-index per page, so any permutation
+    # within the physical cluster coalesces.
+    tlb = make()
+    neighbours = [67, 66, 65, 64, 71, 70, 69, 68]
+    tlb.fill(0, 67, neighbour_frames=neighbours)
+    assert tlb.occupancy == 1
+    for vpn, frame in enumerate(neighbours):
+        assert tlb.lookup(vpn) == frame
+
+
+def test_conflicting_physical_clusters_coexist():
+    tlb = make()
+    tlb.fill(0, 64)
+    # Same virtual cluster, different physical cluster: a second entry is
+    # allocated rather than thrashing the first (low-contiguity workloads
+    # must degrade to plain-TLB behaviour, not worse).
+    tlb.fill(1, 128)
+    assert tlb.lookup(1) == 128
+    assert tlb.lookup(0) == 64
+    assert tlb.occupancy == 2
+
+
+def test_capacity_is_counted_in_entries_not_translations():
+    tlb = make(entries=2, ways=2)  # one set of two cluster entries
+    tlb.fill(0 * 8, 0, neighbour_frames=list(range(8)))
+    tlb.fill(1 * 8, 8, neighbour_frames=list(range(8, 16)))
+    assert tlb.translations == 16
+    # A third cluster evicts the LRU one despite 16 live translations.
+    tlb.fill(2 * 8, 16)
+    assert tlb.lookup(0) is None
+
+
+def test_invalidate_single_translation():
+    tlb = make()
+    tlb.fill(0, 64, neighbour_frames=[64 + i for i in range(8)])
+    assert tlb.invalidate(3)
+    assert tlb.lookup(3) is None
+    assert tlb.lookup(4) == 68
+    assert not tlb.invalidate(3)
+
+
+def test_invalidating_last_translation_frees_entry():
+    tlb = make()
+    tlb.fill(5, 100)
+    assert tlb.invalidate(5)
+    assert tlb.occupancy == 0
+
+
+def test_lru_promotion_on_hit():
+    tlb = make(entries=2, ways=2)
+    tlb.fill(0, 0)
+    tlb.fill(8, 8)
+    tlb.lookup(0)  # promote cluster 0
+    tlb.fill(16, 16)  # evicts cluster 1 (vpn 8)
+    assert tlb.lookup(0) == 0
+    assert tlb.lookup(8) is None
+
+
+def test_miss_ratio_stats():
+    tlb = make()
+    tlb.fill(0, 0)
+    tlb.lookup(0)
+    tlb.lookup(100)
+    assert tlb.stats.miss_ratio == pytest.approx(0.5)

@@ -1,0 +1,66 @@
+"""Unit tests for the page-table geometry helpers."""
+
+import pytest
+
+from repro.pagetable import constants as c
+
+
+def test_level_shifts_match_figure1():
+    # Figure 1: 48-bit VA = 9+9+9+9 index bits + 12 offset bits.
+    assert c.level_shift(1) == 12
+    assert c.level_shift(2) == 21
+    assert c.level_shift(3) == 30
+    assert c.level_shift(4) == 39
+    assert c.level_shift(5) == 48
+
+
+def test_level_index_extracts_nine_bits():
+    va = (0b101010101 << 39) | (0b111111111 << 30) | (3 << 21) | (7 << 12)
+    assert c.level_index(va, 4) == 0b101010101
+    assert c.level_index(va, 3) == 0b111111111
+    assert c.level_index(va, 2) == 3
+    assert c.level_index(va, 1) == 7
+
+
+def test_level_index_bounds():
+    for level in (1, 2, 3, 4):
+        assert 0 <= c.level_index(0xFFFF_FFFF_FFFF, level) < 512
+
+
+def test_node_tag_groups_addresses_sharing_a_node():
+    va1 = 0x1000_0000
+    va2 = va1 + 511 * c.PAGE_SIZE  # same PL1 node iff same va >> 21
+    if (va1 >> 21) == (va2 >> 21):
+        assert c.node_tag(va1, 1) == c.node_tag(va2, 1)
+    va3 = va1 + (1 << 21)
+    assert c.node_tag(va1, 1) != c.node_tag(va3, 1)
+
+
+def test_pages_mapped_by_level():
+    assert c.pages_mapped_by(1) == 1
+    assert c.pages_mapped_by(2) == 512
+    assert c.pages_mapped_by(3) == 512 * 512
+
+
+def test_entry_phys_addr():
+    assert c.entry_phys_addr(0x1000, 0) == 0x1000
+    assert c.entry_phys_addr(0x1000, 511) == 0x1000 + 511 * 8
+    with pytest.raises(ValueError):
+        c.entry_phys_addr(0x1000, 512)
+
+
+def test_large_page_geometry():
+    assert c.LARGE_PAGE_SIZE == 2 * 1024 * 1024
+    assert c.NODE_BYTES == c.PAGE_SIZE
+    assert c.ENTRIES_PER_NODE == 512
+
+
+def test_line_of():
+    assert c.line_of(0) == 0
+    assert c.line_of(63) == 0
+    assert c.line_of(64) == 1
+
+
+def test_level_validation():
+    with pytest.raises(ValueError):
+        c.level_shift(0)

@@ -1,0 +1,65 @@
+"""Unit tests for the SMT co-runner."""
+
+from repro.mem.hierarchy import CacheHierarchy
+from repro.workloads.corunner import Corunner
+
+
+def test_step_generates_cache_traffic():
+    hierarchy = CacheHierarchy()
+    corunner = Corunner(seed=1)
+    for _ in range(100):
+        corunner.step(hierarchy, 0)
+    assert corunner.accesses == 100
+    # Data line + PT line(s) per access.
+    total = sum(hierarchy.served.values())
+    assert total >= 200
+
+
+def test_intensity_multiplies_traffic():
+    h1 = CacheHierarchy()
+    c1 = Corunner(seed=1, intensity=1)
+    h4 = CacheHierarchy()
+    c4 = Corunner(seed=1, intensity=4)
+    for _ in range(200):
+        c1.step(h1, 0)
+        c4.step(h4, 0)
+    assert sum(h4.served.values()) > 3 * sum(h1.served.values())
+
+
+def test_lines_do_not_collide_with_low_memory():
+    hierarchy = CacheHierarchy()
+    corunner = Corunner(seed=2)
+    corunner.step(hierarchy, 0)
+    # Everything the co-runner touches sits above 2^37 in line space.
+    for cache in (hierarchy.l1,):
+        for cache_set in cache._sets:
+            for line in cache_set:
+                assert line >= 1 << 37
+
+
+def test_prefill_fills_all_cache_levels():
+    hierarchy = CacheHierarchy()
+    corunner = Corunner(seed=3)
+    corunner.prefill(hierarchy)
+    assert hierarchy.l3.occupancy == hierarchy.params.l3.lines
+    assert hierarchy.l2.occupancy == hierarchy.params.l2.lines
+    assert hierarchy.l1.occupancy == hierarchy.params.l1.lines
+
+
+def test_prefill_lines_are_evictable_junk():
+    hierarchy = CacheHierarchy()
+    corunner = Corunner(seed=3)
+    corunner.prefill(hierarchy)
+    # An application line still misses and installs normally.
+    result = hierarchy.access_line(123)
+    assert result.level == "MEM"
+    assert hierarchy.access_line(123).level == "L1"
+
+
+def test_deterministic_stream():
+    h1, h2 = CacheHierarchy(), CacheHierarchy()
+    c1, c2 = Corunner(seed=9), Corunner(seed=9)
+    for _ in range(500):
+        c1.step(h1, 0)
+        c2.step(h2, 0)
+    assert h1.served == h2.served

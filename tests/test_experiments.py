@@ -1,0 +1,153 @@
+"""Smoke + shape tests for the experiment modules (tiny scale).
+
+These verify that every table/figure module runs end to end and produces
+the paper's qualitative shape; the benchmarks assert the same at a larger
+scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig2,
+    fig3,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    table1,
+    table2,
+    table6,
+)
+from repro.experiments.common import ExperimentTable, mean, reduction
+from repro.sim.runner import Scale
+
+TINY = Scale(trace_length=3_000, warmup=600, seed=13)
+
+
+class TestCommon:
+    def test_reduction(self):
+        assert reduction(100, 80) == pytest.approx(20.0)
+        assert reduction(0, 10) == 0.0
+
+    def test_mean(self):
+        assert mean([1.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_table_render_and_accessors(self):
+        table = ExperimentTable(title="T", columns=["a", "b"])
+        table.add_row(a="x", b=1.5)
+        table.add_row(a="y", b=2)
+        text = table.render()
+        assert "T" in text and "1.50" in text
+        assert table.column("b") == [1.5, 2]
+        assert table.row_by("a", "y")["b"] == 2
+        with pytest.raises(KeyError):
+            table.row_by("a", "zzz")
+
+
+class TestTable2:
+    def test_structure_and_shape(self):
+        table = table2.run(TINY)
+        assert len(table.rows) == 7
+        for row in table.rows:
+            assert row["vmas_for_99pct"] <= row["total_vmas"]
+            assert row["pt_page_count"] > row["contig_phys_regions"]
+
+    def test_pt_pages_track_footprint(self):
+        table = table2.run(TINY)
+        mc80 = table.row_by("application", "mc80")
+        mc400 = table.row_by("application", "mc400")
+        assert 4 < mc400["pt_page_count"] / mc80["pt_page_count"] < 6
+
+
+class TestTable1:
+    def test_orderings(self):
+        table = table1.run(TINY)
+        norm = {row["scenario"]: row["normalised"] for row in table.rows}
+        assert norm["native 80GB (reference)"] == pytest.approx(1.0)
+        assert norm["virtualization"] > 1.2
+        assert (norm["virtualization + SMT colocation"]
+                >= norm["virtualization"])
+
+
+class TestFig2Fig3:
+    def test_fig2_fractions_bounded(self):
+        table = fig2.run(TINY)
+        for row in table.rows:
+            for column in table.columns[1:]:
+                assert 0 <= row[column] <= 100
+
+    def test_fig3_virtualization_dominates(self):
+        table = fig3.run(TINY)
+        avg = table.row_by("workload", "Average")
+        assert avg["virtualized"] > avg["native"]
+
+
+class TestFig8:
+    def test_asap_always_helps(self):
+        isolation, colocation = fig8.run(TINY)
+        for table in (isolation, colocation):
+            for row in table.rows:
+                assert row["P1"] <= row["Baseline"]
+                assert row["P1+P2"] <= row["P1"] * 1.05
+
+
+class TestFig9:
+    def test_four_panels_with_full_rows(self):
+        panels = fig9.run(TINY)
+        assert len(panels) == 4
+        for panel in panels:
+            for row in panel.rows:
+                total = sum(row[c] for c in panel.columns[1:])
+                assert total == pytest.approx(100.0, abs=0.1)
+
+
+class TestFig10:
+    def test_ladder_monotone_on_average(self):
+        isolation, _ = fig10.run(TINY)
+        avg = isolation.row_by("workload", "Average")
+        assert avg["P1g+P1h+P2g+P2h"] < avg["Baseline"]
+        assert avg["P1g"] < avg["Baseline"]
+
+
+class TestTable6:
+    def test_improvement_is_product(self):
+        table = table6.run(TINY)
+        for row in table.rows[:-1]:
+            expected = (row["critical_path_%"]
+                        * row["asap_reduction_%"] / 100.0)
+            assert row["min_improvement_%"] == pytest.approx(expected)
+
+
+class TestFig11:
+    def test_combination_at_least_asap(self):
+        fig, tab7 = fig11.run(TINY)
+        avg = fig.row_by("workload", "Average")
+        assert avg["Clustered+ASAP_%"] >= avg["ASAP_%"] - 2.0
+        assert len(tab7.rows) == 8  # 7 workloads + average
+
+
+class TestFig12:
+    def test_asap_helps_with_large_host_pages(self):
+        table = fig12.run(TINY)
+        avg = table.row_by("workload", "Average")
+        assert avg["ASAP"] < avg["Baseline"]
+
+
+class TestAblations:
+    def test_pwc_scaling_buys_little(self):
+        table = ablations.run_pwc_scaling(TINY)
+        avg = table.row_by("workload", "Average")
+        assert avg["red_%"] < 15.0
+
+    def test_five_level_recovers(self):
+        table = ablations.run_five_level(TINY)
+        for row in table.rows:
+            assert row["5L_P1+P2+P3"] < row["5L_base"]
+
+    def test_holes_degrade_gracefully(self):
+        table = ablations.run_holes(TINY)
+        useful = [row["useful_prefetch_%"] for row in table.rows]
+        assert useful[0] > useful[-1]

@@ -1,0 +1,122 @@
+"""Unit tests for the trace-generation primitives."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import generators as g
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestBoundedZipf:
+    def test_range(self, rng):
+        ranks = g.bounded_zipf(rng, 1000, 1.0, 10_000)
+        assert ranks.min() >= 0
+        assert ranks.max() < 1000
+
+    def test_skew_increases_with_alpha(self, rng):
+        low = g.bounded_zipf(rng, 100_000, 0.6, 50_000)
+        high = g.bounded_zipf(rng, 100_000, 1.3, 50_000)
+        # Share of samples landing on the top-100 ranks.
+        low_share = np.mean(low < 100)
+        high_share = np.mean(high < 100)
+        assert high_share > 2 * low_share
+
+    def test_supports_sub_one_alpha(self, rng):
+        ranks = g.bounded_zipf(rng, 1000, 0.5, 1000)
+        assert ranks.max() < 1000
+
+    def test_rank_zero_is_most_popular(self, rng):
+        ranks = g.bounded_zipf(rng, 1000, 1.2, 50_000)
+        counts = np.bincount(ranks, minlength=1000)
+        assert counts[0] == counts.max()
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            g.bounded_zipf(rng, 0, 1.0, 10)
+        with pytest.raises(ValueError):
+            g.bounded_zipf(rng, 10, 0.0, 10)
+
+
+class TestPermute:
+    def test_is_a_bijection(self):
+        n = 10_000
+        values = np.arange(n, dtype=np.int64)
+        out = g.permute(values, n, seed=3)
+        assert len(np.unique(out)) == n
+        assert out.min() >= 0
+        assert out.max() < n
+
+    def test_deterministic_per_seed(self):
+        values = np.arange(500, dtype=np.int64)
+        assert np.array_equal(g.permute(values, 500, 9),
+                              g.permute(values, 500, 9))
+        assert not np.array_equal(g.permute(values, 500, 9),
+                                  g.permute(values, 500, 10))
+
+    def test_scatters_neighbours(self):
+        values = np.arange(1000, dtype=np.int64)
+        out = g.permute(values, 100_000, seed=1)
+        # Consecutive inputs should not stay consecutive.
+        adjacent = np.mean(np.abs(np.diff(out)) == 1)
+        assert adjacent < 0.05
+
+    def test_tiny_domain(self):
+        values = np.array([0], dtype=np.int64)
+        assert g.permute(values, 1, 5).tolist() == [0]
+
+
+class TestSpatialPatterns:
+    def test_sequential_runs_have_runs(self, rng):
+        pages = g.sequential_runs(rng, 1_000_000, 10_000, mean_run=32.0)
+        increments = np.diff(pages)
+        assert np.mean(increments == 1) > 0.8
+
+    def test_sequential_runs_wrap(self, rng):
+        pages = g.sequential_runs(rng, 100, 1000, mean_run=16.0)
+        assert pages.max() < 100
+
+    def test_gaussian_walk_stays_local(self, rng):
+        pages = g.gaussian_walk(rng, 1_000_000, 10_000, step_pages=8.0)
+        jumps = np.abs(np.diff(pages))
+        wrapped = np.minimum(jumps, 1_000_000 - jumps)
+        assert np.median(wrapped) < 32
+
+    def test_uniform_covers_space(self, rng):
+        pages = g.uniform_pages(rng, 100, 10_000)
+        assert len(np.unique(pages)) == 100
+
+    def test_run_validation(self, rng):
+        with pytest.raises(ValueError):
+            g.sequential_runs(rng, 100, 10, mean_run=0.5)
+
+
+class TestInterleave:
+    def test_preserves_stream_order(self, rng):
+        a = np.arange(0, 1000, dtype=np.int64)
+        b = np.arange(10_000, 11_000, dtype=np.int64)
+        mixed = g.interleave(rng, [a, b], [0.5, 0.5], 800)
+        from_a = mixed[mixed < 1000]
+        assert np.all(np.diff(from_a) > 0)
+
+    def test_respects_weights(self, rng):
+        a = np.zeros(10_000, dtype=np.int64)
+        b = np.ones(10_000, dtype=np.int64)
+        mixed = g.interleave(rng, [a, b], [0.9, 0.1], 10_000)
+        assert 0.85 < np.mean(mixed == 0) < 0.95
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            g.interleave(rng, [np.arange(4)], [0.5, 0.5], 4)
+
+
+def test_pages_to_addresses_fixed_offset_per_page():
+    rng = np.random.default_rng(0)
+    pages = np.array([5, 5, 9], dtype=np.int64)
+    addrs = g.pages_to_addresses(rng, 1 << 40, pages)
+    assert addrs[0] == addrs[1]  # same page, same line
+    assert (addrs[0] >> 12) == (1 << 28) + 5
+    assert addrs[2] != addrs[0]

@@ -1,0 +1,147 @@
+"""Unit tests for the virtual machine / nested paging substrate."""
+
+import pytest
+
+from repro.kernelsim.buddy import BuddyAllocator
+from repro.kernelsim.hypervisor import VirtualMachine
+from repro.kernelsim.phys import PhysicalMemory
+from repro.kernelsim.process import ProcessAddressSpace
+from repro.kernelsim.pt_layout import AsapPtLayout
+from repro.kernelsim.vma import VmaKind
+from repro.pagetable import constants as c
+
+GUEST_MEM = 1 << 32  # 4GB guest
+HEAP = 0x5555_0000_0000
+
+
+def make_vm(
+    host_page_level=1,
+    host_asap_levels=(),
+    guest_asap_levels=(),
+    back_guest_pt=False,
+    heap_pages=4096,
+):
+    guest_buddy = BuddyAllocator(PhysicalMemory(GUEST_MEM), seed=3)
+    layout = None
+    if guest_asap_levels:
+        layout = AsapPtLayout(guest_buddy, levels=guest_asap_levels, seed=3)
+    guest = ProcessAddressSpace(buddy=guest_buddy, asap_layout=layout)
+    vm = VirtualMachine(
+        guest,
+        guest_mem_bytes=GUEST_MEM,
+        host_page_level=host_page_level,
+        host_asap_levels=host_asap_levels,
+        back_guest_pt_contiguously=back_guest_pt,
+        seed=3,
+    )
+    vm.mmap(HEAP, heap_pages * c.PAGE_SIZE, kind=VmaKind.HEAP, name="heap")
+    return vm
+
+
+def test_nested_path_has_24_accesses():
+    vm = make_vm()
+    vm.touch(HEAP)
+    path = vm.nested_path(HEAP)
+    # Figure 7: five host walks of four accesses plus four guest entries.
+    host_accesses = sum(len(s.host_steps) for s in path.steps)
+    guest_accesses = sum(1 for s in path.steps if s.entry_host_addr)
+    assert host_accesses == 20
+    assert guest_accesses == 4
+    assert [s.guest_level for s in path.steps] == [4, 3, 2, 1, 0]
+
+
+def test_data_address_translates_consistently():
+    vm = make_vm()
+    result = vm.touch(HEAP + 123)
+    path = vm.nested_path(HEAP + 123)
+    gpa = (result.frame << c.PAGE_SHIFT) | 123
+    assert path.steps[-1].gpa == gpa
+    assert path.data_host_addr == vm.translate_gpa(gpa)
+
+
+def test_host_2mb_pages_shorten_host_walks():
+    vm = make_vm(host_page_level=2)
+    vm.touch(HEAP)
+    path = vm.nested_path(HEAP)
+    # Figure 12 setting: host walks are 3 accesses (leaf at hPL2).
+    assert all(len(s.host_steps) == 3 for s in path.steps)
+    assert path.host_leaf_level == 2
+
+
+def test_guest_pt_nodes_get_host_backing():
+    vm = make_vm()
+    result = vm.touch(HEAP)
+    for _level, _tag, base in result.created_nodes:
+        # Every guest PT node's gPA must be translatable.
+        assert vm.translate_gpa(base) is not None
+
+
+def test_host_asap_layout_covers_single_host_vma():
+    vm = make_vm(host_asap_levels=(1, 2))
+    bases = vm.host_descriptor_bases()
+    assert set(bases) == {1, 2}
+    vm.touch(HEAP)
+    path = vm.nested_path(HEAP)
+    # The host descriptor arithmetic must land on the hPT entries the
+    # walker actually visits (deep levels only).
+    for step in path.steps:
+        for hstep in step.host_steps:
+            if hstep.level in (1, 2):
+                computed = bases[hstep.level] + (
+                    (step.gpa >> c.level_shift(hstep.level)) * 8
+                )
+                assert computed == hstep.entry_addr
+
+
+def test_guest_descriptors_require_contiguous_backing():
+    vm = make_vm(guest_asap_levels=(1, 2), back_guest_pt=False)
+    heap_vma = vm.guest.vmas.find(HEAP)
+    assert vm.guest_descriptor_bases(heap_vma) == {}
+
+
+def test_guest_descriptor_arithmetic_matches_walk():
+    vm = make_vm(guest_asap_levels=(1, 2), back_guest_pt=True)
+    heap_vma = vm.guest.vmas.find(HEAP)
+    bases = vm.guest_descriptor_bases(heap_vma)
+    assert set(bases) == {1, 2}
+    va = HEAP + 100 * c.PAGE_SIZE
+    vm.touch(va)
+    path = vm.nested_path(va)
+    for step in path.steps:
+        if step.guest_level in (1, 2):
+            computed = bases[step.guest_level] + (
+                (va >> c.level_shift(step.guest_level)) * 8
+            )
+            assert computed == step.entry_host_addr
+
+
+def test_guest_descriptor_arithmetic_with_2mb_host_pages():
+    vm = make_vm(guest_asap_levels=(1, 2), back_guest_pt=True,
+                 host_page_level=2)
+    heap_vma = vm.guest.vmas.find(HEAP)
+    bases = vm.guest_descriptor_bases(heap_vma)
+    va = HEAP + 7 * c.PAGE_SIZE
+    vm.touch(va)
+    path = vm.nested_path(va)
+    for step in path.steps:
+        if step.guest_level in (1, 2):
+            computed = bases[step.guest_level] + (
+                (va >> c.level_shift(step.guest_level)) * 8
+            )
+            assert computed == step.entry_host_addr
+
+
+def test_host_chain_cache_consistency():
+    vm = make_vm()
+    vm.touch(HEAP)
+    a = vm.nested_path(HEAP)
+    b = vm.nested_path(HEAP)
+    assert a == b
+
+
+def test_invalid_host_page_level():
+    guest = ProcessAddressSpace(
+        buddy=BuddyAllocator(PhysicalMemory(GUEST_MEM))
+    )
+    with pytest.raises(ValueError):
+        VirtualMachine(guest, GUEST_MEM, host_page_level=3)

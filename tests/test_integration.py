@@ -1,0 +1,140 @@
+"""Cross-module integration tests: OS + page table + walker + ASAP.
+
+These exercise whole slices of the stack against each other — the
+invariants that individual unit tests cannot see.
+"""
+
+import pytest
+
+from repro.core.prefetcher import AsapPrefetcher
+from repro.core.range_registers import RangeRegisterFile, VmaDescriptor
+from repro.kernelsim.buddy import BuddyAllocator
+from repro.kernelsim.phys import PhysicalMemory
+from repro.kernelsim.process import ProcessAddressSpace
+from repro.kernelsim.pt_layout import AsapPtLayout
+from repro.kernelsim.vma import VmaKind
+from repro.mem.hierarchy import CacheHierarchy
+from repro.pagetable import constants as c
+from repro.pagetable.pwc import SplitPwc
+from repro.pagetable.walker import PageWalker
+
+HEAP = 0x6000_0000_0000
+
+
+def asap_process(heap_pages=1 << 16, growable=False, seed=3):
+    buddy = BuddyAllocator(PhysicalMemory(1 << 41), seed=seed)
+    layout = AsapPtLayout(buddy, levels=(1, 2), seed=seed)
+    process = ProcessAddressSpace(buddy=buddy, asap_layout=layout)
+    heap = process.mmap(HEAP, heap_pages * c.PAGE_SIZE, kind=VmaKind.HEAP,
+                        name="heap", growable=growable)
+    return process, heap
+
+
+def descriptor_for(process, vma):
+    bases = process.asap_layout.descriptor_bases(vma)
+    return VmaDescriptor(start=vma.start, end=vma.end,
+                         level_bases=tuple(sorted(bases.items())))
+
+
+class TestPrefetchTargetsMatchWalks:
+    def test_descriptor_arithmetic_lands_on_walk_steps(self):
+        """End to end: for every touched page, the range-register
+        computation must produce exactly the PL1/PL2 entry addresses the
+        walker will read — the identity ASAP's correctness rests on."""
+        process, heap = asap_process()
+        descriptor = descriptor_for(process, heap)
+        for index in (0, 1, 511, 512, 12345, (1 << 16) - 1):
+            va = HEAP + index * c.PAGE_SIZE
+            process.touch(va)
+            path = process.walk_path(va)
+            by_level = {step.level: step.entry_addr for step in path.steps}
+            assert descriptor.entry_addr(va, 1) == by_level[1]
+            assert descriptor.entry_addr(va, 2) == by_level[2]
+
+    def test_prefetched_lines_are_the_walked_lines(self):
+        process, heap = asap_process()
+        va = HEAP + 777 * c.PAGE_SIZE
+        process.touch(va)
+        hierarchy = CacheHierarchy()
+        registers = RangeRegisterFile()
+        registers.load([descriptor_for(process, heap)])
+        prefetcher = AsapPrefetcher(hierarchy, registers, levels=(1, 2))
+        completions = prefetcher.on_tlb_miss(va, 0)
+        assert set(completions) == {1, 2}
+        walker = PageWalker(hierarchy, SplitPwc())
+        outcome = walker.walk(process.walk_path(va), 0, completions)
+        served = dict(outcome.records)
+        # The deep levels hit the L1-D thanks to the prefetch.
+        assert served[1] == "L1"
+        assert served[2] == "L1"
+
+
+class TestVmaGrowthEndToEnd:
+    def test_growth_within_headroom_stays_prefetchable(self):
+        process, heap = asap_process(heap_pages=2048, growable=True)
+        process.brk(heap, 512 * c.PAGE_SIZE)
+        va = heap.end - c.PAGE_SIZE
+        process.touch(va)
+        layout = process.asap_layout
+        assert not layout.is_hole(heap, 1, va)
+        # The descriptor (loaded with the new bounds) still computes the
+        # walked address.
+        descriptor = descriptor_for(process, heap)
+        path = process.walk_path(va)
+        assert descriptor.entry_addr(va, 1) == path.steps[-1].entry_addr
+
+    def test_growth_beyond_headroom_walks_correctly_via_holes(self):
+        process, heap = asap_process(heap_pages=2048, growable=True)
+        # Grow far beyond the 50% headroom.
+        process.brk(heap, 64 * 2048 * c.PAGE_SIZE)
+        va = heap.end - c.PAGE_SIZE
+        result = process.touch(va)
+        assert result.faulted
+        # The walk still resolves (pointer-based tree, §3.7.2) ...
+        path = process.walk_path(va)
+        assert path.frame == result.frame
+        # ... but the node is a hole: descriptor arithmetic points into
+        # the (exhausted) region, not at the real node.
+        assert process.asap_layout.is_hole(heap, 1, va)
+        descriptor = descriptor_for(process, heap)
+        assert descriptor.entry_addr(va, 1) != path.steps[-1].entry_addr
+
+
+class TestLayoutIsolation:
+    def test_two_vmas_get_disjoint_regions(self):
+        buddy = BuddyAllocator(PhysicalMemory(1 << 41), seed=5)
+        layout = AsapPtLayout(buddy, levels=(1,))
+        process = ProcessAddressSpace(buddy=buddy, asap_layout=layout)
+        a = process.mmap(HEAP, 1 << 30, name="a")
+        b = process.mmap(HEAP + (1 << 40), 1 << 30, name="b")
+        region_a = layout.region(a, 1)
+        region_b = layout.region(b, 1)
+        span_a = range(region_a.base_frame,
+                       region_a.base_frame + region_a.reserved_total)
+        span_b = range(region_b.base_frame,
+                       region_b.base_frame + region_b.reserved_total)
+        assert set(span_a).isdisjoint(span_b)
+
+    def test_pt_and_data_frames_never_collide(self):
+        process, heap = asap_process(heap_pages=4096)
+        data_frames = set()
+        for index in range(0, 4096, 64):
+            data_frames.add(process.touch(HEAP + index * c.PAGE_SIZE).frame)
+        pt_frames = set(process.page_table.node_frames())
+        assert data_frames.isdisjoint(pt_frames)
+
+
+class TestPageFaultDetection:
+    def test_fault_path_in_reserved_region_is_prefetchable(self):
+        """§3.7.1: with reserved regions, even an unpopulated PL1 node has
+        a known location, so fault detection can be accelerated."""
+        process, heap = asap_process()
+        touched = HEAP
+        process.touch(touched)
+        # A sibling page in the same PL1 node, never touched.
+        untouched = HEAP + c.PAGE_SIZE
+        fault = process.fault_path(untouched)
+        assert fault.missing_level == 0  # all nodes exist, PTE empty
+        descriptor = descriptor_for(process, heap)
+        assert descriptor.entry_addr(untouched, 1) == \
+            fault.resolved_steps[-1].entry_addr

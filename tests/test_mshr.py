@@ -1,0 +1,50 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.mem.mshr import MshrFile
+
+
+def test_allocate_until_full():
+    mshrs = MshrFile(2)
+    assert mshrs.try_allocate(1, now=0, completion=100)
+    assert mshrs.try_allocate(2, now=0, completion=100)
+    assert not mshrs.try_allocate(3, now=0, completion=100)
+    assert mshrs.rejections == 1
+
+
+def test_same_line_merges_instead_of_allocating():
+    mshrs = MshrFile(1)
+    assert mshrs.try_allocate(1, now=0, completion=100)
+    assert mshrs.try_allocate(1, now=10, completion=100)
+    assert mshrs.merges == 1
+    assert mshrs.occupancy == 1
+
+
+def test_entries_retire_by_completion_time():
+    mshrs = MshrFile(1)
+    mshrs.try_allocate(1, now=0, completion=50)
+    assert not mshrs.try_allocate(2, now=49, completion=100)
+    assert mshrs.try_allocate(2, now=50, completion=100)
+
+
+def test_inflight_completion_lookup():
+    mshrs = MshrFile(2)
+    mshrs.try_allocate(1, now=0, completion=77)
+    assert mshrs.inflight_completion(1, now=10) == 77
+    assert mshrs.inflight_completion(2, now=10) is None
+    # After completion the entry is gone.
+    assert mshrs.inflight_completion(1, now=80) is None
+
+
+def test_reset():
+    mshrs = MshrFile(2)
+    mshrs.try_allocate(1, now=0, completion=10)
+    mshrs.reset()
+    assert mshrs.occupancy == 0
+    assert mshrs.allocations == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        MshrFile(0)

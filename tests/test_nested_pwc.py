@@ -1,0 +1,87 @@
+"""Focused tests: PWC interactions inside nested (2D) walks.
+
+Figure 7's 24-access schedule collapses in practice because both PWC
+dimensions absorb repeated structure; these tests pin the collapse points.
+"""
+
+from repro.mem.hierarchy import CacheHierarchy
+from repro.pagetable.constants import LARGE_PAGE_SIZE, PAGE_SIZE
+from repro.pagetable.nested import NestedPageWalker
+from repro.pagetable.pwc import SplitPwc
+from tests.test_hypervisor import HEAP, make_vm
+
+
+def make_walker():
+    hierarchy = CacheHierarchy()
+    return NestedPageWalker(hierarchy, SplitPwc(), SplitPwc()), hierarchy
+
+
+def count(records, prefix, label=None):
+    return sum(
+        1 for key, served in records
+        if key.startswith(prefix) and (label is None or served == label)
+    )
+
+
+def test_guest_pwc_hit_skips_host_walks_too():
+    walker, _ = make_walker()
+    vm = make_vm(heap_pages=1 << 14)
+    vm.touch(HEAP)
+    walker.walk(vm.nested_path(HEAP))
+    # Neighbouring page: same guest PL1 node -> guest PWC hit at PL2.
+    neighbour = HEAP + PAGE_SIZE
+    vm.touch(neighbour)
+    outcome = walker.walk(vm.nested_path(neighbour))
+    # Guest levels 4..2 are PWC hits, so their three host 1D walks never
+    # happen: only the gPL1 host walk + entry + data host walk remain.
+    assert count(outcome.records, "g", "PWC") == 3
+    host_accesses = count(outcome.records, "h")
+    assert host_accesses <= 2 * 4 + 2  # two host walks (+probes recorded)
+
+
+def test_host_pwc_shared_across_guest_steps():
+    walker, _ = make_walker()
+    vm = make_vm()
+    vm.touch(HEAP)
+    outcome = walker.walk(vm.nested_path(HEAP))
+    # Within one cold 2D walk, later host walks reuse hPT upper levels
+    # cached by the first one.
+    h4_pwc = count(outcome.records, "h4", "PWC")
+    assert h4_pwc >= 3  # four of the five host walks can hit
+
+
+def test_far_guest_pages_share_little():
+    walker, _ = make_walker()
+    vm = make_vm(heap_pages=1 << 19)  # 2GB heap
+    far = HEAP + (1 << 30)  # different guest PL3 subtree
+    vm.touch(HEAP)
+    vm.touch(far)
+    walker.walk(vm.nested_path(HEAP))
+    outcome = walker.walk(vm.nested_path(far))
+    # The guest PL1 entry for the far page cannot be a guest-PWC hit.
+    assert count(outcome.records, "g1", "PWC") == 0
+
+
+def test_large_guest_pages_shorten_guest_dimension():
+    walker, _ = make_walker()
+    vm = make_vm(heap_pages=0)  # no 4KB heap; map a 2MB-backed VMA
+    vma_base = 0x7000_0000_0000
+    vm.mmap(vma_base, 4 * LARGE_PAGE_SIZE, page_level=2)
+    vm.touch(vma_base)
+    path = vm.nested_path(vma_base)
+    # Guest chain stops at gPL2 (leaf PTE): three guest entries, four host
+    # walks (three for PT nodes + one for data) -> 3 + 4*4 = 19 accesses.
+    assert path.guest_leaf_level == 2
+    outcome = walker.walk(path)
+    assert len(outcome.records) == 19
+
+
+def test_repeat_2d_walk_is_pwc_bound():
+    walker, hierarchy = make_walker()
+    vm = make_vm()
+    vm.touch(HEAP)
+    walker.walk(vm.nested_path(HEAP))
+    outcome = walker.walk(vm.nested_path(HEAP))
+    # Guest PWC covers g4..g2; only the gPL1 entry and two host walks'
+    # L1-resident lines remain.
+    assert outcome.latency < 60

@@ -1,0 +1,48 @@
+"""Unit tests for first-touch ordering models (demand paging order)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.order import first_touch_order
+
+
+def test_sequential_is_va_order():
+    vpns = np.array([9, 3, 7, 3, 1], dtype=np.int64)
+    assert first_touch_order(vpns, "sequential").tolist() == [1, 3, 7, 9]
+
+
+def test_demand_is_first_touch_order():
+    vpns = np.array([9, 3, 7, 3, 1], dtype=np.int64)
+    assert first_touch_order(vpns, "demand").tolist() == [9, 3, 7, 1]
+
+
+def test_chunked_sorts_within_chunks():
+    # Chunk = vpn >> 8.  Two chunks, touched B-chunk first.
+    vpns = np.array([600, 10, 520, 30, 512], dtype=np.int64)
+    out = first_touch_order(vpns, "chunked").tolist()
+    assert out == [512, 520, 600, 10, 30]
+
+
+def test_all_orders_cover_all_pages():
+    rng = np.random.default_rng(1)
+    vpns = rng.integers(0, 5000, size=2000)
+    for order in ("sequential", "demand", "chunked"):
+        out = first_touch_order(vpns, order)
+        assert set(out.tolist()) == set(np.unique(vpns).tolist())
+        assert len(out) == len(np.unique(vpns))
+
+
+def test_unknown_order_raises():
+    with pytest.raises(ValueError):
+        first_touch_order(np.array([1]), "random")
+
+
+def test_workload_spec_validates_order():
+    from repro.workloads.base import VmaSpec, WorkloadSpec
+
+    with pytest.raises(ValueError):
+        WorkloadSpec(
+            name="x", description="",
+            vmas=(VmaSpec(name="v", size_bytes=4096, weight=1.0),),
+            init_order="bogus",
+        )

@@ -1,0 +1,59 @@
+"""Unit tests for the machine-model parameters (Table 5)."""
+
+import pytest
+
+from repro.params import (
+    DEFAULT_MACHINE,
+    CacheParams,
+    HierarchyParams,
+    MachineParams,
+    PwcParams,
+    TlbHierarchyParams,
+)
+
+
+def test_table5_cache_geometry():
+    h = HierarchyParams()
+    assert h.l1.size_bytes == 32 * 1024 and h.l1.ways == 8
+    assert h.l2.size_bytes == 256 * 1024 and h.l2.ways == 8
+    assert h.l3.size_bytes == 20 * 1024 * 1024 and h.l3.ways == 20
+    assert (h.l1.latency, h.l2.latency, h.l3.latency,
+            h.memory_latency) == (4, 12, 40, 191)
+
+
+def test_table5_tlb_geometry():
+    t = TlbHierarchyParams()
+    assert t.l1.entries == 64 and t.l1.ways == 8
+    assert t.l2.entries == 1536 and t.l2.ways == 6
+    assert t.l2.sets == 256
+
+
+def test_table5_pwc_geometry():
+    p = PwcParams()
+    assert p.latency == 2
+    assert (p.pl4_entries, p.pl3_entries, p.pl2_entries) == (2, 4, 32)
+    assert p.pl2_ways == 4
+
+
+def test_cache_derived_fields():
+    c = CacheParams(size_bytes=64 * 128, ways=4, latency=1)
+    assert c.lines == 128
+    assert c.sets == 32
+
+
+def test_pwc_scaling_preserves_latency():
+    scaled = PwcParams().scaled(4)
+    assert scaled.pl2_entries == 128
+    assert scaled.latency == 2
+
+
+def test_machine_with_pwc_scale_is_nondestructive():
+    machine = DEFAULT_MACHINE.with_pwc_scale(2)
+    assert machine.pwc.pl2_entries == 64
+    assert DEFAULT_MACHINE.pwc.pl2_entries == 32
+    assert machine.hierarchy == DEFAULT_MACHINE.hierarchy
+
+
+def test_params_are_hashable():
+    # Frozen dataclasses: usable as cache keys for experiment configs.
+    assert hash(DEFAULT_MACHINE) == hash(MachineParams())

@@ -1,0 +1,122 @@
+"""Unit tests for the process address space (demand paging, PT placement)."""
+
+import pytest
+
+from repro.kernelsim.process import SegmentationFault
+from repro.pagetable import constants as c
+from tests.conftest import HEAP_BASE, make_process
+
+
+def test_touch_faults_once():
+    process, _ = make_process()
+    first = process.touch(HEAP_BASE)
+    assert first.faulted
+    second = process.touch(HEAP_BASE)
+    assert not second.faulted
+    assert second.frame == first.frame
+    assert process.faults == 1
+
+
+def test_touch_outside_vmas_segfaults():
+    process, _ = make_process()
+    with pytest.raises(SegmentationFault):
+        process.touch(0xDEAD_0000_0000)
+
+
+def test_walk_path_after_touch():
+    process, _ = make_process()
+    process.touch(HEAP_BASE)
+    path = process.walk_path(HEAP_BASE)
+    assert [s.level for s in path.steps] == [4, 3, 2, 1]
+
+
+def test_baseline_pt_nodes_scattered_by_buddy():
+    process, _ = make_process(heap_pages=512 * 64, seed=5)
+    # Touch one page per PL1 node so each touch creates a PL1 node.
+    for i in range(64):
+        process.touch(HEAP_BASE + i * c.LARGE_PAGE_SIZE)
+    regions = process.pt_contiguous_regions()
+    # Buddy placement scatters PT pages into many short runs (Table 2's
+    # observation): far more than the 2 regions ASAP would produce.
+    assert regions > 4
+
+
+def test_asap_layout_pt_nodes_contiguous():
+    process, _ = make_process(heap_pages=512 * 64, asap_levels=(1, 2))
+    for i in range(64):
+        process.touch(HEAP_BASE + i * c.LARGE_PAGE_SIZE)
+    # PL1+PL2 nodes sit in reserved regions; only the root and PL3 are
+    # buddy-placed.
+    regions = process.pt_contiguous_regions()
+    assert regions <= 4
+
+
+def test_populate_counts_faults():
+    process, _ = make_process()
+    vpns = [HEAP_BASE // c.PAGE_SIZE + i for i in range(10)]
+    assert process.populate(vpns) == 10
+    assert process.populate(vpns) == 0
+
+
+def test_cluster_frames_reflect_population():
+    process, _ = make_process()
+    vpn = HEAP_BASE // c.PAGE_SIZE
+    process.touch(HEAP_BASE)
+    frames = process.cluster_frames(vpn)
+    assert frames[vpn & 7] is not None
+
+
+def test_sequential_touch_order_gives_contiguous_frames():
+    """Buddy runs make first-touch order = frame order, the contiguity
+    Clustered TLB exploits (§5.4.1)."""
+    process, _ = make_process(seed=11)
+    process.buddy.configure_pool(process.data_pool, 256.0)
+    frames = [process.touch(HEAP_BASE + i * c.PAGE_SIZE).frame
+              for i in range(16)]
+    contiguous = sum(1 for a, b in zip(frames, frames[1:]) if b == a + 1)
+    assert contiguous >= 12
+
+
+def test_large_page_vma():
+    process, heap = make_process(heap_pages=2048, page_level=2)
+    result = process.touch(HEAP_BASE)
+    assert result.leaf_level == 2
+    assert result.frame % 512 == 0
+    path = process.walk_path(HEAP_BASE + 5 * c.PAGE_SIZE)
+    assert path.leaf_level == 2
+    assert len(path.steps) == 3
+
+
+def test_large_page_vma_requires_alignment():
+    process, _ = make_process()
+    with pytest.raises(ValueError):
+        process.mmap(0x1234_0000_1000, 1 << 21, page_level=2)
+
+
+def test_mmap_alignment_validation():
+    process, _ = make_process()
+    with pytest.raises(ValueError):
+        process.mmap(0x100, 4096)
+
+
+def test_brk_growth_then_touch():
+    process, heap = make_process(growable=True, asap_levels=(1, 2))
+    old_end = heap.end
+    process.brk(heap, 64 * c.PAGE_SIZE)
+    result = process.touch(old_end + c.PAGE_SIZE)
+    assert result.faulted
+
+
+def test_pt_page_count_inventory():
+    process, _ = make_process()
+    process.touch(HEAP_BASE)
+    # root + PL3 + PL2 + PL1
+    assert process.pt_page_count() == 4
+
+
+def test_created_nodes_reported_on_fault():
+    process, _ = make_process()
+    result = process.touch(HEAP_BASE)
+    assert [lvl for lvl, _, _ in result.created_nodes] == [3, 2, 1]
+    result2 = process.touch(HEAP_BASE + c.PAGE_SIZE)
+    assert result2.created_nodes == []

@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+These pin down the invariants the reproduction's correctness rests on:
+cache/TLB capacity and LRU behaviour, the bijectivity of the trace
+permutation, the base-plus-offset identity of the ASAP layout, and the
+never-hurts overlap rule of the walker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.range_registers import VmaDescriptor
+from repro.kernelsim.buddy import BuddyAllocator
+from repro.kernelsim.phys import PhysicalMemory
+from repro.kernelsim.pt_layout import AsapPtLayout
+from repro.kernelsim.vma import Vma
+from repro.mem.cache import SetAssociativeCache
+from repro.pagetable import constants as c
+from repro.pagetable.radix import RadixPageTable
+from repro.params import CacheParams, TlbParams
+from repro.tlb.clustered import ClusteredTlb
+from repro.tlb.tlb import Tlb
+from repro.workloads.generators import bounded_zipf, permute
+
+lines = st.lists(st.integers(min_value=0, max_value=4095), min_size=1,
+                 max_size=300)
+
+
+class TestCacheProperties:
+    @given(lines)
+    def test_occupancy_never_exceeds_capacity(self, stream):
+        cache = SetAssociativeCache(
+            CacheParams(size_bytes=64 * 16, ways=4, latency=1)
+        )
+        for line in stream:
+            cache.install(line)
+        assert cache.occupancy <= 16
+
+    @given(lines)
+    def test_installed_line_hits_immediately(self, stream):
+        cache = SetAssociativeCache(
+            CacheParams(size_bytes=64 * 16, ways=4, latency=1)
+        )
+        for line in stream:
+            cache.install(line)
+            assert cache.contains(line)
+
+    @given(lines)
+    def test_most_recent_ways_survive_in_each_set(self, stream):
+        ways = 4
+        cache = SetAssociativeCache(
+            CacheParams(size_bytes=64 * 8 * ways, ways=ways, latency=1)
+        )
+        for line in stream:
+            cache.install(line)
+        # The last `ways` distinct lines of any one set must be resident.
+        last_per_set: dict[int, list[int]] = {}
+        for line in reversed(stream):
+            bucket = last_per_set.setdefault(line % 8, [])
+            if line not in bucket and len(bucket) < ways:
+                bucket.append(line)
+        for bucket in last_per_set.values():
+            for line in bucket:
+                assert cache.contains(line)
+
+
+class TestTlbProperties:
+    @given(st.lists(st.tuples(st.integers(0, 10_000),
+                              st.integers(0, 1 << 30)),
+                    min_size=1, max_size=200))
+    def test_lookup_returns_last_fill(self, pairs):
+        tlb = Tlb(TlbParams(entries=4096, ways=8))
+        expected = {}
+        for tag, frame in pairs:
+            tlb.fill(tag, frame)
+            expected[tag] = frame
+        # Capacity is large enough that nothing was evicted.
+        for tag, frame in expected.items():
+            assert tlb.lookup(tag) == frame
+
+    @given(st.lists(st.integers(0, 1 << 25), min_size=1, max_size=200))
+    def test_clustered_tlb_returns_correct_frames(self, vpns):
+        tlb = ClusteredTlb(TlbParams(entries=4096, ways=8))
+        mapping = {vpn: vpn * 7 + 3 for vpn in vpns}
+        for vpn, frame in mapping.items():
+            tlb.fill(vpn, frame)
+        for vpn in vpns:
+            hit = tlb.lookup(vpn)
+            if hit is not None:
+                assert hit == mapping[vpn]
+
+
+class TestPermutationProperties:
+    @given(st.integers(2, 1 << 22), st.integers(0, 1 << 30))
+    @settings(max_examples=30)
+    def test_permute_is_bijective_on_samples(self, n_items, seed):
+        sample = np.arange(0, min(n_items, 2048), dtype=np.int64)
+        out = permute(sample, n_items, seed)
+        assert len(np.unique(out)) == len(sample)
+        assert out.min() >= 0
+        assert int(out.max()) < n_items
+
+    @given(st.integers(1, 1 << 20), st.floats(0.2, 2.5),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=30)
+    def test_bounded_zipf_stays_in_range(self, n_items, alpha, seed):
+        rng = np.random.default_rng(seed)
+        ranks = bounded_zipf(rng, n_items, alpha, 500)
+        assert ranks.min() >= 0
+        assert int(ranks.max()) < n_items
+
+
+class TestAsapLayoutProperties:
+    @given(
+        st.integers(0, 1 << 35).map(lambda x: x & ~(c.PAGE_SIZE - 1)),
+        st.integers(1, 1 << 32).map(
+            lambda x: max(c.PAGE_SIZE, x & ~(c.PAGE_SIZE - 1))
+        ),
+        st.integers(0, 500),
+    )
+    @settings(max_examples=50)
+    def test_descriptor_arithmetic_matches_layout(self, start, size,
+                                                  page_index):
+        """For any VMA geometry and any page in it, the range-register
+        base-plus-offset computation must land exactly on the entry the
+        ASAP layout placed (the Figure 5 invariant)."""
+        buddy = BuddyAllocator(PhysicalMemory(1 << 42), seed=1)
+        layout = AsapPtLayout(buddy, levels=(1, 2))
+        vma = Vma(start=c.PAGE_SIZE + start, size=size)
+        layout.register_vma(vma)
+        va = min(vma.start + page_index * c.PAGE_SIZE, vma.end - 1)
+        descriptor = VmaDescriptor(
+            start=vma.start, end=vma.end,
+            level_bases=tuple(sorted(layout.descriptor_bases(vma).items())),
+        )
+        for level in (1, 2):
+            tag = c.node_tag(va, level)
+            node_addr = layout.place_node(vma, level, tag)
+            expected = node_addr + c.level_index(va, level) * c.ENTRY_BYTES
+            assert descriptor.entry_addr(va, level) == expected
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=100))
+    @settings(max_examples=30)
+    def test_sorted_order_invariant(self, page_indices):
+        """Footnote 1: va_x < va_y implies entry_addr(x) < entry_addr(y)."""
+        buddy = BuddyAllocator(PhysicalMemory(1 << 42), seed=2)
+        layout = AsapPtLayout(buddy, levels=(1,))
+        vma = Vma(start=1 << 30, size=1 << 33)
+        layout.register_vma(vma)
+        addresses = []
+        for index in sorted(set(page_indices)):
+            va = vma.start + index * c.PAGE_SIZE
+            tag = c.node_tag(va, 1)
+            node = layout.place_node(vma, 1, tag)
+            addresses.append(node + c.level_index(va, 1) * c.ENTRY_BYTES)
+        assert addresses == sorted(addresses)
+
+
+class TestRadixProperties:
+    @given(st.lists(st.integers(0, (1 << 47) - 1), min_size=1,
+                    max_size=100))
+    @settings(max_examples=30)
+    def test_mapped_pages_always_resolve(self, vas):
+        pt = RadixPageTable()
+        for index, va in enumerate(vas):
+            pt.map_page(va, frame=index + 1)
+        for va in vas:
+            hit = pt.lookup(va)
+            assert hit is not None
+            path = pt.walk_path(va)
+            assert path.frame == hit[0]
+            assert [s.level for s in path.steps] == [4, 3, 2, 1]
+
+    @given(st.lists(st.integers(0, (1 << 47) - 1), min_size=1,
+                    max_size=60))
+    @settings(max_examples=30)
+    def test_node_count_grows_monotonically(self, vas):
+        pt = RadixPageTable()
+        previous = pt.node_count()
+        for va in vas:
+            pt.map_page(va, frame=1)
+            current = pt.node_count()
+            assert current >= previous
+            previous = current
+
+
+class TestBuddyProperties:
+    @given(st.integers(0, 1 << 30), st.integers(1, 2000))
+    @settings(max_examples=30)
+    def test_allocated_frames_unique(self, seed, count):
+        buddy = BuddyAllocator(PhysicalMemory(1 << 40), seed=seed)
+        frames = buddy.alloc_frames(count)
+        assert len(set(frames)) == count
+
+    @given(st.lists(st.integers(1, 512), min_size=1, max_size=30),
+           st.integers(0, 1 << 20))
+    @settings(max_examples=30)
+    def test_reservations_never_overlap(self, sizes, seed):
+        buddy = BuddyAllocator(PhysicalMemory(1 << 40), seed=seed)
+        spans = []
+        for size in sizes:
+            base = buddy.reserve_contiguous(size, headroom=size // 2)
+            spans.append((base, base + size + size // 2))
+        spans.sort()
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2

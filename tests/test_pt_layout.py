@@ -1,0 +1,125 @@
+"""Unit tests for the ASAP page-table layout (contiguity + sorted order)."""
+
+import pytest
+
+from repro.kernelsim.buddy import BuddyAllocator
+from repro.kernelsim.phys import PhysicalMemory
+from repro.kernelsim.pt_layout import AsapPtLayout
+from repro.kernelsim.vma import Vma
+from repro.pagetable import constants as c
+
+BASE = 0x5555_0000_0000
+
+
+def make_layout(levels=(1, 2), **kwargs):
+    buddy = BuddyAllocator(PhysicalMemory(1 << 40), seed=1)
+    return AsapPtLayout(buddy, levels=levels, **kwargs), buddy
+
+
+def test_region_sizes_match_vma_span():
+    layout, _ = make_layout()
+    # 1GB VMA: 512 PL1 nodes, 1 PL2 node.
+    vma = Vma(BASE, 1 << 30)
+    layout.register_vma(vma)
+    assert layout.region(vma, 1).capacity == 512
+    assert layout.region(vma, 2).capacity == 1
+
+
+def test_nodes_are_contiguous_and_sorted():
+    layout, _ = make_layout()
+    vma = Vma(BASE, 1 << 30)
+    layout.register_vma(vma)
+    region = layout.region(vma, 1)
+    addrs = [
+        layout.place_node(vma, 1, region.first_tag + i) for i in range(512)
+    ]
+    assert addrs == [region.base_addr + i * c.NODE_BYTES for i in range(512)]
+
+
+def test_descriptor_base_plus_offset_identity():
+    """The core ASAP invariant: for every VA in the VMA, the descriptor
+    arithmetic lands exactly on the node the layout placed (Figure 5)."""
+    layout, _ = make_layout()
+    vma = Vma(BASE + 37 * c.PAGE_SIZE, 1 << 29)  # deliberately unaligned
+    layout.register_vma(vma)
+    for level in (1, 2):
+        base = layout.descriptor_bases(vma)[level]
+        for va in (vma.start, vma.start + 12345 * c.PAGE_SIZE, vma.end - 1):
+            tag = c.node_tag(va, level)
+            node_addr = layout.place_node(vma, level, tag)
+            expected_entry = node_addr + c.level_index(va, level) * 8
+            computed = base + (va >> c.level_shift(level)) * 8
+            assert computed == expected_entry
+
+
+def test_unregistered_vma_falls_back_to_buddy():
+    layout, buddy = make_layout()
+    vma = Vma(BASE, 1 << 30)
+    addr = layout.place_node(vma, 1, c.node_tag(vma.start, 1))
+    assert addr % c.NODE_BYTES == 0
+    assert layout.is_hole(vma, 1, vma.start)
+
+
+def test_growth_extends_into_headroom():
+    layout, _ = make_layout(headroom_fraction=0.5)
+    vma = Vma(BASE, 1 << 30, growable=True)
+    layout.register_vma(vma)
+    region = layout.region(vma, 1)
+    vma.size += 100 * c.LARGE_PAGE_SIZE  # grow by 100 PL1 nodes' worth
+    grown_tag = region.first_tag + 512 + 50
+    addr = layout.place_node(vma, 1, grown_tag)
+    assert addr == region.node_addr(grown_tag)
+    assert not layout.is_hole(vma, 1,
+                              vma.start + (512 + 50) * c.LARGE_PAGE_SIZE)
+
+
+def test_growth_beyond_headroom_creates_holes():
+    layout, _ = make_layout(headroom_fraction=0.1)
+    vma = Vma(BASE, 1 << 30, growable=True)
+    layout.register_vma(vma)
+    region = layout.region(vma, 1)
+    vma.size += 1 << 30  # double: far beyond 10% headroom
+    far_tag = region.first_tag + 1000
+    layout.place_node(vma, 1, far_tag)
+    assert layout.holes_created >= 1
+    far_va = vma.start + 1000 * c.LARGE_PAGE_SIZE
+    assert layout.is_hole(vma, 1, far_va)
+    # Walks still work: the node got a real (buddy) frame, just unprefetchable.
+
+
+def test_pinned_failure_probability_creates_holes():
+    layout, _ = make_layout(pinned_failure_prob=1.0)
+    vma = Vma(BASE, 1 << 30)
+    layout.register_vma(vma)
+    region = layout.region(vma, 1)
+    layout.place_node(vma, 1, region.first_tag)
+    assert layout.holes_created == 1
+    assert layout.is_hole(vma, 1, vma.start)
+
+
+def test_non_growable_vma_has_no_headroom():
+    layout, buddy = make_layout()
+    vma = Vma(BASE, 1 << 30, growable=False)
+    layout.register_vma(vma)
+    region = layout.region(vma, 1)
+    assert region.reserved_total == region.capacity
+
+
+def test_reserved_cost_is_tiny_fraction_of_dataset():
+    """§3.3 'Cost': PT regions for a 100GB dataset are ~0.2% of it."""
+    layout, _ = make_layout()
+    vma = Vma(BASE, 100 << 30)
+    layout.register_vma(vma)
+    reserved = layout.total_reserved_bytes
+    # PL1: 100GB/2MB = 51200 nodes = 200MB; PL2: 100 nodes = 400KB.
+    assert reserved == pytest.approx(200 * (1 << 20), rel=0.01)
+    assert reserved / (100 << 30) < 0.003
+
+
+def test_double_registration_is_idempotent():
+    layout, buddy = make_layout()
+    vma = Vma(BASE, 1 << 30)
+    layout.register_vma(vma)
+    before = buddy.stats.reservations
+    layout.register_vma(vma)
+    assert buddy.stats.reservations == before

@@ -1,0 +1,83 @@
+"""Unit tests for the split page-walk caches."""
+
+import pytest
+
+from repro.pagetable.constants import level_shift
+from repro.pagetable.pwc import SplitPwc
+from repro.params import PwcParams
+
+VA = 0x5555_0000_0000
+
+
+def test_cold_probe_misses():
+    pwc = SplitPwc()
+    assert pwc.probe(VA) is None
+
+
+def test_insert_then_probe_hits_deepest():
+    pwc = SplitPwc()
+    pwc.insert(VA, leaf_level=1)
+    assert pwc.probe(VA) == 2  # deepest intermediate level
+
+
+def test_probe_prefers_deeper_levels():
+    pwc = SplitPwc()
+    pwc.insert(VA, leaf_level=1)
+    # A VA sharing the PL3 entry but not PL2: probe should hit at 3.
+    other = VA + (1 << level_shift(2))
+    assert pwc.probe(other) == 3
+
+
+def test_pl4_only_hit():
+    pwc = SplitPwc()
+    pwc.insert(VA, leaf_level=1)
+    other = VA + (1 << level_shift(3))
+    assert pwc.probe(other) == 4
+
+
+def test_large_page_walk_does_not_cache_pl2():
+    # A 2MB walk's PL2 entry is a leaf PTE; it belongs in the TLB.
+    pwc = SplitPwc()
+    pwc.insert(VA, leaf_level=2)
+    assert pwc.probe(VA) == 3
+
+
+def test_capacity_eviction():
+    params = PwcParams(pl2_entries=2, pl2_ways=2)
+    pwc = SplitPwc(params)
+    for i in range(3):
+        pwc.insert(VA + i * (1 << level_shift(2)), leaf_level=1)
+    # The first PL2 entry was evicted (LRU), but PL3 still covers it.
+    assert pwc.probe(VA) == 3
+
+
+def test_five_level_pwc():
+    pwc = SplitPwc(top_level=5)
+    va = 1 << 52
+    pwc.insert(va, leaf_level=1)
+    assert pwc.probe(va) == 2
+    other = va + (1 << level_shift(4))
+    assert pwc.probe(other) == 5
+
+
+def test_flush():
+    pwc = SplitPwc()
+    pwc.insert(VA, leaf_level=1)
+    pwc.flush()
+    assert pwc.probe(VA) is None
+
+
+def test_hit_rate():
+    pwc = SplitPwc()
+    pwc.probe(VA)
+    pwc.insert(VA, leaf_level=1)
+    pwc.probe(VA)
+    assert pwc.hit_rate() == pytest.approx(0.5)
+
+
+def test_scaled_params_double_capacity():
+    params = PwcParams().scaled(2)
+    assert params.pl2_entries == 64
+    assert params.pl4_entries == 4
+    pwc = SplitPwc(params)
+    assert pwc.latency == 2  # latency unchanged by scaling

@@ -1,0 +1,77 @@
+"""Unit tests for ASAP range registers / VMA descriptors."""
+
+import pytest
+
+from repro.core.range_registers import RangeRegisterFile, VmaDescriptor
+from repro.pagetable.constants import level_shift
+
+MB = 1 << 20
+
+
+def descriptor(start, size, bases=((1, 0),)):
+    return VmaDescriptor(start=start, end=start + size, level_bases=bases)
+
+
+def test_lookup_hit_and_miss():
+    rrf = RangeRegisterFile()
+    d = descriptor(0x1000_0000, 16 * MB)
+    rrf.load([d])
+    assert rrf.lookup(0x1000_0000) is d
+    assert rrf.lookup(0x1000_0000 + 16 * MB) is None
+    assert rrf.hits == 1
+    assert rrf.misses == 1
+
+
+def test_lookup_between_descriptors_misses():
+    rrf = RangeRegisterFile()
+    rrf.load([descriptor(0x1000_0000, MB), descriptor(0x3000_0000, MB)])
+    assert rrf.lookup(0x2000_0000) is None
+
+
+def test_capacity_keeps_largest_vmas():
+    rrf = RangeRegisterFile(capacity=2)
+    small = [descriptor(i * 0x1000_0000, MB) for i in range(4)]
+    big = descriptor(0x7000_0000_0000, 100 * MB)
+    rrf.load(small + [big])
+    assert len(rrf) == 2
+    assert rrf.lookup(0x7000_0000_0000) is big
+
+
+def test_overlapping_descriptors_rejected():
+    rrf = RangeRegisterFile()
+    with pytest.raises(ValueError):
+        rrf.load([descriptor(0, 2 * MB), descriptor(MB, 2 * MB)])
+
+
+def test_entry_addr_base_plus_offset():
+    base1 = 0x10_0000_0000
+    base2 = 0x20_0000_0000
+    d = descriptor(0, 1 << 30, bases=((1, base1), (2, base2)))
+    va = 0x1234_5000
+    assert d.entry_addr(va, 1) == base1 + (va >> level_shift(1)) * 8
+    assert d.entry_addr(va, 2) == base2 + (va >> level_shift(2)) * 8
+    assert d.entry_addr(va, 3) is None  # no base for PL3
+
+
+def test_entry_addrs_are_sorted_with_va():
+    """Sorted order (footnote 1 of the paper): va_x < va_y implies the PL1
+    entry of x sits at a lower physical address than that of y."""
+    d = descriptor(0, 1 << 30, bases=((1, 1 << 40),))
+    addrs = [d.entry_addr(va, 1) for va in range(0, 1 << 30, 1 << 21)]
+    assert addrs == sorted(addrs)
+
+
+def test_levels_property():
+    d = descriptor(0, MB, bases=((1, 0), (2, 0)))
+    assert d.levels == (1, 2)
+
+
+def test_coverage_bytes():
+    rrf = RangeRegisterFile()
+    rrf.load([descriptor(0, MB), descriptor(1 << 40, 3 * MB)])
+    assert rrf.coverage_bytes == 4 * MB
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        RangeRegisterFile(capacity=0)

@@ -1,0 +1,135 @@
+"""Integration tests: the native simulator end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import config as cfg
+from repro.sim.runner import Scale, make_trace, run_native
+from repro.sim.simulator import NativeSimulation, build_native_descriptors
+from repro.workloads.corunner import Corunner
+from repro.workloads.suite import get
+
+SCALE = Scale(trace_length=6_000, warmup=1_000, seed=7)
+
+
+@pytest.fixture(scope="module")
+def mc80_baseline():
+    return run_native("mc80", cfg.BASELINE, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def mc80_asap():
+    return run_native("mc80", cfg.P1_P2, scale=SCALE)
+
+
+class TestBasicInvariants:
+    def test_accesses_match_measured_window(self, mc80_baseline):
+        assert mc80_baseline.accesses == SCALE.trace_length - SCALE.warmup
+
+    def test_cycle_decomposition(self, mc80_baseline):
+        stats = mc80_baseline
+        assert stats.cycles == (stats.base_cycles + stats.data_cycles
+                                + stats.walk_cycles)
+
+    def test_walks_do_not_exceed_accesses(self, mc80_baseline):
+        assert 0 < mc80_baseline.walks <= mc80_baseline.accesses
+
+    def test_walk_latency_has_floor(self, mc80_baseline):
+        # A walk costs at least the PWC probe + one L1 access.
+        assert mc80_baseline.avg_walk_latency >= 6
+
+    def test_service_distribution_covers_all_levels(self, mc80_baseline):
+        for pt_level in (4, 3, 2, 1):
+            assert mc80_baseline.service.total(pt_level) == \
+                mc80_baseline.walks
+
+
+class TestAsapEffect:
+    def test_asap_reduces_walk_latency(self, mc80_baseline, mc80_asap):
+        assert mc80_asap.avg_walk_latency < mc80_baseline.avg_walk_latency
+
+    def test_asap_does_not_change_walk_count(self, mc80_baseline,
+                                             mc80_asap):
+        # ASAP accelerates walks; it must not change how many happen.
+        assert mc80_asap.walks == mc80_baseline.walks
+
+    def test_prefetches_are_issued_and_useful(self, mc80_asap):
+        assert mc80_asap.prefetches_issued > 0
+        assert mc80_asap.prefetches_useful > 0
+        assert (mc80_asap.prefetches_useful
+                <= mc80_asap.prefetches_issued)
+
+    def test_p1_config_requires_layout(self):
+        spec = get("mcf")
+        process = spec.build_process()  # no ASAP layout
+        with pytest.raises(ValueError):
+            NativeSimulation(process, asap=cfg.P1)
+
+    def test_p1p2_at_least_as_good_as_p1(self):
+        p1 = run_native("mc400", cfg.P1, scale=SCALE)
+        p12 = run_native("mc400", cfg.P1_P2, scale=SCALE)
+        assert p12.avg_walk_latency <= p1.avg_walk_latency * 1.02
+
+
+class TestScenarios:
+    def test_colocation_increases_walk_latency(self, mc80_baseline):
+        coloc = run_native("mc80", cfg.BASELINE, colocated=True,
+                           scale=SCALE)
+        assert coloc.avg_walk_latency > mc80_baseline.avg_walk_latency
+
+    def test_infinite_tlb_kills_all_walks(self, mc80_baseline):
+        infinite = run_native("mc80", cfg.BASELINE, infinite_tlb=True,
+                              scale=SCALE)
+        assert infinite.walks == 0
+        assert infinite.cycles < mc80_baseline.cycles
+
+    def test_clustered_tlb_reduces_walks(self, mc80_baseline):
+        clustered = run_native("mcf", cfg.BASELINE, clustered_tlb=True,
+                               scale=SCALE)
+        plain = run_native("mcf", cfg.BASELINE, scale=SCALE)
+        assert clustered.walks < plain.walks
+
+    def test_five_level_pt_adds_walk_work(self):
+        # Every walk now visits a fifth level (mostly hidden by PWC/L1,
+        # §3.5) — it must show in the service records, and it cannot make
+        # walks meaningfully faster.
+        four = run_native("mc400", cfg.BASELINE, scale=SCALE, pt_levels=4)
+        five = run_native("mc400", cfg.BASELINE, scale=SCALE, pt_levels=5)
+        assert five.service.total(5) == five.walks
+        assert five.avg_walk_latency >= 0.98 * four.avg_walk_latency
+
+
+class TestDescriptors:
+    def test_descriptors_cover_largest_vmas(self):
+        spec = get("mc80")
+        process = spec.build_process(asap_levels=(1, 2))
+        descriptors = build_native_descriptors(process, 16)
+        assert len(descriptors) >= 6  # the six slabs
+        covered = sum(d.end - d.start for d in descriptors)
+        assert covered > 0.98 * spec.footprint_bytes
+
+    def test_trace_cache_reuses_arrays(self):
+        spec = get("mcf")
+        a = make_trace(spec, SCALE)
+        b = make_trace(spec, SCALE)
+        assert a is b
+
+
+class TestDeterminism:
+    def test_same_seed_same_stats(self):
+        a = run_native("canneal", cfg.P1_P2, scale=SCALE)
+        b = run_native("canneal", cfg.P1_P2, scale=SCALE)
+        assert a.walk_cycles == b.walk_cycles
+        assert a.cycles == b.cycles
+
+    def test_corunner_is_deterministic(self):
+        spec = get("canneal")
+        trace = make_trace(spec, SCALE)
+        runs = []
+        for _ in range(2):
+            sim = NativeSimulation(
+                spec.build_process(seed=SCALE.seed),
+                corunner=Corunner(seed=5, intensity=2),
+            )
+            runs.append(sim.run(trace, warmup=SCALE.warmup).walk_cycles)
+        assert runs[0] == runs[1]

@@ -1,0 +1,55 @@
+"""Unit tests for simulation statistics."""
+
+import pytest
+
+from repro.sim.stats import ServiceDistribution, SimStats
+
+
+class TestServiceDistribution:
+    def test_record_and_fractions(self):
+        dist = ServiceDistribution()
+        dist.record(1, "MEM")
+        dist.record(1, "MEM")
+        dist.record(1, "MEM")
+        dist.record(1, "L1")
+        dist.record(2, "PWC")
+        assert dist.fractions(1) == {"L1": 0.25, "MEM": 0.75}
+        assert dist.fractions(2) == {"PWC": 1.0}
+        assert dist.fractions(3) == {}
+
+    def test_record_walk_bulk(self):
+        dist = ServiceDistribution()
+        dist.record_walk([(4, "PWC"), (3, "PWC"), (2, "L2"), (1, "MEM")])
+        assert dist.count(4, "PWC") == 1
+        assert dist.total(1) == 1
+
+    def test_string_levels_for_nested_walks(self):
+        dist = ServiceDistribution()
+        dist.record("g1", "MEM")
+        dist.record("h4", "PWC")
+        assert "g1" in dist.levels()
+        assert dist.fractions("h4") == {"PWC": 1.0}
+
+
+class TestSimStats:
+    def test_zero_division_guards(self):
+        stats = SimStats()
+        assert stats.avg_walk_latency == 0.0
+        assert stats.walk_fraction == 0.0
+        assert stats.mpki == 0.0
+        assert stats.tlb_miss_ratio == 0.0
+        assert stats.l2_tlb_miss_ratio == 0.0
+
+    def test_derived_metrics(self):
+        stats = SimStats(accesses=2000, cycles=10_000, walk_cycles=2_500,
+                         walks=50, tlb_l2_hits=150)
+        assert stats.avg_walk_latency == 50.0
+        assert stats.walk_fraction == 0.25
+        assert stats.mpki == 25.0
+        assert stats.l2_tlb_miss_ratio == pytest.approx(0.25)
+
+    def test_summary_is_readable(self):
+        stats = SimStats(accesses=10, cycles=100, walk_cycles=40, walks=2)
+        text = stats.summary()
+        assert "walks=2" in text
+        assert "40.0%" in text

@@ -1,0 +1,106 @@
+"""Property-based tests on walk timing — the ASAP overlap model.
+
+The paper's central safety-of-optimisation claim: prefetches are pure
+overlap, so an ASAP walk is never slower than the same walk without
+prefetches, and never faster than the best single access could allow.
+These properties are checked against hypothesis-generated cache states
+and walk shapes.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import AsapConfig
+from repro.mem.hierarchy import CacheHierarchy
+from repro.pagetable.pwc import SplitPwc
+from repro.pagetable.radix import RadixPageTable
+from repro.pagetable.walker import PageWalker
+
+#: Strategy: a virtual address in the canonical lower half, page aligned.
+vas = st.integers(0, (1 << 46) - 1).map(lambda x: x & ~0xFFF)
+#: Strategy: lines to pre-warm (models arbitrary prior cache state).
+warm_lines = st.lists(st.integers(0, 1 << 30), max_size=50)
+
+
+def _walk_pair(va: int, warm: list[int], levels: tuple[int, ...]):
+    """Price the same cold-state walk without and with ASAP prefetches."""
+    pt = RadixPageTable()
+    pt.map_page(va, frame=1234)
+    path = pt.walk_path(va)
+
+    def run(with_prefetch: bool) -> int:
+        hierarchy = CacheHierarchy()
+        hierarchy.warm(warm)
+        walker = PageWalker(hierarchy, SplitPwc())
+        prefetches = None
+        if with_prefetch:
+            prefetches = {}
+            for step in path.steps:
+                if step.level in levels:
+                    completion = hierarchy.prefetch_line(step.line, 0)
+                    if completion is not None:
+                        prefetches[step.level] = completion
+        return walker.walk(path, 0, prefetches).latency
+
+    return run(False), run(True)
+
+
+class TestOverlapNeverHurts:
+    @given(vas, warm_lines, st.sets(st.sampled_from([1, 2]), min_size=1))
+    @settings(max_examples=60)
+    def test_asap_walk_never_slower(self, va, warm, levels):
+        baseline, asap = _walk_pair(va, warm, tuple(levels))
+        assert asap <= baseline
+
+    @given(vas, warm_lines)
+    @settings(max_examples=40)
+    def test_asap_walk_bounded_below_by_single_access(self, va, warm):
+        """A walk can't beat PWC-probe + one L1 hit; with everything
+        prefetched it can't beat the longest single prefetch either."""
+        baseline, asap = _walk_pair(va, warm, (1, 2))
+        assert asap >= 2 + 4  # PWC probe + one L1-D access
+        assert baseline >= asap >= 6
+
+
+class TestWalkDecomposition:
+    @given(vas)
+    @settings(max_examples=40)
+    def test_cold_walk_is_sum_of_serial_accesses(self, va):
+        pt = RadixPageTable()
+        pt.map_page(va, frame=7)
+        hierarchy = CacheHierarchy()
+        walker = PageWalker(hierarchy, SplitPwc())
+        outcome = walker.walk(pt.walk_path(va))
+        # Fully cold: every level from DRAM, serialized.
+        assert outcome.latency == 2 + 4 * 191
+        assert [served for _, served in outcome.records] == ["MEM"] * 4
+
+    @given(vas, st.integers(0, 3))
+    @settings(max_examples=40)
+    def test_warmer_caches_never_lengthen_walks(self, va, warm_levels):
+        pt = RadixPageTable()
+        pt.map_page(va, frame=7)
+        path = pt.walk_path(va)
+        cold_hierarchy = CacheHierarchy()
+        cold = PageWalker(cold_hierarchy, SplitPwc()).walk(path).latency
+        warm_hierarchy = CacheHierarchy()
+        warm_hierarchy.warm([s.line for s in path.steps[:warm_levels]])
+        warm = PageWalker(warm_hierarchy, SplitPwc()).walk(path).latency
+        assert warm <= cold
+
+
+class TestConfigAlgebra:
+    @given(st.sets(st.sampled_from([1, 2, 3])),
+           st.sets(st.sampled_from([1, 2])),
+           st.sets(st.sampled_from([1, 2])))
+    @settings(max_examples=30)
+    def test_config_levels_normalised(self, native, guest, host):
+        config = AsapConfig(
+            native_levels=tuple(native),
+            guest_levels=tuple(guest),
+            host_levels=tuple(host),
+        )
+        assert config.native_levels == tuple(sorted(native))
+        assert config.enabled == bool(native or guest or host)

@@ -1,0 +1,98 @@
+"""Unit tests for the plain TLB and the two-level TLB hierarchy."""
+
+import pytest
+
+from repro.params import TlbHierarchyParams, TlbParams
+from repro.tlb.hierarchy import TlbHierarchy
+from repro.tlb.tlb import Tlb
+
+
+class TestPlainTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb(TlbParams(entries=8, ways=2))
+        assert tlb.lookup(5) is None
+        tlb.fill(5, 500)
+        assert tlb.lookup(5) == 500
+
+    def test_lru_within_set(self):
+        tlb = Tlb(TlbParams(entries=2, ways=2))  # one set
+        tlb.fill(0, 10)
+        tlb.fill(2, 20)
+        tlb.lookup(0)
+        victim = tlb.fill(4, 40)
+        assert victim == 2
+        assert tlb.lookup(0) == 10
+
+    def test_invalidate(self):
+        tlb = Tlb(TlbParams(entries=8, ways=2))
+        tlb.fill(5, 500)
+        assert tlb.invalidate(5)
+        assert tlb.lookup(5) is None
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            TlbParams(entries=7, ways=2)
+
+
+class TestTlbHierarchy:
+    def test_miss_fill_hit(self):
+        tlbs = TlbHierarchy()
+        assert tlbs.lookup(100) is None
+        tlbs.fill(100, 7)
+        assert tlbs.lookup(100) == 7
+        assert tlbs.l1_hits == 1
+
+    def test_l2_hit_refills_l1(self):
+        params = TlbHierarchyParams(
+            l1=TlbParams(entries=2, ways=2),
+            l2=TlbParams(entries=64, ways=4),
+        )
+        tlbs = TlbHierarchy(params)
+        for vpn in range(4):
+            tlbs.fill(vpn, vpn)
+        # vpn 0 was evicted from the tiny L1 but lives in L2.
+        assert tlbs.lookup(0) == 0
+        assert tlbs.l2_hits == 1
+        assert tlbs.lookup(0) == 0
+        assert tlbs.l1_hits == 1
+
+    def test_large_page_covers_512_vpns(self):
+        tlbs = TlbHierarchy()
+        base_vpn = 512 * 7
+        tlbs.fill(base_vpn, 4096, large=True)
+        # Any vpn within the 2MB region hits via the large tag.
+        assert tlbs.lookup(base_vpn + 17) == 4096
+        # Outside the region: miss.
+        assert tlbs.lookup(base_vpn + 512) is None
+
+    def test_misses_count_walks(self):
+        tlbs = TlbHierarchy()
+        for vpn in range(10):
+            tlbs.lookup(vpn)
+        assert tlbs.walks_triggered == 10
+        assert tlbs.mpki(10_000) == pytest.approx(1.0)
+
+    def test_infinite_tlb_never_evicts(self):
+        tlbs = TlbHierarchy(infinite=True)
+        for vpn in range(100_000):
+            tlbs.fill(vpn, vpn)
+        assert tlbs.lookup(0) == 0
+        assert tlbs.lookup(99_999) == 99_999
+        assert tlbs.stats.misses == 0
+
+    def test_clustered_l2_variant_coalesces(self):
+        tlbs = TlbHierarchy(clustered=True)
+        # 8 virtually consecutive pages mapping 8 physically consecutive
+        # frames: one cluster entry.
+        neighbours = list(range(800, 808))
+        tlbs.fill(0, 800, neighbour_frames=neighbours)
+        assert tlbs.l2_clustered is not None
+        assert tlbs.l2_clustered.occupancy == 1
+        # vpn 5 was never filled explicitly but coalesced in.
+        assert tlbs.lookup(5) == 805
+
+    def test_flush(self):
+        tlbs = TlbHierarchy()
+        tlbs.fill(1, 1)
+        tlbs.flush()
+        assert tlbs.lookup(1) is None

@@ -1,0 +1,28 @@
+"""The paper's qualitative shapes, checked end to end.
+
+`repro.validation` is the executable definition of "reproduced"; running
+it in the test suite (small scale) guards against calibration regressions.
+"""
+
+import pytest
+
+from repro.sim.runner import Scale
+from repro.validation import CHECKS, validate_shapes
+
+SCALE = Scale(trace_length=10_000, warmup=2_000, seed=42)
+
+
+def test_every_check_has_a_paper_reference():
+    for check in CHECKS:
+        assert check.where
+        assert check.claim
+
+
+@pytest.fixture(scope="module")
+def failures():
+    return validate_shapes(SCALE)
+
+
+def test_shapes_hold(failures):
+    # All of the paper's qualitative claims must hold even at test scale.
+    assert failures == []

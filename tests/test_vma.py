@@ -1,0 +1,97 @@
+"""Unit tests for VMAs and the VMA tree."""
+
+import pytest
+
+from repro.kernelsim.vma import Vma, VmaKind, VmaOverlapError, VmaTree
+
+MB = 1 << 20
+
+
+def test_find_inside_and_outside():
+    tree = VmaTree()
+    vma = tree.insert(Vma(0x1000_0000, 16 * MB, name="heap"))
+    assert tree.find(0x1000_0000) is vma
+    assert tree.find(0x1000_0000 + 16 * MB - 1) is vma
+    assert tree.find(0x1000_0000 + 16 * MB) is None
+    assert tree.find(0x0FFF_FFFF) is None
+
+
+def test_overlap_rejected():
+    tree = VmaTree()
+    tree.insert(Vma(0x1000_0000, 16 * MB))
+    with pytest.raises(VmaOverlapError):
+        tree.insert(Vma(0x1000_0000 + 8 * MB, 16 * MB))
+    with pytest.raises(VmaOverlapError):
+        tree.insert(Vma(0x1000_0000 - 8 * MB, 16 * MB))
+
+
+def test_adjacent_vmas_allowed():
+    tree = VmaTree()
+    tree.insert(Vma(0, 4096))
+    tree.insert(Vma(4096, 4096))
+    assert len(tree) == 2
+
+
+def test_iteration_in_address_order():
+    tree = VmaTree()
+    tree.insert(Vma(0x3000_0000, MB))
+    tree.insert(Vma(0x1000_0000, MB))
+    tree.insert(Vma(0x2000_0000, MB))
+    starts = [v.start for v in tree]
+    assert starts == sorted(starts)
+
+
+def test_extend_growable():
+    tree = VmaTree()
+    heap = tree.insert(Vma(0x1000_0000, MB, growable=True))
+    tree.extend(heap, MB)
+    assert heap.size == 2 * MB
+    assert tree.find(0x1000_0000 + MB + 100) is heap
+
+
+def test_extend_non_growable_rejected():
+    tree = VmaTree()
+    vma = tree.insert(Vma(0x1000_0000, MB))
+    with pytest.raises(ValueError):
+        tree.extend(vma, MB)
+
+
+def test_extend_collision_with_next_vma():
+    tree = VmaTree()
+    heap = tree.insert(Vma(0x1000_0000, MB, growable=True))
+    tree.insert(Vma(0x1000_0000 + 2 * MB, MB))
+    with pytest.raises(VmaOverlapError):
+        tree.extend(heap, 2 * MB)
+
+
+def test_coverage_count_matches_table2_metric():
+    tree = VmaTree()
+    # One huge heap plus a spray of small libraries: 1 VMA covers 99%.
+    tree.insert(Vma(0x1000_0000_0000, 10_000 * MB, kind=VmaKind.HEAP))
+    for i in range(15):
+        tree.insert(Vma(0x7000_0000_0000 + i * 4 * MB, MB,
+                        kind=VmaKind.LIBRARY))
+    assert tree.count_for_coverage(0.99) == 1
+    assert len(tree) == 16
+
+
+def test_coverage_with_multiple_large_vmas():
+    tree = VmaTree()
+    for i in range(4):
+        tree.insert(Vma(0x1000_0000_0000 + i * (1 << 40), 1000 * MB))
+    assert tree.count_for_coverage(0.99) == 4
+    assert tree.count_for_coverage(0.25) == 1
+
+
+def test_largest():
+    tree = VmaTree()
+    tree.insert(Vma(0, MB, name="small"))
+    big = tree.insert(Vma(1 << 40, 100 * MB, name="big"))
+    assert tree.largest(1) == [big]
+
+
+def test_empty_tree_edge_cases():
+    tree = VmaTree()
+    assert tree.find(0) is None
+    assert tree.count_for_coverage() == 0
+    assert tree.total_bytes == 0
