@@ -15,7 +15,15 @@ Public API tour
 * ``repro.workloads`` — the Table 3 benchmark suite and the SMT co-runner.
 * ``repro.sim`` — trace-driven simulators; ``run_native`` and
   ``run_virtualized`` are the one-call entry points.
+* ``repro.runtime`` — parallel experiment runtime: hashable job specs,
+  sweep engine, on-disk result cache and process fan-out.
 * ``repro.experiments`` — one module per reproduced table/figure.
+
+Paper cross-references: §2 background (radix walks, nested walks, PWCs),
+§3 ASAP design (§3.1 range registers, §3.4 prefetcher, §3.7 PT layout),
+§4 methodology (Table 3 workloads, Table 5 machine), §5 evaluation (the
+``repro.experiments`` modules).  See docs/ARCHITECTURE.md for the layer
+map and EXPERIMENTS.md for measured-vs-paper commentary.
 
 Quickstart
 ----------

@@ -5,8 +5,17 @@ Commands
 * ``list``                     — show workloads and ASAP configurations
 * ``run WORKLOAD [options]``   — one scenario, print its statistics
 * ``experiment NAME``          — regenerate one table/figure (e.g. fig8)
-* ``report [--fast]``          — regenerate everything
+* ``sweep [--only NAME ...]``  — every experiment as one parallel batch
+* ``report [--fast]``          — regenerate everything, section by section
 * ``validate``                 — check the paper's qualitative shapes
+
+Parallelism and caching
+-----------------------
+``experiment``, ``sweep`` and ``report`` all accept ``--jobs N`` (fan the
+job grid out over N worker processes), ``--cache-dir DIR`` and
+``--no-cache`` (on-disk result cache keyed by job spec and code version).
+Results are identical for any ``--jobs`` value: every job seeds its own
+randomness from its spec.
 """
 
 from __future__ import annotations
@@ -15,6 +24,8 @@ import argparse
 import sys
 
 from repro.core import config as cfg
+from repro.runtime.cache import DEFAULT_CACHE_DIR
+from repro.runtime.engine import Engine, positive_int
 from repro.sim.runner import Scale, run_native, run_virtualized
 from repro.workloads.suite import ALL_NAMES, WORKLOADS
 
@@ -28,6 +39,27 @@ _CONFIGS = {
     "full": cfg.FULL_2D,
     "large-host": cfg.LARGE_HOST,
 }
+
+
+def _engine_from(args) -> Engine:
+    return Engine.from_options(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        progress=getattr(args, "progress", False),
+    )
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=positive_int, default=1,
+                        help="worker processes (default: 1, serial)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="on-disk result cache "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--progress", action="store_true",
+                        help="stream per-job progress to stderr")
 
 
 def _cmd_list(_args) -> int:
@@ -81,26 +113,41 @@ def _cmd_run(args) -> int:
 def _cmd_experiment(args) -> int:
     from repro.experiments import report
 
-    lookup = {
-        "table1": "Table 1", "table2": "Table 2", "fig2": "Figure 2",
-        "fig3": "Figure 3", "fig8": "Figure 8", "fig9": "Figure 9",
-        "fig10": "Figure 10", "table6": "Table 6",
-        "fig11": "Figure 11 + Table 7", "table7": "Figure 11 + Table 7",
-        "fig12": "Figure 12", "ablations": "Ablations",
-    }
-    wanted = lookup.get(args.name)
-    if wanted is None:
-        print(f"unknown experiment {args.name!r}; one of "
-              f"{sorted(set(lookup))}", file=sys.stderr)
+    try:
+        selected = report._select([args.name])
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
     scale = Scale(trace_length=args.trace_length,
                   warmup=args.trace_length // 5, seed=args.seed)
-    for name, runner in report.SECTIONS:
-        if name == wanted:
-            result = runner(scale)
-            for table in report._tables(result):
-                print(table.render())
-                print()
+    engine = _engine_from(args)
+    for _, module in selected:
+        result = module.run(scale, engine)
+        for table in report._tables(result):
+            print(table.render())
+            print()
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    import dataclasses
+
+    from repro.experiments import report
+    from repro.experiments.common import DEFAULT_SCALE
+
+    scale = DEFAULT_SCALE
+    if args.fast:
+        scale = scale.smaller(4)
+    if args.trace_length:
+        scale = dataclasses.replace(scale, trace_length=args.trace_length,
+                                    warmup=args.trace_length // 5)
+    scale = dataclasses.replace(scale, seed=args.seed)
+    engine = _engine_from(args)
+    try:
+        report.run_sweep(scale, engine, only=args.only)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -108,6 +155,11 @@ def _cmd_report(args) -> int:
     from repro.experiments import report
 
     argv = ["--fast"] if args.fast else []
+    argv += ["--jobs", str(args.jobs), "--cache-dir", args.cache_dir]
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.progress:
+        argv.append("--progress")
     return report.main(argv)
 
 
@@ -143,9 +195,23 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("name")
     exp.add_argument("--trace-length", type=int, default=30_000)
     exp.add_argument("--seed", type=int, default=42)
+    _add_engine_options(exp)
+
+    sweep = sub.add_parser(
+        "sweep", help="run every experiment as one parallel batch")
+    sweep.add_argument("--only", action="append", default=None,
+                       metavar="NAME",
+                       help="limit to one experiment (repeatable), "
+                            "e.g. --only fig8 --only table2")
+    sweep.add_argument("--fast", action="store_true",
+                       help="reduced scale (quick smoke pass)")
+    sweep.add_argument("--trace-length", type=int, default=None)
+    sweep.add_argument("--seed", type=int, default=42)
+    _add_engine_options(sweep)
 
     rep = sub.add_parser("report", help="regenerate everything")
     rep.add_argument("--fast", action="store_true")
+    _add_engine_options(rep)
 
     val = sub.add_parser("validate", help="check paper-shape invariants")
     val.add_argument("--trace-length", type=int, default=20_000)
@@ -159,6 +225,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "experiment": _cmd_experiment,
+        "sweep": _cmd_sweep,
         "report": _cmd_report,
         "validate": _cmd_validate,
     }[args.command]

@@ -1,5 +1,10 @@
 """ASAP — the paper's contribution: range registers, configurations and the
-prefetch engine that accelerates page walks."""
+prefetch engine that accelerates page walks.
+
+Paper cross-references: §3.1 (walk-ahead concept), §3.4 (the prefetcher
+and its range-register file, 8-16 VMA descriptors), §3.5 (five-level
+extension), §3.6 (the two-dimensional guest/host ladder of Figure 10).
+"""
 
 from repro.core.config import (
     BASELINE,

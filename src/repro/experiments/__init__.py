@@ -1,8 +1,16 @@
-"""One module per reproduced table/figure of the paper's evaluation.
+"""One module per reproduced table/figure of the paper's evaluation (§5).
 
-Each module exposes ``run(scale=None)`` returning one or more
+Each module exposes ``jobs(scale)`` (its grid as declarative
+:class:`~repro.runtime.job.Job` specs), ``tables(results, scale)`` and
+``run(scale=None, engine=None)`` returning one or more
 :class:`~repro.experiments.common.ExperimentTable` objects that render in
-the paper's layout.  ``repro.experiments.report`` regenerates everything.
+the paper's layout.  ``repro.experiments.report`` regenerates everything;
+``python -m repro sweep`` batches all grids through one engine call.
+
+Paper cross-references: Tables 1/2 and Figures 2/3 (§1-2 motivation),
+Figures 8-10 (§5.1-5.2 ASAP ladders), Table 6 (§5.3 projection),
+Figure 11/Table 7 (§5.4.1 Clustered TLB), Figure 12 (§5.4.2 2MB host
+pages), ablations (§5.1.1 PWC capacity, §3.5 five-level, §3.7.2 holes).
 """
 
 from repro.experiments import (

@@ -13,37 +13,48 @@
 
 from __future__ import annotations
 
-from dataclasses import replace
+from typing import Any, Mapping
 
-from repro.core.config import AsapConfig, BASELINE, P1_P2, P1_P2_P3
+from repro.core.config import BASELINE, P1_P2, P1_P2_P3
 from repro.experiments.common import (
     DEFAULT_SCALE,
+    Engine,
     ExperimentTable,
+    execute,
     mean,
     reduction,
 )
-from repro.params import DEFAULT_MACHINE
-from repro.sim.runner import Scale, make_trace, run_native
-from repro.sim.simulator import NativeSimulation
-from repro.workloads.suite import ALL_NAMES, get
+from repro.runtime.job import NATIVE, Job
+from repro.sim.runner import Scale
 
 PWC_WORKLOADS = ("mcf", "pagerank", "mc80", "redis")
+FIVE_LEVEL_WORKLOADS = ("mcf", "mc80", "redis")
+HOLE_RATES = (0.0, 0.05, 0.2, 0.5)
 
 
-def run_pwc_scaling(scale: Scale | None = None) -> ExperimentTable:
-    """Doubling PWC capacity (native, isolation)."""
-    scale = scale or DEFAULT_SCALE
-    doubled = DEFAULT_MACHINE.with_pwc_scale(2)
+# ----------------------------------------------------------------------
+# PWC capacity (§5.1.1)
+# ----------------------------------------------------------------------
+def _pwc_job(name: str, pwc_scale: int, scale: Scale) -> Job:
+    return Job(kind=NATIVE, workload=name, config=BASELINE, scale=scale,
+               pwc_scale=pwc_scale)
+
+
+def pwc_jobs(scale: Scale) -> list[Job]:
+    return [_pwc_job(name, pwc_scale, scale)
+            for name in PWC_WORKLOADS
+            for pwc_scale in (1, 2)]
+
+
+def pwc_tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
     table = ExperimentTable(
         title="Ablation (§5.1.1): doubling every PWC's capacity",
         columns=["workload", "default_pwc", "doubled_pwc", "red_%"],
         notes="Paper: ~2% reduction in native scenarios.",
     )
     for name in PWC_WORKLOADS:
-        base = run_native(name, BASELINE, scale=scale,
-                          collect_service=False)
-        big = run_native(name, BASELINE, machine=doubled, scale=scale,
-                         collect_service=False)
+        base = results[_pwc_job(name, 1, scale)]
+        big = results[_pwc_job(name, 2, scale)]
         table.add_row(
             workload=name,
             default_pwc=base.avg_walk_latency,
@@ -61,9 +72,37 @@ def run_pwc_scaling(scale: Scale | None = None) -> ExperimentTable:
     return table
 
 
-def run_five_level(scale: Scale | None = None) -> ExperimentTable:
-    """Four- vs five-level page tables, baseline and ASAP (§3.5)."""
+def run_pwc_scaling(scale: Scale | None = None,
+                    engine: Engine | None = None) -> ExperimentTable:
+    """Doubling PWC capacity (native, isolation)."""
     scale = scale or DEFAULT_SCALE
+    return pwc_tables(execute(pwc_jobs(scale), engine), scale)
+
+
+# ----------------------------------------------------------------------
+# Five-level page tables (§3.5)
+# ----------------------------------------------------------------------
+_FIVE_LEVEL_GRID = (
+    ("4L_base", BASELINE, 4),
+    ("5L_base", BASELINE, 5),
+    ("5L_P1+P2", P1_P2, 5),
+    ("5L_P1+P2+P3", P1_P2_P3, 5),
+)
+
+
+def _five_job(name: str, config, pt_levels: int, scale: Scale) -> Job:
+    return Job(kind=NATIVE, workload=name, config=config, scale=scale,
+               pt_levels=pt_levels)
+
+
+def five_level_jobs(scale: Scale) -> list[Job]:
+    return [_five_job(name, config, pt_levels, scale)
+            for name in FIVE_LEVEL_WORKLOADS
+            for _, config, pt_levels in _FIVE_LEVEL_GRID]
+
+
+def five_level_tables(results: Mapping[Job, Any],
+                      scale: Scale) -> ExperimentTable:
     table = ExperimentTable(
         title="Ablation (§3.5): five-level page tables",
         columns=["workload", "4L_base", "5L_base", "5L_P1+P2",
@@ -71,49 +110,46 @@ def run_five_level(scale: Scale | None = None) -> ExperimentTable:
         notes="The extra level deepens walks; the P3 prefetch target "
               "recovers the added latency.",
     )
-    for name in ("mcf", "mc80", "redis"):
-        base4 = run_native(name, BASELINE, scale=scale, pt_levels=4,
-                           collect_service=False)
-        base5 = run_native(name, BASELINE, scale=scale, pt_levels=5,
-                           collect_service=False)
-        p12 = run_native(name, P1_P2, scale=scale, pt_levels=5,
-                         collect_service=False)
-        p123 = run_native(name, P1_P2_P3, scale=scale, pt_levels=5,
-                          collect_service=False)
-        table.add_row(
-            workload=name,
-            **{
-                "4L_base": base4.avg_walk_latency,
-                "5L_base": base5.avg_walk_latency,
-                "5L_P1+P2": p12.avg_walk_latency,
-                "5L_P1+P2+P3": p123.avg_walk_latency,
-                "5L_red_%": reduction(base5.avg_walk_latency,
-                                      p123.avg_walk_latency),
-            },
-        )
+    for name in FIVE_LEVEL_WORKLOADS:
+        row: dict[str, object] = {"workload": name}
+        for label, config, pt_levels in _FIVE_LEVEL_GRID:
+            stats = results[_five_job(name, config, pt_levels, scale)]
+            row[label] = stats.avg_walk_latency
+        row["5L_red_%"] = reduction(row["5L_base"], row["5L_P1+P2+P3"])
+        table.add_row(**row)
     return table
 
 
-def run_holes(scale: Scale | None = None) -> ExperimentTable:
-    """PT-region holes degrade gracefully (§3.7.2)."""
+def run_five_level(scale: Scale | None = None,
+                   engine: Engine | None = None) -> ExperimentTable:
+    """Four- vs five-level page tables, baseline and ASAP (§3.5)."""
     scale = scale or DEFAULT_SCALE
-    spec = get("mc80")
-    trace = make_trace(spec, scale)
+    return five_level_tables(execute(five_level_jobs(scale), engine), scale)
+
+
+# ----------------------------------------------------------------------
+# PT-region holes (§3.7.2)
+# ----------------------------------------------------------------------
+def _hole_job(hole_rate: float, scale: Scale) -> Job:
+    # Holes are injected at node-placement (fault) time, so the failure
+    # probability is part of the job spec rather than a post-hoc mutation.
+    return Job(kind=NATIVE, workload="mc80", config=P1_P2, scale=scale,
+               hole_rate=hole_rate)
+
+
+def hole_jobs(scale: Scale) -> list[Job]:
+    return [_hole_job(rate, scale) for rate in HOLE_RATES]
+
+
+def hole_tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
     table = ExperimentTable(
         title="Ablation (§3.7.2): ASAP with PT-region holes (mc80, P1+P2)",
         columns=["hole_rate", "avg_walk", "useful_prefetch_%"],
         notes="Holes lose acceleration for their walks but never break "
               "correctness.",
     )
-    for hole_rate in (0.0, 0.05, 0.2, 0.5):
-        # Holes are injected at node-placement (fault) time, so the
-        # failure probability must be set before anything is populated.
-        process = spec.build_process(asap_levels=(1, 2), seed=scale.seed)
-        assert process.asap_layout is not None
-        process.asap_layout.pinned_failure_prob = hole_rate
-        simulation = NativeSimulation(process, asap=P1_P2)
-        stats = simulation.run(trace, warmup=scale.warmup,
-                               collect_service=False)
+    for hole_rate in HOLE_RATES:
+        stats = results[_hole_job(hole_rate, scale)]
         useful = (100.0 * stats.prefetches_useful / stats.prefetches_issued
                   if stats.prefetches_issued else 0.0)
         table.add_row(
@@ -124,12 +160,31 @@ def run_holes(scale: Scale | None = None) -> ExperimentTable:
     return table
 
 
-def run(scale: Scale | None = None) -> list[ExperimentTable]:
+def run_holes(scale: Scale | None = None,
+              engine: Engine | None = None) -> ExperimentTable:
+    """PT-region holes degrade gracefully (§3.7.2)."""
+    scale = scale or DEFAULT_SCALE
+    return hole_tables(execute(hole_jobs(scale), engine), scale)
+
+
+# ----------------------------------------------------------------------
+def jobs(scale: Scale) -> list[Job]:
+    return [*pwc_jobs(scale), *five_level_jobs(scale), *hole_jobs(scale)]
+
+
+def tables(results: Mapping[Job, Any],
+           scale: Scale) -> list[ExperimentTable]:
     return [
-        run_pwc_scaling(scale),
-        run_five_level(scale),
-        run_holes(scale),
+        pwc_tables(results, scale),
+        five_level_tables(results, scale),
+        hole_tables(results, scale),
     ]
+
+
+def run(scale: Scale | None = None,
+        engine: Engine | None = None) -> list[ExperimentTable]:
+    scale = scale or DEFAULT_SCALE
+    return tables(execute(jobs(scale), engine), scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

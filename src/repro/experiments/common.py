@@ -1,7 +1,20 @@
 """Shared infrastructure for the per-figure/table experiment modules.
 
-Every experiment module exposes ``run(scale=None) -> ExperimentTable``;
-the table carries labelled rows and renders itself in the paper's layout
+Every experiment module exposes three functions:
+
+* ``jobs(scale) -> list[Job]`` — the experiment's grid as declarative
+  :class:`~repro.runtime.job.Job` specs;
+* ``tables(results, scale)`` — assemble the module's
+  :class:`ExperimentTable` objects from an executed results mapping;
+* ``run(scale=None, engine=None)`` — the historical one-call entry point,
+  now ``tables(engine.run_jobs(jobs(scale)), scale)``.
+
+Splitting grid construction from table assembly is what lets ``repro
+sweep`` batch every experiment's jobs into one engine invocation: shared
+cells (every ladder's baseline, Table 1's reuse of Figure 3 scenarios, …)
+execute once, and the whole batch fans out over ``--jobs`` processes.
+
+The table carries labelled rows and renders itself in the paper's layout
 so benchmark output reads side by side with the original.
 """
 
@@ -10,10 +23,42 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.core.config import BASELINE
+from repro.runtime.engine import Engine, execute
+from repro.runtime.job import NATIVE, VIRTUALIZED, Job
 from repro.sim.runner import Scale
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "DEPLOYMENT_SCENARIOS",
+    "Engine",
+    "ExperimentTable",
+    "deployment_job",
+    "execute",
+    "mean",
+    "reduction",
+]
 
 #: Default scale for experiment modules when none is given.
 DEFAULT_SCALE = Scale(trace_length=60_000, warmup=12_000, seed=42)
+
+#: The four deployment scenarios of Figures 2/3 as (column label, job
+#: kind, colocated).  Shared so both figures — and anything else sweeping
+#: the deployment dimension — emit value-equal jobs that the engine can
+#: deduplicate across experiments.
+DEPLOYMENT_SCENARIOS = (
+    ("native", NATIVE, False),
+    ("native+coloc", NATIVE, True),
+    ("virtualized", VIRTUALIZED, False),
+    ("virt+coloc", VIRTUALIZED, True),
+)
+
+
+def deployment_job(name: str, kind: str, colocated: bool,
+                   scale: Scale) -> Job:
+    """One baseline deployment-scenario cell (Figures 2/3, Table 1)."""
+    return Job(kind=kind, workload=name, config=BASELINE, scale=scale,
+               colocated=colocated)
 
 
 @dataclass

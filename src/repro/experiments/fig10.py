@@ -8,18 +8,36 @@ buys 13-15%; adding the host dimension 35-39% (isolation) and 37-45%
 
 from __future__ import annotations
 
+from typing import Any, Mapping
+
 from repro.core.config import VIRT_LADDER
 from repro.experiments.common import (
     DEFAULT_SCALE,
+    Engine,
     ExperimentTable,
+    execute,
     mean,
     reduction,
 )
-from repro.sim.runner import Scale, run_virtualized
+from repro.runtime.job import VIRTUALIZED, Job
+from repro.sim.runner import Scale
 from repro.workloads.suite import ALL_NAMES
 
 
-def _panel(colocated: bool, scale: Scale) -> ExperimentTable:
+def _job(name: str, config, colocated: bool, scale: Scale) -> Job:
+    return Job(kind=VIRTUALIZED, workload=name, config=config, scale=scale,
+               colocated=colocated)
+
+
+def jobs(scale: Scale) -> list[Job]:
+    return [_job(name, config, colocated, scale)
+            for colocated in (False, True)
+            for name in ALL_NAMES
+            for config in VIRT_LADDER]
+
+
+def _panel(results: Mapping[Job, Any], colocated: bool,
+           scale: Scale) -> ExperimentTable:
     label = "under SMT colocation" if colocated else "in isolation"
     config_names = [config.name for config in VIRT_LADDER]
     table = ExperimentTable(
@@ -29,15 +47,11 @@ def _panel(colocated: bool, scale: Scale) -> ExperimentTable:
     )
     for name in ALL_NAMES:
         row: dict[str, object] = {"workload": name}
-        baseline_latency = None
         for config in VIRT_LADDER:
-            stats = run_virtualized(name, config, colocated=colocated,
-                                    scale=scale, collect_service=False)
+            stats = results[_job(name, config, colocated, scale)]
             row[config.name] = stats.avg_walk_latency
-            if baseline_latency is None:
-                baseline_latency = stats.avg_walk_latency
         row["best_red_%"] = reduction(
-            baseline_latency, row[config_names[-1]]
+            row[config_names[0]], row[config_names[-1]]
         )
         table.add_row(**row)
     table.add_row(
@@ -50,10 +64,16 @@ def _panel(colocated: bool, scale: Scale) -> ExperimentTable:
     return table
 
 
-def run(scale: Scale | None = None) -> tuple[ExperimentTable,
-                                             ExperimentTable]:
+def tables(results: Mapping[Job, Any],
+           scale: Scale) -> tuple[ExperimentTable, ExperimentTable]:
+    return (_panel(results, False, scale), _panel(results, True, scale))
+
+
+def run(scale: Scale | None = None,
+        engine: Engine | None = None) -> tuple[ExperimentTable,
+                                               ExperimentTable]:
     scale = scale or DEFAULT_SCALE
-    return _panel(False, scale), _panel(True, scale)
+    return tables(execute(jobs(scale), engine), scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,20 +10,43 @@ and canneal, 4-16% for the rest).
 
 from __future__ import annotations
 
+from typing import Any, Mapping
+
 from repro.core.config import BASELINE, P1_P2
 from repro.experiments.common import (
     DEFAULT_SCALE,
+    Engine,
     ExperimentTable,
+    execute,
     mean,
     reduction,
 )
-from repro.sim.runner import Scale, run_native
+from repro.runtime.job import NATIVE, Job
+from repro.sim.runner import Scale
 from repro.workloads.suite import ALL_NAMES
 
+#: (variant label, config, clustered_tlb)
+VARIANTS = (
+    ("base", BASELINE, False),
+    ("clustered", BASELINE, True),
+    ("asap", P1_P2, False),
+    ("both", P1_P2, True),
+)
 
-def run(scale: Scale | None = None) -> tuple[ExperimentTable,
-                                             ExperimentTable]:
-    scale = scale or DEFAULT_SCALE
+
+def _job(name: str, config, clustered: bool, scale: Scale) -> Job:
+    return Job(kind=NATIVE, workload=name, config=config, scale=scale,
+               clustered_tlb=clustered)
+
+
+def jobs(scale: Scale) -> list[Job]:
+    return [_job(name, config, clustered, scale)
+            for name in ALL_NAMES
+            for _, config, clustered in VARIANTS]
+
+
+def tables(results: Mapping[Job, Any],
+           scale: Scale) -> tuple[ExperimentTable, ExperimentTable]:
     fig = ExperimentTable(
         title="Figure 11: reduction in page-walk cycles, native isolation "
               "(higher is better)",
@@ -38,13 +61,10 @@ def run(scale: Scale | None = None) -> tuple[ExperimentTable,
         notes="Paper: 58/48/10/16/4/9/12 %, average 15%.",
     )
     for name in ALL_NAMES:
-        base = run_native(name, BASELINE, scale=scale,
-                          collect_service=False)
-        clustered = run_native(name, BASELINE, clustered_tlb=True,
-                               scale=scale, collect_service=False)
-        asap = run_native(name, P1_P2, scale=scale, collect_service=False)
-        both = run_native(name, P1_P2, clustered_tlb=True, scale=scale,
-                          collect_service=False)
+        base, clustered, asap, both = (
+            results[_job(name, config, flag, scale)]
+            for _, config, flag in VARIANTS
+        )
         fig.add_row(
             workload=name,
             **{
@@ -70,6 +90,13 @@ def run(scale: Scale | None = None) -> tuple[ExperimentTable,
             },
         )
     return fig, tab7
+
+
+def run(scale: Scale | None = None,
+        engine: Engine | None = None) -> tuple[ExperimentTable,
+                                               ExperimentTable]:
+    scale = scale or DEFAULT_SCALE
+    return tables(execute(jobs(scale), engine), scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -9,19 +9,35 @@ under colocation (44% best).
 
 from __future__ import annotations
 
+from typing import Any, Mapping
+
 from repro.core.config import BASELINE, LARGE_HOST
 from repro.experiments.common import (
     DEFAULT_SCALE,
+    Engine,
     ExperimentTable,
+    execute,
     mean,
     reduction,
 )
-from repro.sim.runner import Scale, run_virtualized
+from repro.runtime.job import VIRTUALIZED, Job
+from repro.sim.runner import Scale
 from repro.workloads.suite import ALL_NAMES
 
 
-def run(scale: Scale | None = None) -> ExperimentTable:
-    scale = scale or DEFAULT_SCALE
+def _job(name: str, config, colocated: bool, scale: Scale) -> Job:
+    return Job(kind=VIRTUALIZED, workload=name, config=config, scale=scale,
+               colocated=colocated, host_page_level=2)
+
+
+def jobs(scale: Scale) -> list[Job]:
+    return [_job(name, config, colocated, scale)
+            for name in ALL_NAMES
+            for config in (BASELINE, LARGE_HOST)
+            for colocated in (False, True)]
+
+
+def tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
     table = ExperimentTable(
         title="Figure 12: virtualized walk latency with 2MB host pages "
               "(cycles; lower is better)",
@@ -31,16 +47,10 @@ def run(scale: Scale | None = None) -> ExperimentTable:
               "30% avg / 44% max colocation.",
     )
     for name in ALL_NAMES:
-        base = run_virtualized(name, BASELINE, host_page_level=2,
-                               scale=scale, collect_service=False)
-        asap = run_virtualized(name, LARGE_HOST, host_page_level=2,
-                               scale=scale, collect_service=False)
-        base_c = run_virtualized(name, BASELINE, host_page_level=2,
-                                 colocated=True, scale=scale,
-                                 collect_service=False)
-        asap_c = run_virtualized(name, LARGE_HOST, host_page_level=2,
-                                 colocated=True, scale=scale,
-                                 collect_service=False)
+        base = results[_job(name, BASELINE, False, scale)]
+        asap = results[_job(name, LARGE_HOST, False, scale)]
+        base_c = results[_job(name, BASELINE, True, scale)]
+        asap_c = results[_job(name, LARGE_HOST, True, scale)]
         table.add_row(
             workload=name,
             Baseline=base.avg_walk_latency,
@@ -62,6 +72,12 @@ def run(scale: Scale | None = None) -> ExperimentTable:
         },
     )
     return table
+
+
+def run(scale: Scale | None = None,
+        engine: Engine | None = None) -> ExperimentTable:
+    scale = scale or DEFAULT_SCALE
+    return tables(execute(jobs(scale), engine), scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

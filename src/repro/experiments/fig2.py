@@ -8,35 +8,41 @@ virtualized, virtualized + colocation — for the Figure 2 workload set
 
 from __future__ import annotations
 
-from repro.core.config import BASELINE
-from repro.experiments.common import DEFAULT_SCALE, ExperimentTable, mean
-from repro.sim.runner import Scale, run_native, run_virtualized
+from typing import Any, Mapping
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    DEPLOYMENT_SCENARIOS,
+    Engine,
+    ExperimentTable,
+    deployment_job,
+    execute,
+    mean,
+)
+from repro.runtime.job import Job
+from repro.sim.runner import Scale
 from repro.workloads.suite import FIGURE2_NAMES
 
 
-def run(scale: Scale | None = None) -> ExperimentTable:
-    scale = scale or DEFAULT_SCALE
+def jobs(scale: Scale) -> list[Job]:
+    return [deployment_job(name, kind, colocated, scale)
+            for name in FIGURE2_NAMES
+            for _, kind, colocated in DEPLOYMENT_SCENARIOS]
+
+
+def tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
     table = ExperimentTable(
         title="Figure 2: % of execution time spent in page walks",
-        columns=["workload", "native", "native+coloc", "virtualized",
-                 "virt+coloc"],
+        columns=["workload",
+                 *(label for label, _, _ in DEPLOYMENT_SCENARIOS)],
     )
     for name in FIGURE2_NAMES:
-        native = run_native(name, BASELINE, scale=scale,
-                            collect_service=False)
-        coloc = run_native(name, BASELINE, colocated=True, scale=scale,
-                           collect_service=False)
-        virt = run_virtualized(name, BASELINE, scale=scale,
-                               collect_service=False)
-        virt_coloc = run_virtualized(name, BASELINE, colocated=True,
-                                     scale=scale, collect_service=False)
         table.add_row(
             workload=name,
             **{
-                "native": 100 * native.walk_fraction,
-                "native+coloc": 100 * coloc.walk_fraction,
-                "virtualized": 100 * virt.walk_fraction,
-                "virt+coloc": 100 * virt_coloc.walk_fraction,
+                label: 100 * results[deployment_job(name, kind, coloc,
+                                                    scale)].walk_fraction
+                for label, kind, coloc in DEPLOYMENT_SCENARIOS
             },
         )
     table.add_row(
@@ -47,6 +53,12 @@ def run(scale: Scale | None = None) -> ExperimentTable:
         },
     )
     return table
+
+
+def run(scale: Scale | None = None,
+        engine: Engine | None = None) -> ExperimentTable:
+    scale = scale or DEFAULT_SCALE
+    return tables(execute(jobs(scale), engine), scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -6,35 +6,41 @@ The paper's headline motivation: latency climbs from tens of cycles
 
 from __future__ import annotations
 
-from repro.core.config import BASELINE
-from repro.experiments.common import DEFAULT_SCALE, ExperimentTable, mean
-from repro.sim.runner import Scale, run_native, run_virtualized
+from typing import Any, Mapping
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    DEPLOYMENT_SCENARIOS,
+    Engine,
+    ExperimentTable,
+    deployment_job,
+    execute,
+    mean,
+)
+from repro.runtime.job import Job
+from repro.sim.runner import Scale
 from repro.workloads.suite import ALL_NAMES
 
 
-def run(scale: Scale | None = None) -> ExperimentTable:
-    scale = scale or DEFAULT_SCALE
+def jobs(scale: Scale) -> list[Job]:
+    return [deployment_job(name, kind, colocated, scale)
+            for name in ALL_NAMES
+            for _, kind, colocated in DEPLOYMENT_SCENARIOS]
+
+
+def tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
     table = ExperimentTable(
         title="Figure 3: average page walk latency (cycles)",
-        columns=["workload", "native", "native+coloc", "virtualized",
-                 "virt+coloc"],
+        columns=["workload",
+                 *(label for label, _, _ in DEPLOYMENT_SCENARIOS)],
     )
     for name in ALL_NAMES:
-        native = run_native(name, BASELINE, scale=scale,
-                            collect_service=False)
-        coloc = run_native(name, BASELINE, colocated=True, scale=scale,
-                           collect_service=False)
-        virt = run_virtualized(name, BASELINE, scale=scale,
-                               collect_service=False)
-        virt_coloc = run_virtualized(name, BASELINE, colocated=True,
-                                     scale=scale, collect_service=False)
         table.add_row(
             workload=name,
             **{
-                "native": native.avg_walk_latency,
-                "native+coloc": coloc.avg_walk_latency,
-                "virtualized": virt.avg_walk_latency,
-                "virt+coloc": virt_coloc.avg_walk_latency,
+                label: results[deployment_job(name, kind, coloc,
+                                              scale)].avg_walk_latency
+                for label, kind, coloc in DEPLOYMENT_SCENARIOS
             },
         )
     table.add_row(
@@ -45,6 +51,12 @@ def run(scale: Scale | None = None) -> ExperimentTable:
         },
     )
     return table
+
+
+def run(scale: Scale | None = None,
+        engine: Engine | None = None) -> ExperimentTable:
+    scale = scale or DEFAULT_SCALE
+    return tables(execute(jobs(scale), engine), scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

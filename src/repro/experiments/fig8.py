@@ -6,18 +6,38 @@ colocation), P1+P2 cuts 14% (25% under colocation, up to 42% on mc400).
 
 from __future__ import annotations
 
+from typing import Any, Mapping
+
 from repro.core.config import BASELINE, P1, P1_P2
 from repro.experiments.common import (
     DEFAULT_SCALE,
+    Engine,
     ExperimentTable,
+    execute,
     mean,
     reduction,
 )
-from repro.sim.runner import Scale, run_native
+from repro.runtime.job import NATIVE, Job
+from repro.sim.runner import Scale
 from repro.workloads.suite import ALL_NAMES
 
+LADDER = (BASELINE, P1, P1_P2)
 
-def _panel(colocated: bool, scale: Scale) -> ExperimentTable:
+
+def _job(name: str, config, colocated: bool, scale: Scale) -> Job:
+    return Job(kind=NATIVE, workload=name, config=config, scale=scale,
+               colocated=colocated)
+
+
+def jobs(scale: Scale) -> list[Job]:
+    return [_job(name, config, colocated, scale)
+            for colocated in (False, True)
+            for name in ALL_NAMES
+            for config in LADDER]
+
+
+def _panel(results: Mapping[Job, Any], colocated: bool,
+           scale: Scale) -> ExperimentTable:
     label = "under SMT colocation" if colocated else "in isolation"
     table = ExperimentTable(
         title=f"Figure 8{'b' if colocated else 'a'}: native walk latency "
@@ -26,22 +46,18 @@ def _panel(colocated: bool, scale: Scale) -> ExperimentTable:
                  "P1_red_%", "P1+P2_red_%"],
     )
     for name in ALL_NAMES:
-        base = run_native(name, BASELINE, colocated=colocated, scale=scale,
-                          collect_service=False)
-        p1 = run_native(name, P1, colocated=colocated, scale=scale,
-                        collect_service=False)
-        p12 = run_native(name, P1_P2, colocated=colocated, scale=scale,
-                         collect_service=False)
+        base, p1, p12 = (
+            results[_job(name, config, colocated, scale)].avg_walk_latency
+            for config in LADDER
+        )
         table.add_row(
             workload=name,
-            Baseline=base.avg_walk_latency,
-            P1=p1.avg_walk_latency,
+            Baseline=base,
+            P1=p1,
             **{
-                "P1+P2": p12.avg_walk_latency,
-                "P1_red_%": reduction(base.avg_walk_latency,
-                                      p1.avg_walk_latency),
-                "P1+P2_red_%": reduction(base.avg_walk_latency,
-                                         p12.avg_walk_latency),
+                "P1+P2": p12,
+                "P1_red_%": reduction(base, p1),
+                "P1+P2_red_%": reduction(base, p12),
             },
         )
     table.add_row(
@@ -57,10 +73,16 @@ def _panel(colocated: bool, scale: Scale) -> ExperimentTable:
     return table
 
 
-def run(scale: Scale | None = None) -> tuple[ExperimentTable,
-                                             ExperimentTable]:
+def tables(results: Mapping[Job, Any],
+           scale: Scale) -> tuple[ExperimentTable, ExperimentTable]:
+    return (_panel(results, False, scale), _panel(results, True, scale))
+
+
+def run(scale: Scale | None = None,
+        engine: Engine | None = None) -> tuple[ExperimentTable,
+                                               ExperimentTable]:
     scale = scale or DEFAULT_SCALE
-    return _panel(False, scale), _panel(True, scale)
+    return tables(execute(jobs(scale), engine), scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

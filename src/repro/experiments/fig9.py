@@ -4,13 +4,27 @@ Four panels: mcf and redis, in isolation and under SMT colocation.  The
 paper's reading: mcf's upper levels are ~all PWC hits and its PL1 mostly
 L1-D (little for ASAP to overlap); redis misses the PWC far more at PL2,
 giving ASAP room; colocation drains the L1-D share everywhere.
+
+These four cells deliberately carry ``collect_service=True`` and are
+therefore distinct specs from the Figure 2/3 baseline cells of the same
+scenarios: the sweep re-simulates them (four extra jobs, ~1% of a full
+sweep) rather than letting a job's results differ from what its spec
+alone determines.
 """
 
 from __future__ import annotations
 
+from typing import Any, Mapping
+
 from repro.core.config import BASELINE
-from repro.experiments.common import DEFAULT_SCALE, ExperimentTable
-from repro.sim.runner import Scale, run_native
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    Engine,
+    ExperimentTable,
+    execute,
+)
+from repro.runtime.job import NATIVE, Job
+from repro.sim.runner import Scale
 from repro.sim.stats import SERVICE_LABELS
 
 PANELS = (
@@ -21,10 +35,20 @@ PANELS = (
 )
 
 
-def _panel(letter: str, workload: str, colocated: bool,
-           scale: Scale) -> ExperimentTable:
+def _job(workload: str, colocated: bool, scale: Scale) -> Job:
+    return Job(kind=NATIVE, workload=workload, config=BASELINE,
+               scale=scale, colocated=colocated, collect_service=True)
+
+
+def jobs(scale: Scale) -> list[Job]:
+    return [_job(workload, colocated, scale)
+            for _, workload, colocated in PANELS]
+
+
+def _panel(results: Mapping[Job, Any], letter: str, workload: str,
+           colocated: bool, scale: Scale) -> ExperimentTable:
     label = "under SMT colocation" if colocated else "in isolation"
-    stats = run_native(workload, BASELINE, colocated=colocated, scale=scale)
+    stats = results[_job(workload, colocated, scale)]
     table = ExperimentTable(
         title=f"Figure 9{letter}: {workload} {label} — % of walk requests "
               "served per level",
@@ -39,10 +63,16 @@ def _panel(letter: str, workload: str, colocated: bool,
     return table
 
 
-def run(scale: Scale | None = None) -> list[ExperimentTable]:
-    scale = scale or DEFAULT_SCALE
-    return [_panel(letter, workload, colocated, scale)
+def tables(results: Mapping[Job, Any],
+           scale: Scale) -> list[ExperimentTable]:
+    return [_panel(results, letter, workload, colocated, scale)
             for letter, workload, colocated in PANELS]
+
+
+def run(scale: Scale | None = None,
+        engine: Engine | None = None) -> list[ExperimentTable]:
+    scale = scale or DEFAULT_SCALE
+    return tables(execute(jobs(scale), engine), scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

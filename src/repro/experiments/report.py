@@ -1,13 +1,24 @@
 """Regenerate every reproduced table and figure in one pass.
 
-Run as ``python -m repro.experiments.report [--fast]``.  The full pass at
-the default scale takes tens of minutes (it reruns every scenario of the
-paper's evaluation); ``--fast`` uses a reduced scale for a quick look.
+Run as ``python -m repro.experiments.report [--fast] [--jobs N]``.  The
+full pass at the default scale takes tens of minutes serially (it reruns
+every scenario of the paper's evaluation); ``--fast`` uses a reduced
+scale, ``--jobs`` fans the job grid out over worker processes, and the
+on-disk result cache (``--cache-dir`` / ``--no-cache``) makes re-rendering
+free when no simulator source changed.
+
+``run_sweep`` is the batch entry point behind ``python -m repro sweep``:
+it concatenates every experiment's job grid into one
+:class:`~repro.runtime.sweep.Sweep`, executes it once (cells shared
+between experiments — every ladder's baseline, Table 1's reuse of the
+Figure 3 scenarios — run a single time), then assembles all tables from
+the shared results.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 
@@ -25,22 +36,30 @@ from repro.experiments import (
     table6,
 )
 from repro.experiments.common import DEFAULT_SCALE
+from repro.runtime.cache import DEFAULT_CACHE_DIR
+from repro.runtime.engine import Engine, positive_int
+from repro.runtime.progress import SweepReport
+from repro.runtime.sweep import Sweep
 from repro.sim.runner import Scale
 
-#: (name, callable) in the paper's presentation order.
-SECTIONS = (
-    ("Table 1", table1.run),
-    ("Table 2", table2.run),
-    ("Figure 2", fig2.run),
-    ("Figure 3", fig3.run),
-    ("Figure 8", fig8.run),
-    ("Figure 9", fig9.run),
-    ("Figure 10", fig10.run),
-    ("Table 6", table6.run),
-    ("Figure 11 + Table 7", fig11.run),
-    ("Figure 12", fig12.run),
-    ("Ablations", ablations.run),
+#: (name, module) in the paper's presentation order.  Every module exposes
+#: ``jobs(scale)``, ``tables(results, scale)`` and ``run(scale, engine)``.
+MODULES = (
+    ("Table 1", table1),
+    ("Table 2", table2),
+    ("Figure 2", fig2),
+    ("Figure 3", fig3),
+    ("Figure 8", fig8),
+    ("Figure 9", fig9),
+    ("Figure 10", fig10),
+    ("Table 6", table6),
+    ("Figure 11 + Table 7", fig11),
+    ("Figure 12", fig12),
+    ("Ablations", ablations),
 )
+
+#: (name, callable) back-compat view of :data:`MODULES`.
+SECTIONS = tuple((name, module.run) for name, module in MODULES)
 
 
 def _tables(result) -> list:
@@ -49,15 +68,67 @@ def _tables(result) -> list:
     return [result]
 
 
-def generate(scale: Scale, out=sys.stdout) -> None:
-    for name, runner in SECTIONS:
+def generate(scale: Scale, out=None,
+             engine: Engine | None = None) -> None:
+    """Render every experiment section in order (one engine call each)."""
+    out = out if out is not None else sys.stdout
+    for name, module in MODULES:
         started = time.time()
-        for table in _tables(runner(scale)):
+        for table in _tables(module.run(scale, engine)):
             print(table.render(), file=out)
             print(file=out)
         print(f"[{name}: {time.time() - started:.0f}s]", file=out)
         print(file=out)
         out.flush()
+
+
+def sweep_jobs(scale: Scale, only: list[str] | None = None) -> Sweep:
+    """Every selected experiment's grid as one batch."""
+    selected = _select(only)
+    grids = [module.jobs(scale) for _, module in selected]
+    return Sweep.build("report", *grids)
+
+
+def _select(only: list[str] | None) -> list[tuple[str, object]]:
+    if not only:
+        return list(MODULES)
+    wanted = {_canonical(token) for token in only}
+    selected = [(name, module) for name, module in MODULES
+                if _canonical(name) in wanted]
+    known = {_canonical(name) for name, _ in MODULES}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(
+            f"unknown experiment(s) {sorted(unknown)}; one of {sorted(known)}"
+        )
+    return selected
+
+
+def _canonical(name: str) -> str:
+    """Map 'Figure 8', 'fig8', 'table7', ... onto one canonical token."""
+    token = name.lower().replace(" ", "")
+    token = token.replace("figure", "fig").replace("+table7", "")
+    if token in ("fig11", "table7"):
+        return "fig11"
+    return token
+
+
+def run_sweep(scale: Scale, engine: Engine, out=None,
+              only: list[str] | None = None) -> SweepReport:
+    """Execute every experiment as one deduplicated parallel batch."""
+    out = out if out is not None else sys.stdout
+    selected = _select(only)
+    sweep = Sweep.build("report",
+                        *(module.jobs(scale) for _, module in selected))
+    results = engine.run_jobs(sweep)
+    for name, module in selected:
+        for table in _tables(module.tables(results, scale)):
+            print(table.render(), file=out)
+            print(file=out)
+        out.flush()
+    report = engine.last_report
+    print(f"[sweep] {report.summary()}", file=out)
+    return report
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -67,18 +138,33 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace-length", type=int, default=None)
     parser.add_argument("--warmup", type=int, default=None)
     parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--jobs", type=positive_int, default=1,
+                        help="worker processes for the job grid")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="on-disk result cache location")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--progress", action="store_true",
+                        help="stream per-job progress to stderr")
     args = parser.parse_args(argv)
     scale = DEFAULT_SCALE
     if args.fast:
         scale = scale.smaller(4)
     if args.trace_length:
-        scale = Scale(
+        scale = dataclasses.replace(
+            scale,
             trace_length=args.trace_length,
             warmup=args.warmup
             if args.warmup is not None else args.trace_length // 5,
-            seed=args.seed if args.seed is not None else scale.seed,
         )
-    generate(scale)
+    elif args.warmup is not None:
+        scale = dataclasses.replace(scale, warmup=args.warmup)
+    if args.seed is not None:
+        scale = dataclasses.replace(scale, seed=args.seed)
+    engine = Engine.from_options(jobs=args.jobs, cache_dir=args.cache_dir,
+                                 no_cache=args.no_cache,
+                                 progress=args.progress)
+    generate(scale, engine=engine)
     return 0
 
 

@@ -7,42 +7,58 @@ paper reports: 5x larger dataset 1.2x, SMT colocation 2.7x, virtualization
 
 from __future__ import annotations
 
-from repro.core.config import BASELINE
-from repro.experiments.common import DEFAULT_SCALE, ExperimentTable
-from repro.sim.runner import Scale, run_native, run_virtualized
+from typing import Any, Mapping
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    Engine,
+    ExperimentTable,
+    deployment_job,
+    execute,
+)
+from repro.runtime.job import NATIVE, VIRTUALIZED, Job
+from repro.sim.runner import Scale
+
+#: (row label, workload, job kind, colocated).  The cells are the same
+#: baseline deployment jobs Figures 2/3 sweep, so the engine runs them
+#: once per sweep.
+SCENARIOS = (
+    ("native 80GB (reference)", "mc80", NATIVE, False),
+    ("5x larger dataset (400GB)", "mc400", NATIVE, False),
+    ("SMT colocation", "mc80", NATIVE, True),
+    ("virtualization", "mc80", VIRTUALIZED, False),
+    ("virtualization + SMT colocation", "mc80", VIRTUALIZED, True),
+)
 
 
-def run(scale: Scale | None = None) -> ExperimentTable:
-    scale = scale or DEFAULT_SCALE
-    base = run_native("mc80", BASELINE, scale=scale, collect_service=False)
-    bigger = run_native("mc400", BASELINE, scale=scale,
-                        collect_service=False)
-    coloc = run_native("mc80", BASELINE, colocated=True, scale=scale,
-                       collect_service=False)
-    virt = run_virtualized("mc80", BASELINE, scale=scale,
-                           collect_service=False)
-    virt_coloc = run_virtualized("mc80", BASELINE, colocated=True,
-                                 scale=scale, collect_service=False)
-    reference = base.avg_walk_latency
+def jobs(scale: Scale) -> list[Job]:
+    return [deployment_job(workload, kind, colocated, scale)
+            for _, workload, kind, colocated in SCENARIOS]
+
+
+def tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
+    reference = results[deployment_job("mc80", NATIVE, False,
+                                       scale)].avg_walk_latency
     table = ExperimentTable(
         title=("Table 1: increase in memcached page walk latency "
                "(normalised to native, isolated, 80GB)"),
         columns=["scenario", "avg_walk_cycles", "normalised"],
         notes="Paper: 1.2x / 2.7x / 5.3x / 12.0x.",
     )
-    for label, stats in (
-        ("native 80GB (reference)", base),
-        ("5x larger dataset (400GB)", bigger),
-        ("SMT colocation", coloc),
-        ("virtualization", virt),
-        ("virtualization + SMT colocation", virt_coloc),
-    ):
+    for label, workload, kind, colocated in SCENARIOS:
+        stats = results[deployment_job(workload, kind, colocated, scale)]
         table.add_row(
             scenario=label,
             avg_walk_cycles=stats.avg_walk_latency,
             normalised=stats.avg_walk_latency / reference,
         )
     return table
+
+
+def run(scale: Scale | None = None,
+        engine: Engine | None = None) -> ExperimentTable:
+    scale = scale or DEFAULT_SCALE
+    return tables(execute(jobs(scale), engine), scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

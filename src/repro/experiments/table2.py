@@ -8,32 +8,34 @@ and the need to *induce* PT contiguity (§3.2-3.3).
 The numbers are measured from the simulated OS: the process is built, its
 full footprint is (arithmetically) resident, PT pages are allocated
 through the buddy allocator's PT pool, and the contiguous runs are counted
-from actual frame numbers.
+from actual frame numbers.  The measurement itself runs as a
+:data:`~repro.runtime.job.PT_INVENTORY` job (no trace is simulated).
 """
 
 from __future__ import annotations
 
-from repro.experiments.common import DEFAULT_SCALE, ExperimentTable
-from repro.pagetable import constants as c
+from typing import Any, Mapping
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    Engine,
+    ExperimentTable,
+    execute,
+)
+from repro.runtime.job import PT_INVENTORY, Job
 from repro.sim.runner import Scale
-from repro.workloads.suite import ALL_NAMES, get
+from repro.workloads.suite import ALL_NAMES
 
 
-def _populate_full_pt(process) -> None:
-    """Create every PT node the fully resident footprint needs.
-
-    One touch per PL1 node (one page per 2MB) builds the complete PT
-    without faulting in millions of data pages.
-    """
-    for vma in process.vmas:
-        va = vma.start
-        while va < vma.end:
-            process.touch(va)
-            va += c.LARGE_PAGE_SIZE
+def _job(name: str, scale: Scale) -> Job:
+    return Job(kind=PT_INVENTORY, workload=name, scale=scale)
 
 
-def run(scale: Scale | None = None) -> ExperimentTable:
-    scale = scale or DEFAULT_SCALE
+def jobs(scale: Scale) -> list[Job]:
+    return [_job(name, scale) for name in ALL_NAMES]
+
+
+def tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
     table = ExperimentTable(
         title=("Table 2: VMAs, physical PT contiguity and PT page count "
                "(measured from the simulated OS)"),
@@ -43,17 +45,15 @@ def run(scale: Scale | None = None) -> ExperimentTable:
                "regions counted from buddy-allocated PT frame numbers."),
     )
     for name in ALL_NAMES:
-        spec = get(name)
-        process = spec.build_process(seed=scale.seed)
-        _populate_full_pt(process)
-        table.add_row(
-            application=name,
-            total_vmas=len(process.vmas),
-            vmas_for_99pct=process.vmas.count_for_coverage(0.99),
-            contig_phys_regions=process.pt_contiguous_regions(),
-            pt_page_count=process.pt_page_count(),
-        )
+        inventory = results[_job(name, scale)]
+        table.add_row(application=name, **inventory)
     return table
+
+
+def run(scale: Scale | None = None,
+        engine: Engine | None = None) -> ExperimentTable:
+    scale = scale or DEFAULT_SCALE
+    return tables(execute(jobs(scale), engine), scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,19 +12,48 @@ memcached is excluded, as in the paper (libhugetlbfs does not affect it).
 
 from __future__ import annotations
 
+from typing import Any, Mapping
+
 from repro.core.config import BASELINE, FULL_2D
 from repro.experiments.common import (
     DEFAULT_SCALE,
+    Engine,
     ExperimentTable,
+    execute,
     mean,
     reduction,
 )
-from repro.sim.runner import Scale, run_native, run_virtualized
+from repro.runtime.job import NATIVE, VIRTUALIZED, Job
+from repro.sim.runner import Scale
 from repro.workloads.suite import TABLE6_NAMES
 
 
-def run(scale: Scale | None = None) -> ExperimentTable:
-    scale = scale or DEFAULT_SCALE
+def _normal(name: str, scale: Scale) -> Job:
+    return Job(kind=NATIVE, workload=name, config=BASELINE, scale=scale)
+
+
+def _no_walks(name: str, scale: Scale) -> Job:
+    return Job(kind=NATIVE, workload=name, config=BASELINE, scale=scale,
+               infinite_tlb=True)
+
+
+def _virt_base(name: str, scale: Scale) -> Job:
+    return Job(kind=VIRTUALIZED, workload=name, config=BASELINE,
+               scale=scale)
+
+
+def _virt_asap(name: str, scale: Scale) -> Job:
+    return Job(kind=VIRTUALIZED, workload=name, config=FULL_2D,
+               scale=scale)
+
+
+def jobs(scale: Scale) -> list[Job]:
+    return [builder(name, scale)
+            for name in TABLE6_NAMES
+            for builder in (_normal, _no_walks, _virt_base, _virt_asap)]
+
+
+def tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
     table = ExperimentTable(
         title="Table 6: conservative projection of ASAP's performance "
               "improvement",
@@ -33,22 +62,18 @@ def run(scale: Scale | None = None) -> ExperimentTable:
         notes="Paper averages: 34% / 39% / 12%.",
     )
     for name in TABLE6_NAMES:
-        normal = run_native(name, BASELINE, scale=scale,
-                            collect_service=False)
-        no_walks = run_native(name, BASELINE, infinite_tlb=True,
-                              scale=scale, collect_service=False)
+        normal = results[_normal(name, scale)]
+        no_walks = results[_no_walks(name, scale)]
         if normal.cycles:
             critical = 100.0 * max(
                 0.0, (normal.cycles - no_walks.cycles) / normal.cycles
             )
         else:
             critical = 0.0
-        virt_base = run_virtualized(name, BASELINE, scale=scale,
-                                    collect_service=False)
-        virt_asap = run_virtualized(name, FULL_2D, scale=scale,
-                                    collect_service=False)
-        asap_reduction = reduction(virt_base.avg_walk_latency,
-                                   virt_asap.avg_walk_latency)
+        asap_reduction = reduction(
+            results[_virt_base(name, scale)].avg_walk_latency,
+            results[_virt_asap(name, scale)].avg_walk_latency,
+        )
         table.add_row(
             workload=name,
             **{
@@ -65,6 +90,12 @@ def run(scale: Scale | None = None) -> ExperimentTable:
         },
     )
     return table
+
+
+def run(scale: Scale | None = None,
+        engine: Engine | None = None) -> ExperimentTable:
+    scale = scale or DEFAULT_SCALE
+    return tables(execute(jobs(scale), engine), scale)
 
 
 if __name__ == "__main__":  # pragma: no cover

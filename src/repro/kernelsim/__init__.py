@@ -1,5 +1,11 @@
 """Simulated OS substrate: physical memory, buddy allocator, VMAs, demand
-paging, the ASAP page-table layout extension and nested virtualization."""
+paging, the ASAP page-table layout extension and nested virtualization.
+
+Paper cross-references: §3.2 (VMA structure of server workloads, Table 2),
+§3.3 (inducing physically contiguous, VA-sorted PT levels), §3.7 (kernel
+modifications: reservations, holes, reclamation), §2.3/Table 4
+(virtualized deployment and nested page tables).
+"""
 
 from repro.kernelsim.buddy import BuddyAllocator, OutOfMemoryError
 from repro.kernelsim.hypervisor import VirtualMachine

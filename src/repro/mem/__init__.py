@@ -1,4 +1,10 @@
-"""Cache-hierarchy substrate: set-associative caches, MSHRs, L1/L2/L3+DRAM."""
+"""Cache-hierarchy substrate: set-associative caches, MSHRs, L1/L2/L3+DRAM.
+
+Paper cross-references: Table 5 (Broadwell-like hierarchy: 32KB L1D,
+256KB L2, 20MB LLC, ~191-cycle DRAM), §3.4 (prefetches are dropped
+without a free L1-D MSHR; best-effort semantics), Figure 9 (which level
+serves each PT level's requests).
+"""
 
 from repro.mem.cache import CacheStats, SetAssociativeCache
 from repro.mem.hierarchy import LEVELS, AccessResult, CacheHierarchy

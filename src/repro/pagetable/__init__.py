@@ -1,4 +1,9 @@
-"""Page-table substrate: the radix tree, walk paths, PWCs and both walkers."""
+"""Page-table substrate: the radix tree, walk paths, PWCs and both walkers.
+
+Paper cross-references: §2.1 (x86-64 radix walks, PL4-PL1 naming), §2.2
+(page-walk caches; Table 5 geometry), §2.3 (two-dimensional nested walks,
+up to 24 accesses), §3.5 (five-level paging).
+"""
 
 from repro.pagetable import constants
 from repro.pagetable.nested import NestedPageWalker, NestedStep, NestedWalkPath

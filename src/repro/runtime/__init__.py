@@ -1,0 +1,61 @@
+"""Parallel experiment runtime: jobs, sweeps, caching and fan-out.
+
+This layer sits between the one-call simulators (:mod:`repro.sim.runner`,
+§4 methodology) and the per-figure experiment modules
+(:mod:`repro.experiments`, §5 evaluation).  Experiment grids are expressed
+as hashable :class:`Job` specs collected into :class:`Sweep` batches; the
+:class:`Engine` deduplicates shared cells, serves repeats from an on-disk
+:class:`ResultCache` keyed by (spec hash, code version), and fans misses
+out over a process pool — with results guaranteed identical to serial
+execution because every job seeds all of its randomness from its own spec.
+
+Quickstart
+----------
+>>> from repro.runtime import Engine, Job, NATIVE
+>>> from repro import BASELINE, P1_P2, Scale
+>>> scale = Scale(trace_length=5000, warmup=1000)
+>>> engine = Engine(jobs=4)
+>>> grid = [Job(kind=NATIVE, workload="mc80", config=c, scale=scale)
+...         for c in (BASELINE, P1_P2)]
+>>> base, asap = engine.map(grid)
+>>> asap.avg_walk_latency < base.avg_walk_latency
+True
+"""
+
+from repro.runtime.cache import (
+    DEFAULT_CACHE_DIR,
+    MISS,
+    ResultCache,
+    code_version,
+)
+from repro.runtime.engine import Engine, default_engine, execute
+from repro.runtime.job import (
+    KINDS,
+    NATIVE,
+    PT_INVENTORY,
+    VIRTUALIZED,
+    Job,
+    execute_job,
+)
+from repro.runtime.progress import JobRecord, ProgressPrinter, SweepReport
+from repro.runtime.sweep import Sweep
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "Engine",
+    "Job",
+    "JobRecord",
+    "KINDS",
+    "MISS",
+    "NATIVE",
+    "PT_INVENTORY",
+    "ProgressPrinter",
+    "ResultCache",
+    "Sweep",
+    "SweepReport",
+    "VIRTUALIZED",
+    "code_version",
+    "default_engine",
+    "execute",
+    "execute_job",
+]

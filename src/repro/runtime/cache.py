@@ -1,0 +1,122 @@
+"""On-disk result cache keyed by (job-spec hash, code version).
+
+The cache makes re-rendering a figure free when nothing that could change
+its numbers has changed.  The key has two components:
+
+* the job's :meth:`~repro.runtime.job.Job.spec_hash` — the full canonical
+  spec of the simulation;
+* the **code version** — a content hash over every ``*.py`` file of the
+  ``repro`` package, so touching documentation, tests or tools leaves the
+  cache warm while editing any simulator source invalidates every entry
+  at once.  Invalidating wholesale on any source edit is deliberately
+  conservative: it can never serve stale statistics.
+
+Entries are pickled simulation results, written atomically so a killed
+worker never leaves a truncated entry behind.  Corrupt or unreadable
+entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import sys
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+from repro.runtime.job import Job
+
+#: Default cache location, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_MISS = object()
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Content hash of every ``repro/**/*.py`` source file."""
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Pickle-per-job cache under ``root/<code-version>/<spec-hash>.pkl``."""
+
+    def __init__(self, root: str | os.PathLike[str],
+                 version: str | None = None) -> None:
+        self.root = Path(root)
+        self.version = version if version is not None else code_version()
+        self._dir = self.root / self.version[:16]
+        self._disabled = False
+        self._prune_stale_versions()
+
+    def _prune_stale_versions(self) -> None:
+        """Drop entries from superseded code versions.
+
+        Any source edit changes the version directory, so without pruning
+        the cache root accumulates unreachable pickles forever.  Entries
+        for the *current* version are never touched.
+        """
+        import shutil
+
+        try:
+            for entry in self.root.iterdir():
+                if entry.is_dir() and entry.name != self.version[:16]:
+                    shutil.rmtree(entry, ignore_errors=True)
+            # Orphaned temp files from interrupted writes in the live dir.
+            for leftover in self._dir.glob("*.tmp.*"):
+                leftover.unlink(missing_ok=True)
+        except OSError:
+            pass  # no cache root yet, or unreadable — nothing to prune
+
+    # ------------------------------------------------------------------
+    def _path(self, job: Job) -> Path:
+        return self._dir / f"{job.spec_hash()}.pkl"
+
+    def get(self, job: Job) -> Any:
+        """Return the cached result or :data:`MISS`."""
+        path = self._path(job)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # Any unreadable entry — missing, truncated, corrupt bytes,
+            # stale class layout — is a miss; the job simply re-runs.
+            return _MISS
+
+    def put(self, job: Job, value: Any) -> None:
+        if self._disabled:
+            return
+        path = self._path(job)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            with tmp.open("wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception as error:
+            # An unwritable cache or unpicklable result must never take
+            # the run down; degrade to cacheless execution and say so once.
+            self._disabled = True
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            print(f"warning: result cache disabled ({error})",
+                  file=sys.stderr)
+
+    @staticmethod
+    def is_miss(value: Any) -> bool:
+        return value is _MISS
+
+
+#: Sentinel returned by :meth:`ResultCache.get` on a miss.
+MISS = _MISS

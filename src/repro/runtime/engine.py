@@ -1,0 +1,175 @@
+"""The sweep engine: dedup, cache, fan out, report.
+
+Execution pipeline for a batch of jobs:
+
+1. **dedup** — identical specs collapse to one execution (experiments
+   share many cells: every ladder includes the baseline, Table 1 re-runs
+   Figure 3 scenarios, ...);
+2. **cache** — each unique job is looked up in the on-disk
+   :class:`~repro.runtime.cache.ResultCache` (spec hash x code version);
+3. **execute** — misses run through
+   :func:`~repro.runtime.job.execute_job`, either inline (``jobs=1``) or
+   on a ``ProcessPoolExecutor`` with ``jobs`` workers.  Every job is a
+   pure function of its spec with all randomness seeded from
+   ``scale.seed``, so results are identical regardless of worker count or
+   completion order;
+4. **report** — per-job timings and cache/dedup counters aggregate into a
+   :class:`~repro.runtime.progress.SweepReport` kept on
+   :attr:`Engine.last_report`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Iterable, Mapping
+
+from repro.runtime.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runtime.job import Job, execute_job
+from repro.runtime.progress import (
+    JobRecord,
+    NullProgress,
+    ProgressPrinter,
+    SweepReport,
+)
+from repro.runtime.sweep import Sweep
+
+
+def positive_int(text: str) -> int:
+    """argparse type for ``--jobs``-style worker counts (shared by the
+    ``repro`` CLI and the report module's standalone parser)."""
+    import argparse
+
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _timed_execute(job: Job) -> tuple[Any, float]:
+    """Worker entry point: run one job, measure its compute time."""
+    started = time.perf_counter()
+    value = execute_job(job)
+    return value, time.perf_counter() - started
+
+
+class Engine:
+    """Runs job batches with deduplication, caching and fan-out.
+
+    ``jobs``      worker processes; ``1`` executes inline (no pool).
+    ``cache``     a :class:`ResultCache`, or ``None`` to disable caching.
+    ``progress``  stream one line per completed job to stderr.
+    """
+
+    def __init__(self, jobs: int = 1, cache: ResultCache | None = None,
+                 progress: bool = False) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.progress = progress
+        self.last_report: SweepReport = SweepReport()
+
+    @classmethod
+    def from_options(cls, jobs: int = 1,
+                     cache_dir: str | None = DEFAULT_CACHE_DIR,
+                     no_cache: bool = False,
+                     progress: bool = False) -> "Engine":
+        """Build an engine from CLI-style options."""
+        cache = None if (no_cache or not cache_dir) else ResultCache(cache_dir)
+        return cls(jobs=jobs, cache=cache, progress=progress)
+
+    # ------------------------------------------------------------------
+    def run_jobs(self, jobs: Iterable[Job] | Sweep) -> dict[Job, Any]:
+        """Execute a batch; return results keyed by job spec."""
+        if isinstance(jobs, Sweep):
+            ordered = list(jobs.jobs)
+        else:
+            ordered = list(jobs)
+        unique = list(dict.fromkeys(ordered))
+        report = SweepReport(workers=self.jobs,
+                             deduplicated=len(ordered) - len(unique))
+        printer = (ProgressPrinter(len(unique)) if self.progress
+                   else NullProgress())
+        started = time.perf_counter()
+
+        results: dict[Job, Any] = {}
+        pending: list[Job] = []
+        for job in unique:
+            value = self.cache.get(job) if self.cache is not None else None
+            if self.cache is not None and not ResultCache.is_miss(value):
+                results[job] = value
+                record = JobRecord(job=job, seconds=0.0, cached=True)
+                report.records.append(record)
+                printer.job_done(record)
+            else:
+                pending.append(job)
+
+        if len(pending) == 1 or self.jobs == 1:
+            for job in pending:
+                self._finish(job, *_timed_execute(job),
+                             results=results, report=report,
+                             printer=printer)
+        elif pending:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(_timed_execute, job): job
+                           for job in pending}
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining,
+                                           return_when=FIRST_COMPLETED)
+                    for future in done:
+                        value, seconds = future.result()
+                        self._finish(futures[future], value, seconds,
+                                     results=results, report=report,
+                                     printer=printer)
+
+        report.wall_seconds = time.perf_counter() - started
+        self.last_report = report
+        return results
+
+    def map(self, jobs: Iterable[Job]) -> list[Any]:
+        """Like :meth:`run_jobs` but returns results in input order."""
+        ordered = list(jobs)
+        results = self.run_jobs(ordered)
+        return [results[job] for job in ordered]
+
+    def run(self, sweep: Sweep) -> dict[Job, Any]:
+        """Execute a :class:`Sweep` (alias of :meth:`run_jobs`)."""
+        return self.run_jobs(sweep)
+
+    # ------------------------------------------------------------------
+    def _finish(self, job: Job, value: Any, seconds: float, *,
+                results: dict[Job, Any], report: SweepReport,
+                printer) -> None:
+        results[job] = value
+        if self.cache is not None:
+            self.cache.put(job, value)
+        record = JobRecord(job=job, seconds=seconds, cached=False)
+        report.records.append(record)
+        printer.job_done(record)
+
+
+# ----------------------------------------------------------------------
+_DEFAULT_ENGINE: Engine | None = None
+
+
+def default_engine() -> Engine:
+    """Process-wide serial engine (no cache) for library/test callers.
+
+    Experiment modules fall back to this when no engine is passed, which
+    preserves the pre-runtime behaviour exactly: inline execution, no
+    on-disk state.  The CLI always builds an explicit engine from its
+    ``--jobs`` / ``--cache-dir`` / ``--no-cache`` flags.
+    """
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = Engine(jobs=1, cache=None)
+    return _DEFAULT_ENGINE
+
+
+def execute(jobs: Iterable[Job] | Sweep,
+            engine: Engine | None = None) -> Mapping[Job, Any]:
+    """Run ``jobs`` on ``engine`` (or the default serial engine)."""
+    return (engine or default_engine()).run_jobs(jobs)

@@ -1,0 +1,190 @@
+"""Declarative job specifications: one frozen dataclass per simulation.
+
+A :class:`Job` captures *everything* that determines the outcome of one
+experiment cell — the scenario kind, workload, ASAP configuration, trace
+scale and every machine/OS knob the experiment modules exercise.  Because
+the spec is a frozen dataclass of hashable values it serves three roles at
+once:
+
+* **grid element** — experiment modules emit lists of jobs instead of
+  calling the simulator directly, which is what lets the engine dedupe
+  identical cells across experiments and fan them out over processes;
+* **cache key** — :meth:`Job.spec_hash` is a stable content hash of the
+  spec, combined with the code version by :mod:`repro.runtime.cache`;
+* **unit of determinism** — executing a job is a pure function of the
+  spec: every random stream (trace, buddy allocator, co-runner) is seeded
+  from ``scale.seed``, so the same job yields the same statistics whether
+  it runs inline, in a worker process, or on another machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.config import AsapConfig, BASELINE
+from repro.params import DEFAULT_MACHINE
+from repro.sim.runner import Scale, run_native, run_virtualized
+
+#: Bump when the payload layout or the meaning of a field changes; old
+#: cache entries then miss instead of being misinterpreted.
+SPEC_VERSION = 1
+
+#: Scenario kinds understood by :func:`execute_job`.
+NATIVE = "native"
+VIRTUALIZED = "virtualized"
+PT_INVENTORY = "pt-inventory"
+
+KINDS = (NATIVE, VIRTUALIZED, PT_INVENTORY)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One cell of an experiment grid, fully specified and hashable.
+
+    ``kind`` selects the scenario: :data:`NATIVE` and :data:`VIRTUALIZED`
+    run the trace-driven simulators and return
+    :class:`~repro.sim.stats.SimStats`; :data:`PT_INVENTORY` builds the
+    process, populates its full page table and returns the Table 2
+    inventory dict (no trace is simulated).
+    """
+
+    kind: str
+    workload: str
+    config: AsapConfig = BASELINE
+    scale: Scale = Scale()
+    colocated: bool = False
+    clustered_tlb: bool = False
+    infinite_tlb: bool = False
+    host_page_level: int = 1
+    pt_levels: int = 4
+    pwc_scale: int = 1
+    hole_rate: float = 0.0
+    collect_service: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}; "
+                             f"one of {KINDS}")
+        # Knobs are part of the spec's cache identity, so a knob the
+        # executor would ignore must be rejected, not silently dropped —
+        # otherwise two distinct-looking specs yield the same scenario.
+        if self.kind != NATIVE and (self.clustered_tlb or self.hole_rate
+                                    or self.pt_levels != 4):
+            raise ValueError(
+                f"clustered_tlb/pt_levels/hole_rate apply to {NATIVE} "
+                f"jobs only, not {self.kind}")
+        if self.hole_rate and not self.config.native_levels:
+            raise ValueError(
+                "hole_rate needs an ASAP-enabled native config (holes are "
+                "injected into the ASAP PT layout)")
+        if self.kind != VIRTUALIZED and self.host_page_level != 1:
+            raise ValueError(
+                f"host_page_level applies to {VIRTUALIZED} jobs only")
+        if self.kind == PT_INVENTORY and (
+                self.colocated or self.infinite_tlb or self.collect_service
+                or self.pwc_scale != 1 or self.config.enabled):
+            raise ValueError(
+                f"{PT_INVENTORY} jobs use only workload and scale")
+
+    # ------------------------------------------------------------------
+    def payload(self) -> dict[str, Any]:
+        """Canonical JSON-serialisable form of the spec (cache identity)."""
+        return {
+            "spec_version": SPEC_VERSION,
+            "kind": self.kind,
+            "workload": self.workload,
+            "config": {
+                "name": self.config.name,
+                "native": list(self.config.native_levels),
+                "guest": list(self.config.guest_levels),
+                "host": list(self.config.host_levels),
+            },
+            "scale": [self.scale.trace_length, self.scale.warmup,
+                      self.scale.seed],
+            "colocated": self.colocated,
+            "clustered_tlb": self.clustered_tlb,
+            "infinite_tlb": self.infinite_tlb,
+            "host_page_level": self.host_page_level,
+            "pt_levels": self.pt_levels,
+            "pwc_scale": self.pwc_scale,
+            "hole_rate": self.hole_rate,
+            "collect_service": self.collect_service,
+        }
+
+    def spec_hash(self) -> str:
+        """Stable content hash of the spec, independent of the process."""
+        canonical = json.dumps(self.payload(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable identity for progress lines."""
+        parts = [self.kind, self.workload, self.config.name]
+        for flag, text in (
+            (self.colocated, "coloc"),
+            (self.clustered_tlb, "ctlb"),
+            (self.infinite_tlb, "inf-tlb"),
+            (self.host_page_level != 1, "2MB-host"),
+            (self.pt_levels != 4, f"{self.pt_levels}L"),
+            (self.pwc_scale != 1, f"pwc-x{self.pwc_scale}"),
+            (self.hole_rate != 0.0, f"holes={self.hole_rate:g}"),
+        ):
+            if flag:
+                parts.append(text)
+        return " ".join(parts)
+
+
+# ----------------------------------------------------------------------
+def _pt_inventory(job: Job) -> dict[str, int]:
+    """Table 2 measurement: build the process, populate the full PT."""
+    from repro.pagetable import constants as c
+    from repro.workloads.suite import get as get_workload
+
+    spec = get_workload(job.workload)
+    process = spec.build_process(seed=job.scale.seed)
+    for vma in process.vmas:
+        va = vma.start
+        while va < vma.end:
+            process.touch(va)  # one touch per PL1 node builds the full PT
+            va += c.LARGE_PAGE_SIZE
+    return {
+        "total_vmas": len(process.vmas),
+        "vmas_for_99pct": process.vmas.count_for_coverage(0.99),
+        "contig_phys_regions": process.pt_contiguous_regions(),
+        "pt_page_count": process.pt_page_count(),
+    }
+
+
+def execute_job(job: Job) -> Any:
+    """Run one job to completion — a pure function of the spec."""
+    if job.kind == PT_INVENTORY:
+        return _pt_inventory(job)
+    machine = DEFAULT_MACHINE
+    if job.pwc_scale != 1:
+        machine = machine.with_pwc_scale(job.pwc_scale)
+    if job.kind == NATIVE:
+        return run_native(
+            job.workload,
+            job.config,
+            colocated=job.colocated,
+            clustered_tlb=job.clustered_tlb,
+            infinite_tlb=job.infinite_tlb,
+            machine=machine,
+            scale=job.scale,
+            pt_levels=job.pt_levels,
+            collect_service=job.collect_service,
+            hole_rate=job.hole_rate,
+        )
+    return run_virtualized(
+        job.workload,
+        job.config,
+        colocated=job.colocated,
+        host_page_level=job.host_page_level,
+        infinite_tlb=job.infinite_tlb,
+        machine=machine,
+        scale=job.scale,
+        collect_service=job.collect_service,
+    )

@@ -1,0 +1,42 @@
+"""Sweeps: named, ordered collections of jobs.
+
+A sweep is the declarative form of "everything this figure (or this whole
+report) needs to run".  Order is preserved for reproducible scheduling and
+readable progress output; duplicates are kept at this layer — deduplication
+is the engine's job, so a sweep can honestly concatenate the grids of many
+experiments that share cells (Figure 3 and Table 1 both run the baseline
+memcached scenarios, for example) and still execute each cell once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.runtime.job import Job
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A named batch of jobs, executed together by the engine."""
+
+    name: str
+    jobs: tuple[Job, ...]
+
+    @classmethod
+    def build(cls, name: str, *grids: Iterable[Job]) -> "Sweep":
+        jobs: list[Job] = []
+        for grid in grids:
+            jobs.extend(grid)
+        return cls(name=name, jobs=tuple(jobs))
+
+    def unique_jobs(self) -> tuple[Job, ...]:
+        """Jobs with duplicates removed, first occurrence wins."""
+        return tuple(dict.fromkeys(self.jobs))
+
+    @property
+    def duplicates(self) -> int:
+        return len(self.jobs) - len(self.unique_jobs())
+
+    def __len__(self) -> int:
+        return len(self.jobs)

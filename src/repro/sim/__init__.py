@@ -1,4 +1,10 @@
-"""Trace-driven simulators (native and virtualized) and their statistics."""
+"""Trace-driven simulators (native and virtualized) and their statistics.
+
+Paper cross-references: §4 (methodology: steady-state measurement after
+warmup, average walk latency as the primary metric), §5.3 (infinite-TLB
+runs behind Table 6's critical-path fraction), Figure 2/Table 6
+(execution-time fractions from the simple core model).
+"""
 
 from repro.sim.runner import (
     BENCH_SCALE,

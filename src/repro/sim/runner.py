@@ -104,8 +104,15 @@ def run_native(
     scale: Scale = Scale(),
     pt_levels: int = 4,
     collect_service: bool = True,
+    hole_rate: float = 0.0,
 ) -> SimStats:
-    """Run one native scenario and return its statistics."""
+    """Run one native scenario and return its statistics.
+
+    ``hole_rate`` injects PT-region holes (§3.7.2): each pinned node
+    placement fails with this probability, so the affected walks lose
+    acceleration but stay correct.  It must be set before population, so
+    it is a runner knob rather than a post-hoc mutation.
+    """
     spec = _resolve(workload)
     trace = make_trace(spec, scale)
     process = spec.build_process(
@@ -113,6 +120,10 @@ def run_native(
         seed=scale.seed,
         pt_levels=pt_levels,
     )
+    if hole_rate:
+        if process.asap_layout is None:
+            raise ValueError("hole_rate needs an ASAP-enabled config")
+        process.asap_layout.pinned_failure_prob = hole_rate
     simulation = NativeSimulation(
         process,
         machine=machine,

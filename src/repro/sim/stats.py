@@ -9,7 +9,6 @@
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 
 #: Service labels in presentation order (Figure 9's x-axis).
@@ -17,19 +16,22 @@ SERVICE_LABELS = ("PWC", "L1", "MSHR", "L2", "L3", "MEM")
 
 
 class ServiceDistribution:
-    """Counts of which hierarchy level served each PT-level request."""
+    """Counts of which hierarchy level served each PT-level request.
+
+    Plain nested dicts (no defaultdict factories) so instances pickle
+    cleanly across the runtime's worker processes and result cache.
+    """
 
     def __init__(self) -> None:
-        self._counts: dict[object, dict[str, int]] = defaultdict(
-            lambda: defaultdict(int)
-        )
+        self._counts: dict[object, dict[str, int]] = {}
 
     def record(self, pt_level: object, served_by: str) -> None:
-        self._counts[pt_level][served_by] += 1
+        per_level = self._counts.setdefault(pt_level, {})
+        per_level[served_by] = per_level.get(served_by, 0) + 1
 
     def record_walk(self, records: list[tuple[object, str]]) -> None:
         for pt_level, served_by in records:
-            self._counts[pt_level][served_by] += 1
+            self.record(pt_level, served_by)
 
     def levels(self) -> list[object]:
         return sorted(self._counts, key=str)

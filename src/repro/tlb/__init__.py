@@ -1,5 +1,10 @@
 """TLB substrate: plain set-associative TLBs, the two-level hierarchy and
-the Clustered TLB coalescing baseline (§5.4.1)."""
+the Clustered TLB coalescing baseline (§5.4.1).
+
+Paper cross-references: Table 5 (64-entry L1 D-TLB, 1536-entry unified
+L2 TLB), §4 (6-85% L2 TLB miss ratios motivating the study), §5.4.1 and
+Figure 11/Table 7 (Clustered TLB composition with ASAP).
+"""
 
 from repro.tlb.clustered import CLUSTER_PAGES, ClusteredTlb
 from repro.tlb.hierarchy import TlbHierarchy

@@ -1,5 +1,11 @@
 """Workload substrate: the Table 3 benchmark suite, trace generators and
-the SMT co-runner."""
+the SMT co-runner.
+
+Paper cross-references: Table 3 (the seven server/HPC workloads and
+footprints), Table 2 (VMA composition each spec reproduces), §4
+(methodology: SMT colocation via a co-running thread that pressures the
+caches and TLBs).
+"""
 
 from repro.workloads.base import (
     KeyValue,

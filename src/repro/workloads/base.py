@@ -13,6 +13,7 @@ virtual addresses over the laid-out VMAs.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -232,8 +233,15 @@ class WorkloadSpec:
 
     # ------------------------------------------------------------------
     def generate_trace(self, length: int, seed: int = 0) -> np.ndarray:
-        """Synthesise ``length`` virtual addresses over the laid-out VMAs."""
-        rng = np.random.default_rng(seed ^ hash(self.name) & 0x7FFFFFFF)
+        """Synthesise ``length`` virtual addresses over the laid-out VMAs.
+
+        The per-workload seed perturbation uses crc32, not ``hash()``:
+        Python string hashes are randomised per interpreter invocation
+        (PYTHONHASHSEED), which would make traces — and therefore every
+        statistic and cached result — differ from run to run.
+        """
+        rng = np.random.default_rng(
+            seed ^ zlib.crc32(self.name.encode()) & 0x7FFFFFFF)
         streams = []
         weights = []
         for spec, base in self.layout():
