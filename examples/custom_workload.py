@@ -10,7 +10,7 @@ through the machine model with and without ASAP.
 Run:  python examples/custom_workload.py
 """
 
-from repro import BASELINE, P1_P2, Scale
+from repro import BASELINE, P1_P2, example_scale
 from repro.kernelsim.vma import VmaKind
 from repro.sim.runner import run_native
 from repro.workloads.base import (
@@ -56,7 +56,7 @@ COLUMN_STORE = WorkloadSpec(
     init_order="sequential",
 )
 
-SCALE = Scale(trace_length=25_000, warmup=5_000, seed=7)
+SCALE = example_scale(25_000, warmup=5_000, seed=7)
 
 
 def main() -> None:

@@ -12,7 +12,7 @@ Run:  python examples/five_level_future.py
 
 import numpy as np
 
-from repro import BASELINE, P1_P2, P1_P2_P3, Scale
+from repro import BASELINE, P1_P2, P1_P2_P3, example_scale
 from repro.core.config import AsapConfig
 from repro.kernelsim.buddy import BuddyAllocator
 from repro.kernelsim.phys import PhysicalMemory
@@ -22,7 +22,7 @@ from repro.kernelsim.vma import VmaKind
 from repro.sim.runner import run_native
 from repro.sim.simulator import NativeSimulation
 
-SCALE = Scale(trace_length=25_000, warmup=5_000, seed=42)
+SCALE = example_scale(25_000, warmup=5_000, seed=42)
 GB = 1 << 30
 
 

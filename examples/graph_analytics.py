@@ -16,10 +16,10 @@ ASAP shortens (expensive) ones, and they compose.
 Run:  python examples/graph_analytics.py
 """
 
-from repro import BASELINE, P1_P2, Scale
+from repro import BASELINE, P1_P2, example_scale
 from repro.sim.runner import run_native
 
-SCALE = Scale(trace_length=24_000, warmup=5_000, seed=42)
+SCALE = example_scale(24_000, warmup=5_000, seed=42)
 
 
 def compare(workload: str) -> None:

@@ -9,9 +9,9 @@ were served.
 Run:  python examples/quickstart.py
 """
 
-from repro import BASELINE, P1_P2, Scale, run_native
+from repro import BASELINE, P1_P2, example_scale, run_native
 
-SCALE = Scale(trace_length=30_000, warmup=6_000, seed=42)
+SCALE = example_scale(30_000, warmup=6_000, seed=42)
 
 
 def main() -> None:

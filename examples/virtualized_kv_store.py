@@ -12,9 +12,9 @@ Run:  python examples/virtualized_kv_store.py [workload]
 
 import sys
 
-from repro import Scale, VIRT_LADDER, run_virtualized
+from repro import VIRT_LADDER, example_scale, run_virtualized
 
-SCALE = Scale(trace_length=20_000, warmup=4_000, seed=42)
+SCALE = example_scale(20_000, warmup=4_000, seed=42)
 
 
 def ladder(workload: str, colocated: bool) -> None:

@@ -50,11 +50,33 @@ from repro.core.config import (
     AsapConfig,
 )
 from repro.params import DEFAULT_MACHINE, MachineParams
+from repro.schemes import SchemeSpec
 from repro.sim.runner import Scale, run_native, run_virtualized
 from repro.sim.stats import SimStats
 from repro.workloads.suite import WORKLOADS
 
 __version__ = "1.0.0"
+
+
+def example_scale(trace_length: int, warmup: int | None = None,
+                  seed: int = 42) -> Scale:
+    """The scale for ``examples/`` scripts, overridable for CI smoke.
+
+    Examples pick trace lengths that make their effect visible in a few
+    seconds; CI only needs them to *run*.  Setting the
+    ``REPRO_EXAMPLE_TRACE`` environment variable replaces the trace
+    length (warmup scales along) so the examples job finishes quickly
+    without each script growing its own argument parsing.
+    """
+    import os
+
+    override = int(os.environ.get("REPRO_EXAMPLE_TRACE", "0"))
+    if override:
+        trace_length = override
+        warmup = None
+    if warmup is None:
+        warmup = trace_length // 5
+    return Scale(trace_length=trace_length, warmup=warmup, seed=seed)
 
 __all__ = [
     "AsapConfig",
@@ -71,10 +93,12 @@ __all__ = [
     "P1_P2",
     "P1_P2_P3",
     "Scale",
+    "SchemeSpec",
     "SimStats",
     "VIRT_LADDER",
     "WORKLOADS",
     "__version__",
+    "example_scale",
     "run_native",
     "run_virtualized",
 ]

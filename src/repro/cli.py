@@ -2,9 +2,10 @@
 
 Commands
 --------
-* ``list``                     — show workloads and ASAP configurations
+* ``list``                     — show workloads, ASAP configs and schemes
 * ``run WORKLOAD [options]``   — one scenario, print its statistics
 * ``experiment NAME``          — regenerate one table/figure (e.g. fig8)
+* ``compare [--schemes ...]``  — race translation schemes head-to-head
 * ``sweep [--only NAME ...]``  — every experiment as one parallel batch
 * ``report [--fast]``          — regenerate everything, section by section
 * ``validate``                 — check the paper's qualitative shapes
@@ -23,22 +24,14 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core import config as cfg
+from repro.experiments.common import CONFIGS, SCHEMES
 from repro.runtime.cache import DEFAULT_CACHE_DIR
 from repro.runtime.engine import Engine, positive_int
 from repro.sim.runner import Scale, run_native, run_virtualized
 from repro.workloads.suite import ALL_NAMES, WORKLOADS
 
-_CONFIGS = {
-    "baseline": cfg.BASELINE,
-    "p1": cfg.P1,
-    "p1+p2": cfg.P1_P2,
-    "p1g": cfg.P1G,
-    "p1g+p2g": cfg.P1G_P2G,
-    "p1g+p1h": cfg.P1G_P1H,
-    "full": cfg.FULL_2D,
-    "large-host": cfg.LARGE_HOST,
-}
+#: One source of truth for config names: the experiments' registry.
+_CONFIGS = CONFIGS
 
 
 def _engine_from(args) -> Engine:
@@ -70,6 +63,10 @@ def _cmd_list(_args) -> int:
     print("\nASAP configurations:")
     for key, config in _CONFIGS.items():
         print(f"  {key:12s} {config.name}")
+    print("\nTranslation schemes (repro compare):")
+    for key, entry in SCHEMES.items():
+        print(f"  {key:12s} native={entry.native_config.name:10s} "
+              f"virtualized={entry.virt_config.name}")
     return 0
 
 
@@ -126,6 +123,27 @@ def _cmd_experiment(args) -> int:
         for table in report._tables(result):
             print(table.render())
             print()
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.experiments import compare
+
+    schemes = None
+    if args.schemes:
+        schemes = [token.strip() for token in args.schemes.split(",")
+                   if token.strip()]
+    scale = Scale(trace_length=args.trace_length,
+                  warmup=args.trace_length // 5, seed=args.seed)
+    engine = _engine_from(args)
+    try:
+        tables = compare.run(scale, engine, schemes=schemes)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for table in tables:
+        print(table.render())
+        print()
     return 0
 
 
@@ -197,6 +215,15 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--seed", type=int, default=42)
     _add_engine_options(exp)
 
+    comp = sub.add_parser(
+        "compare", help="race translation schemes head-to-head")
+    comp.add_argument("--schemes", default=None, metavar="LIST",
+                      help="comma-separated roster (default: "
+                           "baseline,asap,victima,revelator)")
+    comp.add_argument("--trace-length", type=int, default=30_000)
+    comp.add_argument("--seed", type=int, default=42)
+    _add_engine_options(comp)
+
     sweep = sub.add_parser(
         "sweep", help="run every experiment as one parallel batch")
     sweep.add_argument("--only", action="append", default=None,
@@ -225,6 +252,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "experiment": _cmd_experiment,
+        "compare": _cmd_compare,
         "sweep": _cmd_sweep,
         "report": _cmd_report,
         "validate": _cmd_validate,

@@ -11,10 +11,13 @@ Paper cross-references: Tables 1/2 and Figures 2/3 (§1-2 motivation),
 Figures 8-10 (§5.1-5.2 ASAP ladders), Table 6 (§5.3 projection),
 Figure 11/Table 7 (§5.4.1 Clustered TLB), Figure 12 (§5.4.2 2MB host
 pages), ablations (§5.1.1 PWC capacity, §3.5 five-level, §3.7.2 holes).
+``compare`` goes beyond the paper: it races the translation schemes of
+`repro.schemes` head-to-head on the same substrate.
 """
 
 from repro.experiments import (
     ablations,
+    compare,
     fig2,
     fig3,
     fig8,
@@ -32,6 +35,7 @@ __all__ = [
     "DEFAULT_SCALE",
     "ExperimentTable",
     "ablations",
+    "compare",
     "fig10",
     "fig11",
     "fig12",

@@ -23,24 +23,89 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core.config import BASELINE
+from repro.core import config as cfg
+from repro.core.config import (
+    BASELINE,
+    NATIVE_LADDER,
+    VIRT_LADDER,
+    AsapConfig,
+)
 from repro.runtime.engine import Engine, execute
 from repro.runtime.job import NATIVE, VIRTUALIZED, Job
+from repro.schemes import SchemeSpec
 from repro.sim.runner import Scale
 
 __all__ = [
+    "CONFIGS",
     "DEFAULT_SCALE",
     "DEPLOYMENT_SCENARIOS",
     "Engine",
     "ExperimentTable",
+    "NATIVE_LADDER",
+    "SCHEMES",
+    "SchemeEntry",
+    "VIRT_LADDER",
     "deployment_job",
     "execute",
     "mean",
     "reduction",
+    "scheme_job",
 ]
 
 #: Default scale for experiment modules when none is given.
 DEFAULT_SCALE = Scale(trace_length=60_000, warmup=12_000, seed=42)
+
+#: Canonical name -> AsapConfig registry: the one source of truth for
+#: the CLI's ``--config`` choices and any module that needs a ladder by
+#: name.  The ladders themselves (:data:`NATIVE_LADDER`,
+#: :data:`VIRT_LADDER`) are re-exported above so figure modules stop
+#: re-listing configs locally.
+CONFIGS: dict[str, AsapConfig] = {
+    "baseline": cfg.BASELINE,
+    "p1": cfg.P1,
+    "p1+p2": cfg.P1_P2,
+    "p1g": cfg.P1G,
+    "p1g+p2g": cfg.P1G_P2G,
+    "p1g+p1h": cfg.P1G_P1H,
+    "full": cfg.FULL_2D,
+    "large-host": cfg.LARGE_HOST,
+}
+
+
+@dataclass(frozen=True)
+class SchemeEntry:
+    """One competitor in the head-to-head comparison: the scheme spec
+    plus the ASAP ladder config it rides in each mode (non-ASAP schemes
+    carry the baseline config in both)."""
+
+    name: str
+    spec: SchemeSpec
+    native_config: AsapConfig = BASELINE
+    virt_config: AsapConfig = BASELINE
+
+
+#: The ``repro compare`` roster, strongest config per scheme and mode.
+SCHEMES: dict[str, SchemeEntry] = {
+    "baseline": SchemeEntry("baseline", SchemeSpec(kind="baseline")),
+    "asap": SchemeEntry("asap", SchemeSpec(kind="asap"),
+                        native_config=cfg.P1_P2, virt_config=cfg.FULL_2D),
+    "victima": SchemeEntry("victima", SchemeSpec.victima()),
+    "revelator": SchemeEntry("revelator", SchemeSpec.revelator()),
+}
+
+
+def scheme_job(kind: str, workload: str, entry: SchemeEntry,
+               scale: Scale) -> Job:
+    """One comparison cell: ``entry``'s scheme in ``kind`` mode.
+
+    The baseline and ASAP cells are value-equal to the jobs the figure
+    modules emit (same config, same derived scheme), so the engine
+    deduplicates them across ``repro compare`` and the ladders.
+    """
+    config = (entry.native_config if kind == NATIVE
+              else entry.virt_config)
+    return Job(kind=kind, workload=workload, config=config, scale=scale,
+               scheme=entry.spec)
 
 #: The four deployment scenarios of Figures 2/3 as (column label, job
 #: kind, colocated).  Shared so both figures — and anything else sweeping

@@ -1,0 +1,126 @@
+"""Head-to-head comparison of translation schemes (`repro compare`).
+
+Not a figure from the source paper: this races the paper's design (ASAP)
+against the related-work schemes modelled in `repro.schemes` — Victima's
+cache-parked TLB entries and Revelator's hash-based speculation — on the
+identical workload suite, machine model and trace streams, in both
+native and virtualized modes.
+
+The ranking metric is the **translation-cycle fraction**: the share of
+execution cycles the core spends stalled on address translation (probe
+latencies, page walks, speculation penalties — everything the scheme is
+responsible for).  Lower is better; an infinite TLB would score 0.
+
+The baseline and ASAP cells are value-equal to the figure modules' jobs,
+so a ``repro sweep`` executes them once for both; the runtime engine
+deduplicates and caches like every other experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    SCHEMES,
+    Engine,
+    ExperimentTable,
+    execute,
+    mean,
+    scheme_job,
+)
+from repro.runtime.job import NATIVE, VIRTUALIZED, Job
+from repro.sim.runner import Scale
+from repro.workloads.suite import ALL_NAMES
+
+MODES = (NATIVE, VIRTUALIZED)
+
+
+def _roster(schemes: list[str] | None) -> list[str]:
+    if schemes is None:
+        return list(SCHEMES)
+    unknown = [name for name in schemes if name not in SCHEMES]
+    if unknown:
+        raise ValueError(f"unknown scheme(s) {unknown}; "
+                         f"one of {sorted(SCHEMES)}")
+    return list(schemes)
+
+
+def jobs(scale: Scale,
+         schemes: list[str] | None = None) -> list[Job]:
+    return [scheme_job(kind, workload, SCHEMES[name], scale)
+            for kind in MODES
+            for name in _roster(schemes)
+            for workload in ALL_NAMES]
+
+
+def _fraction(results: Mapping[Job, Any], kind: str, name: str,
+              workload: str, scale: Scale) -> float:
+    stats = results[scheme_job(kind, workload, SCHEMES[name], scale)]
+    return 100.0 * stats.walk_fraction
+
+
+def _detail(results: Mapping[Job, Any], kind: str, roster: list[str],
+            scale: Scale) -> ExperimentTable:
+    table = ExperimentTable(
+        title=f"Compare ({kind}): translation-cycle fraction per "
+              "workload (%; lower is better)",
+        columns=["workload"] + roster,
+    )
+    for workload in ALL_NAMES:
+        table.add_row(workload=workload, **{
+            name: _fraction(results, kind, name, workload, scale)
+            for name in roster
+        })
+    table.add_row(workload="Average", **{
+        name: mean([row[name] for row in table.rows]) for name in roster
+    })
+    return table
+
+
+def _ranking(native: ExperimentTable,
+             virtualized: ExperimentTable,
+             roster: list[str]) -> ExperimentTable:
+    table = ExperimentTable(
+        title="Compare: schemes ranked by translation-cycle fraction "
+              "(%; lower is better)",
+        columns=["rank", "scheme", "native_%", "virtualized_%", "mean_%"],
+        notes="asap = P1+P2 native / P1g+P1h+P2g+P2h virtualized; "
+              "victima parks L2-TLB victims in the L2 data cache; "
+              "revelator speculates on hash-placed pages (85% coverage).",
+    )
+    native_avg = native.row_by("workload", "Average")
+    virt_avg = virtualized.row_by("workload", "Average")
+    scored = sorted(
+        ((native_avg[name] + virt_avg[name]) / 2.0, name)
+        for name in roster
+    )
+    for rank, (score, name) in enumerate(scored, start=1):
+        table.add_row(rank=rank, scheme=name,
+                      **{"native_%": native_avg[name],
+                         "virtualized_%": virt_avg[name],
+                         "mean_%": score})
+    return table
+
+
+def tables(results: Mapping[Job, Any], scale: Scale,
+           schemes: list[str] | None = None,
+           ) -> tuple[ExperimentTable, ExperimentTable, ExperimentTable]:
+    roster = _roster(schemes)
+    native = _detail(results, NATIVE, roster, scale)
+    virtualized = _detail(results, VIRTUALIZED, roster, scale)
+    return (_ranking(native, virtualized, roster), native, virtualized)
+
+
+def run(scale: Scale | None = None,
+        engine: Engine | None = None,
+        schemes: list[str] | None = None,
+        ) -> tuple[ExperimentTable, ExperimentTable, ExperimentTable]:
+    scale = scale or DEFAULT_SCALE
+    return tables(execute(jobs(scale, schemes), engine), scale, schemes)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for table in run():
+        print(table.render())
+        print()

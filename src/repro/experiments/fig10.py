@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
-from repro.core.config import VIRT_LADDER
+from repro.experiments.common import VIRT_LADDER
 from repro.experiments.common import (
     DEFAULT_SCALE,
     Engine,

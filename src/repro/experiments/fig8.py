@@ -8,9 +8,9 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
-from repro.core.config import BASELINE, P1, P1_P2
 from repro.experiments.common import (
     DEFAULT_SCALE,
+    NATIVE_LADDER,
     Engine,
     ExperimentTable,
     execute,
@@ -21,7 +21,7 @@ from repro.runtime.job import NATIVE, Job
 from repro.sim.runner import Scale
 from repro.workloads.suite import ALL_NAMES
 
-LADDER = (BASELINE, P1, P1_P2)
+LADDER = NATIVE_LADDER
 
 
 def _job(name: str, config, colocated: bool, scale: Scale) -> Job:

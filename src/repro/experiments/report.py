@@ -24,6 +24,7 @@ import time
 
 from repro.experiments import (
     ablations,
+    compare,
     fig2,
     fig3,
     fig8,
@@ -56,6 +57,7 @@ MODULES = (
     ("Figure 11 + Table 7", fig11),
     ("Figure 12", fig12),
     ("Ablations", ablations),
+    ("Compare", compare),
 )
 
 #: (name, callable) back-compat view of :data:`MODULES`.

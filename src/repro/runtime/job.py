@@ -1,8 +1,9 @@
 """Declarative job specifications: one frozen dataclass per simulation.
 
 A :class:`Job` captures *everything* that determines the outcome of one
-experiment cell — the scenario kind, workload, ASAP configuration, trace
-scale and every machine/OS knob the experiment modules exercise.  Because
+experiment cell — the scenario kind, workload, ASAP configuration,
+translation scheme, trace scale and every machine/OS knob the
+experiment modules exercise.  Because
 the spec is a frozen dataclass of hashable values it serves three roles at
 once:
 
@@ -26,11 +27,12 @@ from typing import Any
 
 from repro.core.config import AsapConfig, BASELINE
 from repro.params import DEFAULT_MACHINE
+from repro.schemes import SchemeSpec
 from repro.sim.runner import Scale, run_native, run_virtualized
 
 #: Bump when the payload layout or the meaning of a field changes; old
 #: cache entries then miss instead of being misinterpreted.
-SPEC_VERSION = 1
+SPEC_VERSION = 2
 
 #: Scenario kinds understood by :func:`execute_job`.
 NATIVE = "native"
@@ -63,11 +65,36 @@ class Job:
     pwc_scale: int = 1
     hole_rate: float = 0.0
     collect_service: bool = False
+    #: Translation scheme driving the simulators' miss path.  ``None``
+    #: (the default) derives it from ``config`` — ASAP when any ladder
+    #: level is enabled, plain baseline otherwise — so every pre-scheme
+    #: call site keeps its meaning and its cache identity rules.
+    scheme: SchemeSpec | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(f"unknown job kind {self.kind!r}; "
                              f"one of {KINDS}")
+        if self.scheme is None:
+            object.__setattr__(self, "scheme",
+                               SchemeSpec.for_config(self.config))
+        # One spec, one scenario: the ASAP ladder must ride the "asap"
+        # scheme and only that scheme, otherwise two distinct-looking
+        # specs (e.g. baseline-kind vs asap-kind-with-empty-ladder)
+        # would execute identically but cache separately.
+        if self.scheme.kind == "asap" and not self.config.enabled:
+            raise ValueError(
+                "the asap scheme needs an enabled AsapConfig; use the "
+                "baseline scheme for empty ladders")
+        if self.scheme.kind != "asap" and self.config.enabled:
+            raise ValueError(
+                f"scheme {self.scheme.kind!r} does not take an ASAP "
+                f"config ({self.config.name!r})")
+        if self.scheme.kind in ("victima", "revelator") and (
+                self.infinite_tlb or self.clustered_tlb):
+            raise ValueError(
+                f"{self.scheme.kind} does not compose with "
+                "infinite/clustered TLBs")
         # Knobs are part of the spec's cache identity, so a knob the
         # executor would ignore must be rejected, not silently dropped —
         # otherwise two distinct-looking specs yield the same scenario.
@@ -85,7 +112,8 @@ class Job:
                 f"host_page_level applies to {VIRTUALIZED} jobs only")
         if self.kind == PT_INVENTORY and (
                 self.colocated or self.infinite_tlb or self.collect_service
-                or self.pwc_scale != 1 or self.config.enabled):
+                or self.pwc_scale != 1 or self.config.enabled
+                or self.scheme.kind != "baseline"):
             raise ValueError(
                 f"{PT_INVENTORY} jobs use only workload and scale")
 
@@ -102,6 +130,7 @@ class Job:
                 "guest": list(self.config.guest_levels),
                 "host": list(self.config.host_levels),
             },
+            "scheme": self.scheme.payload(),
             "scale": [self.scale.trace_length, self.scale.warmup,
                       self.scale.seed],
             "colocated": self.colocated,
@@ -122,7 +151,9 @@ class Job:
 
     def label(self) -> str:
         """Short human-readable identity for progress lines."""
-        parts = [self.kind, self.workload, self.config.name]
+        parts = [self.kind, self.workload,
+                 self.config.name if self.scheme.is_default_pipeline
+                 else self.scheme.label()]
         for flag, text in (
             (self.colocated, "coloc"),
             (self.clustered_tlb, "ctlb"),
@@ -177,6 +208,7 @@ def execute_job(job: Job) -> Any:
             pt_levels=job.pt_levels,
             collect_service=job.collect_service,
             hole_rate=job.hole_rate,
+            scheme=job.scheme,
         )
     return run_virtualized(
         job.workload,
@@ -187,4 +219,5 @@ def execute_job(job: Job) -> Any:
         machine=machine,
         scale=job.scale,
         collect_service=job.collect_service,
+        scheme=job.scheme,
     )

@@ -1,0 +1,72 @@
+"""Pluggable translation schemes: the simulators' acceleration layer.
+
+The paper under reproduction proposes one way to hide page-walk latency
+(ASAP's layout-guided prefetching); the related work proposes others.
+This package makes the design axis explicit: each scheme implements the
+:class:`~repro.schemes.base.TranslationScheme` hook protocol and the
+simulators dispatch through it, so `repro compare` can race designs
+head-to-head on the identical TLB/cache/page-table substrate — and a new
+idea is one new module, not a simulator fork.
+
+Shipped schemes (registry below):
+
+* ``baseline`` — plain radix walks (the hardware status quo);
+* ``asap`` — the source paper, wrapping the existing prefetcher and
+  range-register machinery (ladder config on ``Job.config``);
+* ``victima`` — Victima-like: L2-TLB victims parked in the L2 data
+  cache, probed before walking;
+* ``revelator`` — Revelator-like: hash-based speculative PA generation
+  with a verification walk and mis-speculation penalty.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import AsapConfig, BASELINE
+from repro.schemes.asap import AsapScheme
+from repro.schemes.base import (
+    ASAP_SCHEME,
+    BASELINE_SCHEME,
+    SCHEME_KINDS,
+    SchemeSpec,
+    TranslationScheme,
+)
+from repro.schemes.baseline import BaselineRadix
+from repro.schemes.revelator import RevelatorLike
+from repro.schemes.victima import VictimaLike
+
+__all__ = [
+    "ASAP_SCHEME",
+    "AsapScheme",
+    "BASELINE_SCHEME",
+    "BaselineRadix",
+    "RevelatorLike",
+    "SCHEME_KINDS",
+    "SchemeSpec",
+    "TranslationScheme",
+    "VictimaLike",
+    "build_scheme",
+]
+
+
+def build_scheme(spec: SchemeSpec | None,
+                 config: AsapConfig = BASELINE) -> TranslationScheme:
+    """Instantiate the runtime scheme for one simulation.
+
+    ``spec=None`` derives the scheme from ``config`` alone (ASAP when any
+    ladder level is enabled, baseline otherwise) — the exact behaviour
+    every call site had before the scheme layer existed.
+    """
+    if spec is None:
+        spec = SchemeSpec.for_config(config)
+    if spec.kind == "asap":
+        return AsapScheme(spec, config)
+    if config.enabled:
+        raise ValueError(
+            f"scheme {spec.kind!r} does not take an ASAP config "
+            f"({config.name!r}); pass BASELINE")
+    if spec.kind == "baseline":
+        return BaselineRadix(spec)
+    if spec.kind == "victima":
+        return VictimaLike(spec)
+    assert spec.kind == "revelator"
+    return RevelatorLike(spec)

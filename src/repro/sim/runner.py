@@ -25,6 +25,7 @@ from repro.kernelsim.buddy import BuddyAllocator
 from repro.kernelsim.hypervisor import VirtualMachine
 from repro.kernelsim.phys import PhysicalMemory
 from repro.params import DEFAULT_MACHINE, MachineParams
+from repro.schemes import SchemeSpec
 from repro.sim.simulator import NativeSimulation
 from repro.sim.stats import SimStats
 from repro.sim.virt import VirtualizedSimulation
@@ -105,6 +106,7 @@ def run_native(
     pt_levels: int = 4,
     collect_service: bool = True,
     hole_rate: float = 0.0,
+    scheme: SchemeSpec | None = None,
 ) -> SimStats:
     """Run one native scenario and return its statistics.
 
@@ -131,6 +133,7 @@ def run_native(
         clustered_tlb=clustered_tlb,
         infinite_tlb=infinite_tlb,
         corunner=_corunner(scale) if colocated else None,
+        scheme=scheme,
     )
     return simulation.run(trace, warmup=scale.warmup,
                           collect_service=collect_service,
@@ -173,6 +176,7 @@ def run_virtualized(
     machine: MachineParams = DEFAULT_MACHINE,
     scale: Scale = Scale(),
     collect_service: bool = True,
+    scheme: SchemeSpec | None = None,
 ) -> SimStats:
     """Run one virtualized scenario and return its statistics."""
     spec = _resolve(workload)
@@ -184,6 +188,7 @@ def run_virtualized(
         asap=config,
         infinite_tlb=infinite_tlb,
         corunner=_corunner(scale) if colocated else None,
+        scheme=scheme,
     )
     return simulation.run(trace, warmup=scale.warmup,
                           collect_service=collect_service,

@@ -2,9 +2,11 @@
 
 Per trace record (one memory operation):
 
-1. the TLB hierarchy is probed; a miss triggers a page walk,
-2. ASAP, when configured, checks its range registers and issues prefetches
-   concurrently with the walk (§3.4),
+1. the TLB hierarchy is probed; a miss hands control to the configured
+   translation scheme (`repro.schemes`),
+2. the scheme may *probe* an alternative translation source before
+   walking (Victima's cache-parked entries), *race* the walk with
+   prefetches (ASAP, §3.4), or *speculate* and verify (Revelator),
 3. the walker prices the walk against the shared cache hierarchy,
 4. the data access itself goes through the same hierarchy,
 5. an optional SMT co-runner issues one random access (§4).
@@ -13,6 +15,12 @@ Execution time accumulates ``base + walk + data`` cycles per record, giving
 the Figure 2 / Table 6 fractions; walks are pre-faulted (steady state — the
 paper measures long-running warmed-up services), so page-fault handling
 never pollutes walk-latency measurements.
+
+Scheme dispatch is hoisted out of the record loop: each hook is bound
+once per run and a scheme that opts out contributes ``None``, so the
+baseline costs exactly the ``is not None`` tests the pre-scheme code
+paid for its optional ASAP prefetcher (tracked by
+``tools/bench_schemes.py``).
 """
 
 from __future__ import annotations
@@ -21,12 +29,13 @@ import numpy as np
 
 from repro.core.config import AsapConfig, BASELINE
 from repro.core.prefetcher import AsapPrefetcher
-from repro.core.range_registers import RangeRegisterFile, VmaDescriptor
+from repro.core.range_registers import VmaDescriptor
 from repro.kernelsim.process import ProcessAddressSpace
 from repro.mem.hierarchy import CacheHierarchy
 from repro.pagetable.pwc import SplitPwc
 from repro.pagetable.walker import PageWalker
 from repro.params import DEFAULT_MACHINE, MachineParams
+from repro.schemes import SchemeSpec, build_scheme
 from repro.sim.order import first_touch_order
 from repro.sim.stats import SimStats
 from repro.tlb.hierarchy import TlbHierarchy
@@ -66,6 +75,7 @@ class NativeSimulation:
         clustered_tlb: bool = False,
         infinite_tlb: bool = False,
         corunner: Corunner | None = None,
+        scheme: SchemeSpec | None = None,
     ) -> None:
         self.process = process
         self.machine = machine
@@ -79,32 +89,10 @@ class NativeSimulation:
                             top_level=process.page_table.levels)
         self.walker = PageWalker(self.hierarchy, self.pwc)
         self.corunner = corunner
+        #: Set by AsapScheme.bind_native for introspection/back-compat.
         self.prefetcher: AsapPrefetcher | None = None
-        if asap.native_levels:
-            if process.asap_layout is None:
-                raise ValueError(
-                    "ASAP configs need a process built with the ASAP PT "
-                    "layout (asap_levels=...)"
-                )
-            registers = RangeRegisterFile(machine.asap.range_registers)
-            registers.load(
-                build_native_descriptors(process,
-                                         machine.asap.range_registers)
-            )
-            layout = process.asap_layout
-            vmas = process.vmas
-
-            def hole_checker(va: int, level: int) -> bool:
-                vma = vmas.find(va)
-                return vma is None or layout.is_hole(vma, level, va)
-
-            self.prefetcher = AsapPrefetcher(
-                self.hierarchy,
-                registers,
-                levels=asap.native_levels,
-                require_mshr=machine.asap.require_free_mshr,
-                hole_checker=hole_checker,
-            )
+        self.scheme = build_scheme(scheme, asap)
+        self.scheme.bind_native(self)
 
     # ------------------------------------------------------------------
     def populate(self, trace: np.ndarray, order: str = "sequential") -> int:
@@ -143,9 +131,13 @@ class NativeSimulation:
         tlbs = self.tlbs
         walker = self.walker
         hierarchy = self.hierarchy
-        prefetcher = self.prefetcher
         corunner = self.corunner
         clustered = self.clustered_tlb
+        scheme = self.scheme
+        probe = scheme.probe_hook()
+        walk_start = scheme.walk_start_hook()
+        walk_end = scheme.walk_end_hook()
+        fill_hook = scheme.fill_hook()
         base_cycles = self.machine.core.base_cycles
         service = stats.service
         now = 0
@@ -161,27 +153,42 @@ class NativeSimulation:
             frame = tlbs.lookup(vpn)
             translation = 0
             if frame is None:
-                path = process.walk_path(va)
-                prefetches = None
-                if prefetcher is not None:
-                    prefetches = prefetcher.on_tlb_miss(va, now)
-                outcome = walker.walk(path, now, prefetches)
-                translation = outcome.latency
-                neighbours = None
-                if clustered and path.leaf_level == 1:
-                    neighbours = process.cluster_frames(vpn)
-                tlbs.fill(
-                    vpn,
-                    path.frame,
-                    large=path.is_large,
-                    neighbour_frames=neighbours,
-                )
-                frame = path.frame
+                walked = True
+                offset = 0
+                if probe is not None:
+                    frame, offset = probe(va, vpn, now)
+                    if frame is not None:
+                        translation = offset
+                        walked = False
+                        tlbs.fill(vpn, frame)
+                if walked:
+                    path = process.walk_path(va)
+                    prefetches = None
+                    if walk_start is not None:
+                        prefetches = walk_start(va, now + offset)
+                    outcome = walker.walk(path, now + offset, prefetches)
+                    translation = offset + outcome.latency
+                    if walk_end is not None:
+                        translation = walk_end(va, vpn, now, translation,
+                                               outcome)
+                    neighbours = None
+                    if clustered and path.leaf_level == 1:
+                        neighbours = process.cluster_frames(vpn)
+                    tlbs.fill(
+                        vpn,
+                        path.frame,
+                        large=path.is_large,
+                        neighbour_frames=neighbours,
+                    )
+                    frame = path.frame
+                if fill_hook is not None:
+                    fill_hook(vpn, frame)
                 if measuring:
-                    stats.walks += 1
                     stats.walk_cycles += translation
-                    if collect_service:
-                        service.record_walk(outcome.records)
+                    if walked:
+                        stats.walks += 1
+                        if collect_service:
+                            service.record_walk(outcome.records)
             data_line = ((frame << 12) | (va & 0xFFF)) >> 6
             result = hierarchy.access_line(data_line, now + translation)
             now += base_cycles + translation + result.latency
@@ -194,8 +201,5 @@ class NativeSimulation:
                 corunner.step(hierarchy, now)
         stats.tlb_l1_hits = tlbs.l1_hits - tlb_l1_base
         stats.tlb_l2_hits = tlbs.l2_hits - tlb_l2_base
-        if prefetcher is not None:
-            stats.prefetches_issued = prefetcher.stats.issued
-            stats.prefetches_useful = prefetcher.stats.useful
-            stats.prefetches_dropped = prefetcher.stats.dropped_no_mshr
+        scheme.finalize(stats)
         return stats

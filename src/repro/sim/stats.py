@@ -59,7 +59,13 @@ class SimStats:
     cycles: int = 0
     base_cycles: int = 0
     data_cycles: int = 0
+    #: Total translation-stall cycles: page walks plus whatever else the
+    #: active scheme put on the critical path (Victima probe hits,
+    #: Revelator speculation/squash).  Identical to walk time for
+    #: baseline/ASAP, which only ever stall on walks.
     walk_cycles: int = 0
+    #: Page walks actually performed; probe hits that short-circuit the
+    #: walk (Victima) are counted in ``scheme_stats``, not here.
     walks: int = 0
     tlb_l1_hits: int = 0
     tlb_l2_hits: int = 0
@@ -67,11 +73,21 @@ class SimStats:
     prefetches_useful: int = 0
     prefetches_dropped: int = 0
     service: ServiceDistribution = field(default_factory=ServiceDistribution)
+    #: Per-scheme counters published by the run's translation scheme
+    #: (`repro.schemes`): e.g. Victima's probe_hits, Revelator's
+    #: correct/mispredict split.  Empty for plain baseline runs.
+    scheme_stats: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
     def avg_walk_latency(self) -> float:
-        """Average page-walk latency in cycles — the headline metric."""
+        """Average page-walk latency in cycles — the headline metric.
+
+        For probe-based schemes (Victima) the numerator also carries
+        the probe-hit stalls whose walks never ran, so this reads as
+        *translation cycles per walk performed*; rank such schemes by
+        :attr:`walk_fraction` instead (what ``repro compare`` does).
+        """
         if not self.walks:
             return 0.0
         return self.walk_cycles / self.walks

@@ -1,12 +1,16 @@
 """The virtualized (2D) trace-driven simulator (§3.6, Figures 10 and 12).
 
 Same structure as the native simulator, but a TLB miss triggers a nested
-2D walk through the guest and host page tables.  ASAP can be configured
-per dimension: the guest prefetcher's descriptors carry *host-physical*
-bases (valid because the hypervisor backs the guest PT regions
-contiguously), and the host prefetcher uses a single descriptor covering
-the VM's entire guest-physical space — one host VMA per VM, the Linux/KVM
-observation of §3.6.
+2D walk through the guest and host page tables, and the translation
+scheme (`repro.schemes`) can act per dimension.  ASAP configures
+guest/host prefetchers independently: the guest prefetcher's descriptors
+carry *host-physical* bases (valid because the hypervisor backs the
+guest PT regions contiguously), and the host prefetcher uses a single
+descriptor covering the VM's entire guest-physical space — one host VMA
+per VM, the Linux/KVM observation of §3.6.  Alternative schemes hook the
+same dispatch points: Victima parks gVA→host-frame victims in the L2
+data cache; Revelator speculates on the end-to-end translation while the
+nested walk verifies.
 """
 
 from __future__ import annotations
@@ -15,12 +19,13 @@ import numpy as np
 
 from repro.core.config import AsapConfig, BASELINE
 from repro.core.prefetcher import AsapPrefetcher
-from repro.core.range_registers import RangeRegisterFile, VmaDescriptor
+from repro.core.range_registers import VmaDescriptor
 from repro.kernelsim.hypervisor import VirtualMachine
 from repro.mem.hierarchy import CacheHierarchy
 from repro.pagetable.nested import NestedPageWalker
 from repro.pagetable.pwc import SplitPwc
 from repro.params import DEFAULT_MACHINE, MachineParams
+from repro.schemes import SchemeSpec, build_scheme
 from repro.sim.order import first_touch_order
 from repro.sim.stats import SimStats
 from repro.tlb.hierarchy import TlbHierarchy
@@ -67,6 +72,7 @@ class VirtualizedSimulation:
         asap: AsapConfig = BASELINE,
         infinite_tlb: bool = False,
         corunner: Corunner | None = None,
+        scheme: SchemeSpec | None = None,
     ) -> None:
         self.vm = vm
         self.machine = machine
@@ -79,49 +85,11 @@ class VirtualizedSimulation:
         self.walker = NestedPageWalker(self.hierarchy, self.guest_pwc,
                                        self.host_pwc)
         self.corunner = corunner
-
+        #: Set by AsapScheme.bind_virtualized for introspection/back-compat.
         self.guest_prefetcher: AsapPrefetcher | None = None
-        if asap.guest_levels:
-            registers = RangeRegisterFile(machine.asap.range_registers)
-            descriptors = build_guest_descriptors(
-                vm, machine.asap.range_registers
-            )
-            if not descriptors:
-                raise ValueError(
-                    "guest ASAP needs a guest built with the ASAP layout "
-                    "and a VM backing guest PT regions contiguously"
-                )
-            registers.load(descriptors)
-            layout = vm.guest.asap_layout
-            vmas = vm.guest.vmas
-
-            def hole_checker(va: int, level: int) -> bool:
-                vma = vmas.find(va)
-                return vma is None or layout.is_hole(vma, level, va)
-
-            self.guest_prefetcher = AsapPrefetcher(
-                self.hierarchy,
-                registers,
-                levels=asap.guest_levels,
-                require_mshr=machine.asap.require_free_mshr,
-                hole_checker=hole_checker,
-            )
-
         self.host_prefetcher: AsapPrefetcher | None = None
-        if asap.host_levels:
-            descriptor = build_host_descriptor(vm)
-            if descriptor is None:
-                raise ValueError(
-                    "host ASAP needs a VM built with host_asap_levels"
-                )
-            registers = RangeRegisterFile(1)
-            registers.load([descriptor])
-            self.host_prefetcher = AsapPrefetcher(
-                self.hierarchy,
-                registers,
-                levels=asap.host_levels,
-                require_mshr=machine.asap.require_free_mshr,
-            )
+        self.scheme = build_scheme(scheme, asap)
+        self.scheme.bind_virtualized(self)
 
     # ------------------------------------------------------------------
     def populate(self, trace: np.ndarray, order: str = "sequential") -> int:
@@ -157,9 +125,13 @@ class VirtualizedSimulation:
         tlbs = self.tlbs
         walker = self.walker
         hierarchy = self.hierarchy
-        guest_prefetcher = self.guest_prefetcher
-        host_prefetcher = self.host_prefetcher
         corunner = self.corunner
+        scheme = self.scheme
+        probe = scheme.probe_hook()
+        walk_start = scheme.walk_start_hook()
+        walk_end = scheme.walk_end_hook()
+        fill_hook = scheme.fill_hook()
+        host_prefetcher = self.scheme.host_prefetcher
         base_cycles = self.machine.core.base_cycles
         service = stats.service
         now = 0
@@ -175,25 +147,40 @@ class VirtualizedSimulation:
             frame = tlbs.lookup(vpn)
             translation = 0
             if frame is None:
-                path = vm.nested_path(va)
-                guest_prefetches = None
-                if guest_prefetcher is not None:
-                    guest_prefetches = guest_prefetcher.on_tlb_miss(va, now)
-                outcome = walker.walk(
-                    path,
-                    now,
-                    guest_prefetches=guest_prefetches,
-                    host_prefetcher=host_prefetcher,
-                )
-                translation = outcome.latency
-                tlbs.fill(vpn, path.data_frame,
-                          large=path.guest_leaf_level >= 2)
-                frame = path.data_frame
+                walked = True
+                offset = 0
+                if probe is not None:
+                    frame, offset = probe(va, vpn, now)
+                    if frame is not None:
+                        translation = offset
+                        walked = False
+                        tlbs.fill(vpn, frame)
+                if walked:
+                    path = vm.nested_path(va)
+                    guest_prefetches = None
+                    if walk_start is not None:
+                        guest_prefetches = walk_start(va, now + offset)
+                    outcome = walker.walk(
+                        path,
+                        now + offset,
+                        guest_prefetches=guest_prefetches,
+                        host_prefetcher=host_prefetcher,
+                    )
+                    translation = offset + outcome.latency
+                    if walk_end is not None:
+                        translation = walk_end(va, vpn, now, translation,
+                                               outcome)
+                    tlbs.fill(vpn, path.data_frame,
+                              large=path.guest_leaf_level >= 2)
+                    frame = path.data_frame
+                if fill_hook is not None:
+                    fill_hook(vpn, frame)
                 if measuring:
-                    stats.walks += 1
                     stats.walk_cycles += translation
-                    if collect_service:
-                        service.record_walk(outcome.records)
+                    if walked:
+                        stats.walks += 1
+                        if collect_service:
+                            service.record_walk(outcome.records)
             data_line = ((frame << 12) | (va & 0xFFF)) >> 6
             result = hierarchy.access_line(data_line, now + translation)
             now += base_cycles + translation + result.latency
@@ -206,9 +193,5 @@ class VirtualizedSimulation:
                 corunner.step(hierarchy, now)
         stats.tlb_l1_hits = tlbs.l1_hits - tlb_l1_base
         stats.tlb_l2_hits = tlbs.l2_hits - tlb_l2_base
-        for prefetcher in (guest_prefetcher, host_prefetcher):
-            if prefetcher is not None:
-                stats.prefetches_issued += prefetcher.stats.issued
-                stats.prefetches_useful += prefetcher.stats.useful
-                stats.prefetches_dropped += prefetcher.stats.dropped_no_mshr
+        scheme.finalize(stats)
         return stats

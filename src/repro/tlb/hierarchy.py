@@ -17,7 +17,7 @@ Three variants are exposed through one class:
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
 from repro.params import TlbHierarchyParams
 from repro.pagetable.constants import LEVEL_BITS
@@ -57,6 +57,11 @@ class TlbHierarchy:
         self.stats = TlbStats()
         self.l1_hits = 0
         self.l2_hits = 0
+        #: Optional observer for small-page L2 S-TLB evictions,
+        #: ``hook(vpn, frame)`` — translation schemes that recycle
+        #: victims (e.g. Victima parking them in the data cache) attach
+        #: here at bind time.  None costs one test per walk-path fill.
+        self.l2_evict_hook: Callable[[int, int], None] | None = None
 
     # ------------------------------------------------------------------
     def lookup(self, vpn: int) -> int | None:
@@ -129,7 +134,10 @@ class TlbHierarchy:
             self.l2_clustered.fill(vpn, frame, neighbour_frames)
         else:
             assert self.l2_plain is not None
-            self.l2_plain.fill(_small_tag(vpn), frame)
+            victim = self.l2_plain.fill(_small_tag(vpn), frame)
+            if victim is not None and self.l2_evict_hook is not None \
+                    and not (victim[0] & 1):
+                self.l2_evict_hook(victim[0] >> 1, victim[1])
 
     # ------------------------------------------------------------------
     def flush(self) -> None:

@@ -63,15 +63,16 @@ class Tlb:
     def contains(self, tag: int) -> bool:
         return tag in self._sets[self._set_index(tag)]
 
-    def fill(self, tag: int, frame: int) -> int | None:
-        """Install a translation; returns the evicted tag, if any."""
+    def fill(self, tag: int, frame: int) -> tuple[int, int] | None:
+        """Install a translation; returns the evicted (tag, frame), if
+        any — eviction-recycling schemes (Victima) consume the victim."""
         tlb_set = self._sets[self._set_index(tag)]
         victim = None
         if tag in tlb_set:
             del tlb_set[tag]
         elif len(tlb_set) >= self.ways:
-            victim = next(iter(tlb_set))
-            del tlb_set[victim]
+            victim_tag = next(iter(tlb_set))
+            victim = (victim_tag, tlb_set.pop(victim_tag))
         tlb_set[tag] = frame
         return victim
 

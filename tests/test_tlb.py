@@ -20,7 +20,7 @@ class TestPlainTlb:
         tlb.fill(2, 20)
         tlb.lookup(0)
         victim = tlb.fill(4, 40)
-        assert victim == 2
+        assert victim == (2, 20)
         assert tlb.lookup(0) == 10
 
     def test_invalidate(self):

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Benchmark the translation-scheme dispatch: wall time per scheme.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_schemes.py [--output BENCH_schemes.json]
+        [--workload mc80] [--trace-length 60000] [--virtualized] [--repeats 3]
+
+Times every registered scheme (`repro.experiments.common.SCHEMES`) on
+one fixed workload/trace and writes a JSON record — the repository's
+perf trajectory for the simulator hot path.  Two things are tracked:
+
+* **absolute cost** — wall seconds per scheme at the 60k-trace report
+  scale, so hot-path regressions show up as a diff in the checked-in
+  ``BENCH_schemes.json``;
+* **dispatch overhead** — the ``BaselineRadix`` row is the scheme
+  layer's price over a scheme-less loop.  Every hook the baseline
+  declines is a single ``is not None`` test hoisted out of the record
+  loop, so this row moving is the first sign the dispatch grew a
+  per-record cost.
+
+Simulation statistics ride along (walks, translation-cycle fraction,
+scheme counters) so a perf change that silently changes *behaviour* is
+visible in the same diff.  Timings exclude trace generation (the trace
+cache is pre-warmed) but include process/VM construction and
+population, like any real experiment cell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.common import SCHEMES  # noqa: E402
+from repro.sim.runner import (  # noqa: E402
+    Scale,
+    make_trace,
+    run_native,
+    run_virtualized,
+)
+from repro.workloads.suite import ALL_NAMES, get  # noqa: E402
+
+
+def bench_one(name: str, workload: str, scale: Scale, virtualized: bool,
+              repeats: int) -> dict:
+    entry = SCHEMES[name]
+    config = entry.virt_config if virtualized else entry.native_config
+    runner = run_virtualized if virtualized else run_native
+    best = None
+    stats = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        stats = runner(workload, config, scale=scale, scheme=entry.spec,
+                       collect_service=False)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    assert stats is not None
+    return {
+        "scheme": name,
+        "config": config.name,
+        "seconds": round(best, 3),
+        "walks": stats.walks,
+        "walk_cycles": stats.walk_cycles,
+        "translation_fraction": round(stats.walk_fraction, 4),
+        "avg_walk_latency": round(stats.avg_walk_latency, 1),
+        "scheme_stats": stats.scheme_stats,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="mc80", choices=ALL_NAMES)
+    parser.add_argument("--trace-length", type=int, default=60_000)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--virtualized", action="store_true")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per scheme; the best time is kept")
+    parser.add_argument("--output", default=str(REPO_ROOT
+                                                / "BENCH_schemes.json"))
+    args = parser.parse_args(argv)
+
+    scale = Scale(trace_length=args.trace_length,
+                  warmup=args.trace_length // 5, seed=args.seed)
+    make_trace(get(args.workload), scale)  # warm the trace cache
+
+    rows = []
+    for name in SCHEMES:
+        row = bench_one(name, args.workload, scale, args.virtualized,
+                        args.repeats)
+        rows.append(row)
+        print(f"{name:10s} {row['seconds']:7.3f}s  "
+              f"walks={row['walks']}  "
+              f"translation={100 * row['translation_fraction']:.1f}%")
+
+    baseline = next(r for r in rows if r["scheme"] == "baseline")
+    for row in rows:
+        row["relative_to_baseline"] = round(
+            row["seconds"] / baseline["seconds"], 3)
+
+    document = {
+        "benchmark": "scheme dispatch hot path",
+        "tool": "tools/bench_schemes.py",
+        "workload": args.workload,
+        "mode": "virtualized" if args.virtualized else "native",
+        "trace_length": args.trace_length,
+        "warmup": scale.warmup,
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "generated": time.strftime("%Y-%m-%d"),
+        "results": rows,
+    }
+    Path(args.output).write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
