@@ -121,17 +121,63 @@ class ProcessAddressSpace:
         finally:
             self._fault_vma = None
         self.faults += 1
-        hit = self.page_table.lookup(va)
-        assert hit is not None
-        return TouchResult(frame=hit[0], faulted=True, leaf_level=leaf_level,
+        if leaf_level == 2:
+            # The 4KB frame within the large page, as lookup() reports it.
+            frame += c.vpn(va) & (c.ENTRIES_PER_NODE - 1)
+        return TouchResult(frame=frame, faulted=True, leaf_level=leaf_level,
                            created_nodes=created)
 
     def populate(self, vpns) -> int:
         """Pre-fault a sequence of vpns (steady-state warm-up); returns the
-        number of faults taken."""
+        number of faults taken.
+
+        Same faulting pipeline as :meth:`touch` per vpn, inline: the
+        warm-up loop runs once per distinct page of every simulation, and
+        it needs neither the :class:`TouchResult` nor the created-node
+        inventory that the general path materialises.
+        """
         before = self.faults
-        for vpn in vpns:
-            self.touch(int(vpn) << c.PAGE_SHIFT)
+        page_table = self.page_table
+        map_page = page_table.map_page
+        find_vma = self.vmas.find
+        page_levels = self._page_levels
+        pages, large = page_table.leaf_maps()
+        pte_nodes = page_table.leaf_nodes(1)
+        buddy = self.buddy
+        alloc_frame = buddy.alloc_frame
+        data_pool = self.data_pool
+        faults = 0
+        try:
+            for vpn in vpns:
+                vpn = int(vpn)
+                if vpn in pages or (vpn >> c.LEVEL_BITS) in large:
+                    continue
+                va = vpn << c.PAGE_SHIFT
+                vma = find_vma(va)
+                if vma is None:
+                    raise SegmentationFault(
+                        f"{va:#x} is not mapped by any VMA")
+                leaf_level = page_levels[id(vma)]
+                self._fault_vma = vma
+                if leaf_level == 1:
+                    frame = alloc_frame(data_pool)
+                    if (vpn >> c.LEVEL_BITS) in pte_nodes:
+                        # Interior nodes exist: install the leaf directly
+                        # (what map_page's fast path would do).
+                        pages[vpn] = frame
+                    else:
+                        map_page(va, frame, 1)
+                else:
+                    frame = buddy.alloc_run(
+                        c.ENTRIES_PER_NODE, pool=data_pool, aligned=True)
+                    map_page(va, frame, 2)
+                faults += 1
+        finally:
+            # Count even the faults a mid-loop SegmentationFault strands:
+            # their frames were allocated and leaves installed, exactly
+            # as the per-vpn touch() loop this replaced counted them.
+            self._fault_vma = None
+            self.faults += faults
         return self.faults - before
 
     # ------------------------------------------------------------------
@@ -139,6 +185,11 @@ class ProcessAddressSpace:
     # ------------------------------------------------------------------
     def walk_path(self, va: int) -> WalkPath:
         return self.page_table.walk_path(va)
+
+    def flat_walk(self, va: int):
+        """Flat walk-path form for the simulator's per-vpn path cache
+        (see :meth:`repro.pagetable.radix.RadixPageTable.flat_walk`)."""
+        return self.page_table.flat_walk(va)
 
     def fault_path(self, va: int) -> FaultPath:
         return self.page_table.fault_path(va)

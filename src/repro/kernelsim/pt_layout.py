@@ -20,7 +20,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.kernelsim.buddy import BuddyAllocator, OutOfMemoryError
+from repro.kernelsim.buddy import BuddyAllocator
 from repro.kernelsim.vma import Vma
 from repro.pagetable import constants as c
 

@@ -14,7 +14,7 @@ with O(log n) lookup) is the same.
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 

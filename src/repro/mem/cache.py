@@ -1,16 +1,24 @@
 """A set-associative, write-allocate cache model with true-LRU replacement.
 
 The model tracks cache *lines by line number* (physical address >> 6); it
-never stores data.  Each set is a dict used as an ordered LRU queue: Python
-dicts preserve insertion order, so deleting and re-inserting a key moves it
-to the MRU position in O(1).
+never stores data.  Storage is the repository's shared flat-array LRU
+layout (see `repro.tlb.tlb` and docs/ARCHITECTURE.md): one preallocated
+``lines`` list of ``sets * (ways+1)`` slots, each set owning a contiguous
+segment ordered MRU→LRU with a trailing guard slot, so a probe is one
+C-speed ``list.index`` scan and the eviction victim is always the last
+live slot.  The hot simulator loops additionally reach into this storage
+directly (``repro.mem.hierarchy`` inlines the L1 probe), which is the
+point of keeping it as plain indexed arrays rather than per-set dicts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.params import CacheParams
+
+#: Sentinel marking an empty slot; real line numbers are non-negative.
+EMPTY = -1
 
 
 @dataclass
@@ -54,7 +62,10 @@ class SetAssociativeCache:
         self.name = name
         self.num_sets = params.sets
         self.ways = params.ways
-        self._sets: list[dict[int, None]] = [{} for _ in range(self.num_sets)]
+        #: Slots per set segment: ``ways`` entries plus the guard slot.
+        self.stride = params.ways + 1
+        self.lines: list[int] = [EMPTY] * (self.num_sets * self.stride)
+        self.sizes: list[int] = [0] * self.num_sets
         self.stats = CacheStats()
 
     def _set_index(self, line: int) -> int:
@@ -62,48 +73,90 @@ class SetAssociativeCache:
 
     def lookup(self, line: int, update_lru: bool = True) -> bool:
         """Probe for ``line``; on a hit optionally promote it to MRU."""
-        cache_set = self._sets[self._set_index(line)]
-        if line in cache_set:
-            self.stats.hits += 1
-            if update_lru:
-                del cache_set[line]
-                cache_set[line] = None
-            return True
-        self.stats.misses += 1
-        return False
+        set_index = line % self.num_sets
+        base = set_index * self.stride
+        lines = self.lines
+        limit = base + self.sizes[set_index]
+        lines[limit] = line
+        pos = lines.index(line, base)
+        lines[limit] = EMPTY
+        if pos == limit:
+            self.stats.misses += 1
+            return False
+        self.stats.hits += 1
+        if update_lru and pos != base:
+            lines[base + 1:pos + 1] = lines[base:pos]
+            lines[base] = line
+        return True
 
     def contains(self, line: int) -> bool:
         """Non-mutating membership test (no stats, no LRU update)."""
-        return line in self._sets[self._set_index(line)]
+        set_index = line % self.num_sets
+        base = set_index * self.stride
+        lines = self.lines
+        limit = base + self.sizes[set_index]
+        lines[limit] = line
+        pos = lines.index(line, base)
+        lines[limit] = EMPTY
+        return pos != limit
 
     def install(self, line: int) -> int | None:
         """Insert ``line`` as MRU; return the evicted line, if any."""
-        cache_set = self._sets[self._set_index(line)]
+        set_index = line % self.num_sets
+        base = set_index * self.stride
+        lines = self.lines
+        size = self.sizes[set_index]
+        limit = base + size
+        lines[limit] = line
+        pos = lines.index(line, base)
+        lines[limit] = EMPTY
         victim = None
-        if line in cache_set:
-            del cache_set[line]
-        elif len(cache_set) >= self.ways:
-            victim = next(iter(cache_set))
-            del cache_set[victim]
+        if pos != limit:
+            if pos != base:
+                lines[base + 1:pos + 1] = lines[base:pos]
+        elif size >= self.ways:
+            last = base + self.ways - 1
+            victim = lines[last]
+            lines[base + 1:last + 1] = lines[base:last]
             self.stats.evictions += 1
-        cache_set[line] = None
+        else:
+            lines[base + 1:limit + 1] = lines[base:limit]
+            self.sizes[set_index] = size + 1
+        lines[base] = line
         return victim
 
     def invalidate(self, line: int) -> bool:
         """Drop ``line`` if present; returns whether it was resident."""
-        cache_set = self._sets[self._set_index(line)]
-        if line in cache_set:
-            del cache_set[line]
-            return True
-        return False
+        set_index = line % self.num_sets
+        base = set_index * self.stride
+        lines = self.lines
+        size = self.sizes[set_index]
+        limit = base + size
+        lines[limit] = line
+        pos = lines.index(line, base)
+        lines[limit] = EMPTY
+        if pos == limit:
+            return False
+        last = limit - 1
+        lines[pos:last] = lines[pos + 1:limit]
+        lines[last] = EMPTY
+        self.sizes[set_index] = size - 1
+        return True
 
     def flush(self) -> None:
-        for cache_set in self._sets:
-            cache_set.clear()
+        self.lines[:] = [EMPTY] * (self.num_sets * self.stride)
+        self.sizes[:] = [0] * self.num_sets
+
+    def resident_lines(self):
+        """Iterate all resident line numbers (introspection/debug)."""
+        stride = self.stride
+        for set_index in range(self.num_sets):
+            base = set_index * stride
+            yield from self.lines[base:base + self.sizes[set_index]]
 
     @property
     def occupancy(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return sum(self.sizes)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -15,14 +15,26 @@ anything is fetched and are dropped — with no architectural side effect —
 when the MSHR file is full (§3.4).  A demand access that misses the L1 while
 a prefetch to the same line is still in flight *merges* with it and
 completes when the prefetch does.
+
+Hot-path note: ``access`` is a closure built once per instance that probes
+and fills the three levels *inline* on their flat array storage
+(`repro.mem.cache`) and returns the latency as a plain int, leaving the
+serving-level label in the one-slot ``last_level`` cell — the simulators
+and walkers call it millions of times per run and mostly ignore the
+label, so returning a tuple would be pure allocation overhead.
+``access_line`` wraps the same closure in the stable
+:class:`AccessResult` API for everything off the hot path (tests,
+schemes, the co-runner).  Because the closure captures the underlying
+lists and stat objects, every mutating operation must stay in place
+(``flush``/``reset_stats`` reuse the same containers).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable
 
-from repro.mem.cache import SetAssociativeCache
+from repro.mem.cache import EMPTY, SetAssociativeCache
 from repro.mem.mshr import MshrFile
 from repro.params import HierarchyParams
 
@@ -56,28 +68,178 @@ class CacheHierarchy:
         self.served: dict[str, int] = {level: 0 for level in LEVELS}
         self.prefetches_issued = 0
         self.prefetches_dropped = 0
+        #: Serving level of the most recent ``access`` call ("L1", "L2",
+        #: "L3", "MEM" or "MSHR"), as a one-slot cell.
+        self.last_level: list[str] = ["L1"]
+        #: The inlined hot-path probe: ``access(line, now) -> latency``;
+        #: the serving level lands in ``last_level``.  Built once; see
+        #: module docstring.
+        self.access: Callable[[int, int], int] = self._build_access()
 
     # ------------------------------------------------------------------
     # demand path
     # ------------------------------------------------------------------
+    def _build_access(self) -> Callable[[int, int], int]:
+        """Build the inlined L1→L2→L3→MEM probe/fill closure.
+
+        Semantically identical to the unfolded ``lookup``/``install``
+        calls it replaces, including every stats counter; the win is that
+        one call prices an access end to end with zero further dispatch.
+        Install steps exploit that the preceding probe already proved the
+        line absent, so they skip the membership scan a generic
+        ``install`` would pay.
+        """
+        l1, l2, l3 = self.l1, self.l2, self.l3
+        l1_lines, l2_lines, l3_lines = l1.lines, l2.lines, l3.lines
+        l1_sizes, l2_sizes, l3_sizes = l1.sizes, l2.sizes, l3.sizes
+        l1_nsets, l2_nsets, l3_nsets = l1.num_sets, l2.num_sets, l3.num_sets
+        l1_stride, l2_stride, l3_stride = l1.stride, l2.stride, l3.stride
+        l1_ways, l2_ways, l3_ways = l1.ways, l2.ways, l3.ways
+        l1_stats, l2_stats, l3_stats = l1.stats, l2.stats, l3.stats
+        lat1 = self._latencies["L1"]
+        lat2 = self._latencies["L2"]
+        lat3 = self._latencies["L3"]
+        latm = self._latencies["MEM"]
+        served = self.served
+        last_level = self.last_level
+        mshr_inflight = self.mshrs._inflight
+        inflight_completion = self.mshrs.inflight_completion
+
+        def access(line: int, now: int = 0) -> int:
+            # --- L1 probe --------------------------------------------
+            l1_set = line % l1_nsets
+            l1_base = l1_set * l1_stride
+            if l1_lines[l1_base] == line:
+                # MRU shortcut: hit in place, no reordering needed.
+                l1_stats.hits += 1
+                served["L1"] += 1
+                last_level[0] = "L1"
+                return lat1
+            limit = l1_base + l1_sizes[l1_set]
+            l1_lines[limit] = line
+            pos = l1_lines.index(line, l1_base)
+            l1_lines[limit] = EMPTY
+            if pos != limit:
+                l1_stats.hits += 1
+                l1_lines[l1_base + 1:pos + 1] = l1_lines[l1_base:pos]
+                l1_lines[l1_base] = line
+                served["L1"] += 1
+                last_level[0] = "L1"
+                return lat1
+            l1_stats.misses += 1
+            # --- MSHR merge with an in-flight prefetch ---------------
+            if mshr_inflight:
+                merged = inflight_completion(line, now)
+                if merged is not None and merged > now:
+                    size = l1_sizes[l1_set]
+                    if size >= l1_ways:
+                        last = l1_base + l1_ways - 1
+                        l1_lines[l1_base + 1:last + 1] = \
+                            l1_lines[l1_base:last]
+                        l1_stats.evictions += 1
+                    else:
+                        limit = l1_base + size
+                        l1_lines[l1_base + 1:limit + 1] = \
+                            l1_lines[l1_base:limit]
+                        l1_sizes[l1_set] = size + 1
+                    l1_lines[l1_base] = line
+                    last_level[0] = "MSHR"
+                    return merged - now
+            # --- L2 probe --------------------------------------------
+            l2_set = line % l2_nsets
+            l2_base = l2_set * l2_stride
+            if l2_lines[l2_base] == line:
+                l2_stats.hits += 1
+                latency, level = lat2, "L2"
+            else:
+                limit = l2_base + l2_sizes[l2_set]
+                l2_lines[limit] = line
+                pos = l2_lines.index(line, l2_base)
+                l2_lines[limit] = EMPTY
+                if pos != limit:
+                    l2_stats.hits += 1
+                    l2_lines[l2_base + 1:pos + 1] = l2_lines[l2_base:pos]
+                    l2_lines[l2_base] = line
+                    latency, level = lat2, "L2"
+                else:
+                    l2_stats.misses += 1
+                    # --- L3 probe ------------------------------------
+                    l3_set = line % l3_nsets
+                    l3_base = l3_set * l3_stride
+                    if l3_lines[l3_base] == line:
+                        l3_stats.hits += 1
+                        latency, level = lat3, "L3"
+                    else:
+                        limit = l3_base + l3_sizes[l3_set]
+                        l3_lines[limit] = line
+                        pos = l3_lines.index(line, l3_base)
+                        l3_lines[limit] = EMPTY
+                        if pos != limit:
+                            l3_stats.hits += 1
+                            l3_lines[l3_base + 1:pos + 1] = \
+                                l3_lines[l3_base:pos]
+                            l3_lines[l3_base] = line
+                            latency, level = lat3, "L3"
+                        else:
+                            l3_stats.misses += 1
+                            latency, level = latm, "MEM"
+                            # install into L3 (line known absent)
+                            size = l3_sizes[l3_set]
+                            if size >= l3_ways:
+                                last = l3_base + l3_ways - 1
+                                l3_lines[l3_base + 1:last + 1] = \
+                                    l3_lines[l3_base:last]
+                                l3_stats.evictions += 1
+                            else:
+                                limit = l3_base + size
+                                l3_lines[l3_base + 1:limit + 1] = \
+                                    l3_lines[l3_base:limit]
+                                l3_sizes[l3_set] = size + 1
+                            l3_lines[l3_base] = line
+                    # install into L2 (L3/MEM serve; line known absent)
+                    size = l2_sizes[l2_set]
+                    if size >= l2_ways:
+                        last = l2_base + l2_ways - 1
+                        l2_lines[l2_base + 1:last + 1] = \
+                            l2_lines[l2_base:last]
+                        l2_stats.evictions += 1
+                    else:
+                        limit = l2_base + size
+                        l2_lines[l2_base + 1:limit + 1] = \
+                            l2_lines[l2_base:limit]
+                        l2_sizes[l2_set] = size + 1
+                    l2_lines[l2_base] = line
+            # install into L1 (every non-L1 serve; line known absent)
+            size = l1_sizes[l1_set]
+            if size >= l1_ways:
+                last = l1_base + l1_ways - 1
+                l1_lines[l1_base + 1:last + 1] = l1_lines[l1_base:last]
+                l1_stats.evictions += 1
+            else:
+                limit = l1_base + size
+                l1_lines[l1_base + 1:limit + 1] = l1_lines[l1_base:limit]
+                l1_sizes[l1_set] = size + 1
+            l1_lines[l1_base] = line
+            served[level] += 1
+            last_level[0] = level
+            return latency
+
+        return access
+
     def access_line(self, line: int, now: int = 0) -> AccessResult:
         """Demand access to ``line``; installs into upper levels on miss."""
-        if self.l1.lookup(line):
-            self.served["L1"] += 1
-            return AccessResult(self._latencies["L1"], "L1")
-        merged = self.mshrs.inflight_completion(line, now)
-        if merged is not None and merged > now:
-            # An in-flight prefetch to the same line: the demand access
-            # completes when the prefetch does (already accounted for).
-            self.l1.install(line)
-            return AccessResult(merged - now, "MSHR")
-        level = self._serving_level_below_l1(line)
-        self._fill(line, level)
-        self.served[level] += 1
-        return AccessResult(self._latencies[level], level)
+        latency = self.access(line, now)
+        return AccessResult(latency, self.last_level[0])
 
     def access_addr(self, phys_addr: int, now: int = 0) -> AccessResult:
         return self.access_line(phys_addr >> 6, now)
+
+    def bulk_l1_hits(self, count: int) -> None:
+        """Account ``count`` repeat L1 hits on the line the immediately
+        preceding access left at MRU (the batched front-end's streak
+        costing; the repeats would neither move LRU state nor miss)."""
+        self.l1.stats.hits += count
+        self.served["L1"] += count
 
     def _serving_level_below_l1(self, line: int) -> str:
         if self.l2.lookup(line):
@@ -141,6 +303,8 @@ class CacheHierarchy:
     def reset_stats(self) -> None:
         for cache in (self.l1, self.l2, self.l3):
             cache.stats.reset()
-        self.served = {level: 0 for level in LEVELS}
+        # In place: the ``access`` closure captured this dict.
+        for level in LEVELS:
+            self.served[level] = 0
         self.prefetches_issued = 0
         self.prefetches_dropped = 0

@@ -89,30 +89,38 @@ class NestedPageWalker:
         step_gpa: int,
         host_steps,
         t: int,
-        records: list[tuple[str, str]],
+        records: list[tuple[str, str]] | None,
         host_prefetcher: HostPrefetcher | None,
     ) -> int:
-        """Price one host 1D walk starting at ``t``; returns finish time."""
+        """Price one host 1D walk starting at ``t``; returns finish time.
+
+        ``records`` may be None (measurement-off fast path): pricing and
+        stats are identical, only the service labels are skipped.
+        """
         t += self.host_pwc.latency
         skip_from = self.host_pwc.probe(step_gpa)
         start = 0
         if skip_from is not None:
             for index, hstep in enumerate(host_steps):
                 if hstep.level >= skip_from:
-                    records.append((f"h{hstep.level}", PWC_LABEL))
+                    if records is not None:
+                        records.append((f"h{hstep.level}", PWC_LABEL))
                     start = index + 1
                 else:
                     break
         prefetches: dict[int, int] = {}
         if host_prefetcher is not None:
             prefetches = host_prefetcher.on_tlb_miss(step_gpa, t)
+        access = self.hierarchy.access
+        last_level = self.hierarchy.last_level
         for hstep in host_steps[start:]:
-            result = self.hierarchy.access_line(hstep.line, t)
-            finish = t + result.latency
+            latency = access(hstep.line, t)
+            finish = t + latency
             completion = prefetches.get(hstep.level)
             if completion is not None and completion > finish:
                 finish = completion
-            records.append((f"h{hstep.level}", result.level))
+            if records is not None:
+                records.append((f"h{hstep.level}", last_level[0]))
             t = finish
             self.total_accesses += 1
         host_leaf = host_steps[-1].level if host_steps else 1
@@ -125,13 +133,16 @@ class NestedPageWalker:
         now: int = 0,
         guest_prefetches: dict[int, int] | None = None,
         host_prefetcher: HostPrefetcher | None = None,
+        collect: bool = True,
     ) -> WalkOutcome:
         """Price the 2D walk for ``path`` starting at ``now``.
 
         ``guest_prefetches`` maps guest PT level -> completion time of the
-        guest-dimension ASAP prefetches issued at walk start.
+        guest-dimension ASAP prefetches issued at walk start.  With
+        ``collect=False`` the per-step service records are skipped (the
+        returned outcome carries an empty list); pricing is unchanged.
         """
-        records: list[tuple[str, str]] = []
+        records: list[tuple[str, str]] | None = [] if collect else None
         t = now + self.guest_pwc.latency
         skip_from = self.guest_pwc.probe(path.va)
         steps = path.steps
@@ -139,29 +150,34 @@ class NestedPageWalker:
         if skip_from is not None:
             for index, step in enumerate(steps):
                 if step.guest_level >= skip_from and step.guest_level != 0:
-                    records.append((f"g{step.guest_level}", PWC_LABEL))
+                    if records is not None:
+                        records.append((f"g{step.guest_level}", PWC_LABEL))
                     start = index + 1
                 else:
                     break
+        access = self.hierarchy.access
+        last_level = self.hierarchy.last_level
         for step in steps[start:]:
             t = self._host_walk(step.gpa, step.host_steps, t, records,
                                 host_prefetcher)
             if step.entry_host_addr is None:
                 continue  # the final data translation has no entry access
-            result = self.hierarchy.access_line(step.entry_host_addr >> 6, t)
-            finish = t + result.latency
+            latency = access(step.entry_host_addr >> 6, t)
+            finish = t + latency
             if guest_prefetches:
                 completion = guest_prefetches.get(step.guest_level)
                 if completion is not None and completion > finish:
                     finish = completion
-            records.append((f"g{step.guest_level}", result.level))
+            if records is not None:
+                records.append((f"g{step.guest_level}", last_level[0]))
             t = finish
             self.total_accesses += 1
         self.guest_pwc.insert(path.va, path.guest_leaf_level)
         latency = t - now
         self.walks += 1
         self.total_latency += latency
-        return WalkOutcome(latency=latency, records=records)
+        return WalkOutcome(latency=latency,
+                           records=records if records is not None else [])
 
     @property
     def average_latency(self) -> float:

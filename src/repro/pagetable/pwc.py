@@ -36,6 +36,10 @@ class SplitPwc:
             level: Tlb(geometry[level], name=f"PWC-PL{level}")
             for level in range(2, top_level + 1)
         }
+        #: Probe-ordered (level, cache) pairs — deepest (PL2) first.  The
+        #: walkers' inlined fast paths iterate this instead of the dict.
+        self.view: tuple[tuple[int, Tlb], ...] = tuple(
+            sorted(self._caches.items()))
         self.probes = 0
         self.hits = 0
 

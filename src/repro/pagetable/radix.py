@@ -88,7 +88,12 @@ class RadixPageTable:
         self.levels = levels
         self._placer = node_placer or self._bump_placer
         self._bump_next = 1 << 50  # fallback placer: distinct, stable addrs
-        self._nodes: dict[tuple[int, int], int] = {}
+        #: Node bases per level, tag -> phys base.  Split by level (index
+        #: 0 unused) so the hot flat_walk/map_page paths probe plain
+        #: int-keyed dicts instead of allocating (level, tag) tuples.
+        self._nodes_by_level: list[dict[int, int]] = [
+            {} for _ in range(levels + 1)
+        ]
         self._pages: dict[int, int] = {}  # vpn -> frame (4KB)
         self._large: dict[int, int] = {}  # vpn >> 9 -> frame (2MB)
         # The root always exists (CR3 points at it).
@@ -105,14 +110,14 @@ class RadixPageTable:
     def _ensure_node(
         self, level: int, tag: int, placer: NodePlacer
     ) -> tuple[int, bool]:
-        key = (level, tag)
-        base = self._nodes.get(key)
+        nodes = self._nodes_by_level[level]
+        base = nodes.get(tag)
         if base is not None:
             return base, False
         base = placer(level, tag)
         if base % c.NODE_BYTES:
             raise ValueError("PT nodes must be 4KB aligned")
-        self._nodes[key] = base
+        nodes[tag] = base
         return base, True
 
     def map_page(
@@ -131,6 +136,19 @@ class RadixPageTable:
         """
         if leaf_level not in (1, 2):
             raise ValueError("leaf level must be 1 (4KB) or 2 (2MB)")
+        # Fast path for the common steady-population case: if the node
+        # directly above the leaf exists, every ancestor does too (nodes
+        # are only ever created root-first below), so only the leaf entry
+        # needs installing.
+        if c.node_tag(va, leaf_level) in self._nodes_by_level[leaf_level]:
+            if leaf_level == 1:
+                self._pages[c.vpn(va)] = frame
+            else:
+                if frame & (c.ENTRIES_PER_NODE - 1):
+                    raise ValueError(
+                        "2MB mappings need 512-frame aligned frames")
+                self._large[c.vpn(va) >> c.LEVEL_BITS] = frame
+            return []
         place = placer or self._placer
         created: list[tuple[int, int, int]] = []
         for level in range(self.levels, leaf_level - 1, -1):
@@ -190,7 +208,7 @@ class RadixPageTable:
     # ------------------------------------------------------------------
     def entry_addr(self, va: int, level: int) -> int | None:
         """Physical address of the level-``level`` entry for ``va``."""
-        base = self._nodes.get((level, c.node_tag(va, level)))
+        base = self._nodes_by_level[level].get(c.node_tag(va, level))
         if base is None:
             return None
         return c.entry_phys_addr(base, c.level_index(va, level))
@@ -208,6 +226,34 @@ class RadixPageTable:
             steps.append(WalkStep(level, addr))
         return WalkPath(va=va, steps=tuple(steps), frame=frame,
                         leaf_level=leaf_level)
+
+    def flat_walk(
+        self, va: int
+    ) -> tuple[tuple[int, ...], tuple[int, ...], int, int]:
+        """:meth:`walk_path` without the step objects: ``(lines, levels,
+        frame, leaf_level)``, root first.
+
+        This is what the simulators' per-vpn path caches store — the
+        walker fast path consumes line numbers and PT levels only, so
+        building :class:`WalkStep`/:class:`WalkPath` instances for every
+        first-touched page would be pure allocation overhead.  Raises
+        PageFault for unmapped addresses, like :meth:`walk_path`.
+        """
+        hit = self.lookup(va)
+        if hit is None:
+            raise PageFault(f"no translation for {va:#x}")
+        frame, leaf_level = hit
+        by_level = self._nodes_by_level
+        lines = []
+        levels = []
+        shift = c.PAGE_SHIFT + c.LEVEL_BITS * (self.levels - 1)
+        for level in range(self.levels, leaf_level - 1, -1):
+            # entry_addr unfolded: node base + index * entry size.
+            base = by_level[level][va >> (shift + c.LEVEL_BITS)]
+            lines.append((base + ((va >> shift) & 511) * 8) >> 6)
+            levels.append(level)
+            shift -= c.LEVEL_BITS
+        return tuple(lines), tuple(levels), frame, leaf_level
 
     def fault_path(self, va: int) -> FaultPath:
         """The truncated walk for an *unmapped* address (§3.7.1)."""
@@ -229,17 +275,44 @@ class RadixPageTable:
     # ------------------------------------------------------------------
     def node_count(self, level: int | None = None) -> int:
         if level is None:
-            return len(self._nodes)
-        return sum(1 for lvl, _ in self._nodes if lvl == level)
+            return sum(len(nodes) for nodes in self._nodes_by_level)
+        if not 0 <= level < len(self._nodes_by_level):
+            return 0
+        return len(self._nodes_by_level[level])
 
     def node_frames(self) -> Iterable[int]:
         """Physical frame numbers of all PT pages."""
-        for base in self._nodes.values():
-            yield base >> c.PAGE_SHIFT
+        for nodes in self._nodes_by_level:
+            for base in nodes.values():
+                yield base >> c.PAGE_SHIFT
+
+    def leaf_maps(self) -> tuple[dict[int, int], dict[int, int]]:
+        """The raw leaf translation maps ``(pages, large)``.
+
+        ``pages`` is vpn -> frame for 4KB mappings, ``large`` is
+        ``vpn >> 9`` -> base frame for 2MB ones.  Exposed (read/write)
+        for the kernelsim's bulk population loop, which installs leaves
+        directly once the interior nodes exist; everyone else should go
+        through :meth:`lookup` / :meth:`map_page`.
+        """
+        return self._pages, self._large
+
+    def leaf_nodes(self, leaf_level: int) -> dict[int, int]:
+        """The node map for ``leaf_level`` (see :meth:`leaf_maps`)."""
+        return self._nodes_by_level[leaf_level]
 
     @property
     def mapped_pages(self) -> int:
         return len(self._pages) + len(self._large) * c.ENTRIES_PER_NODE
 
+    @property
+    def has_large_pages(self) -> bool:
+        """Whether any 2MB mapping exists — when False the TLB large-tag
+        probes can never hit and the simulators tell the TLB hierarchy
+        to skip them."""
+        return bool(self._large)
+
     def has_node(self, level: int, tag: int) -> bool:
-        return (level, tag) in self._nodes
+        if not 0 <= level < len(self._nodes_by_level):
+            return False
+        return tag in self._nodes_by_level[level]

@@ -44,6 +44,9 @@ class PageWalker:
         self.pwc = pwc
         self.walks = 0
         self.total_latency = 0
+        #: Inlined fast path over pre-flattened walk paths (closure; the
+        #: simulators' record loops call this once per walk).
+        self.walk_flat = self._build_walk_flat()
 
     def walk(
         self,
@@ -69,14 +72,16 @@ class PageWalker:
                     start = index + 1
                 else:
                     break
+        access = self.hierarchy.access
+        last_level = self.hierarchy.last_level
         for step in steps[start:]:
-            result = self.hierarchy.access_line(step.line, t)
-            finish = t + result.latency
+            latency = access(step.line, t)
+            finish = t + latency
             if prefetches:
                 completion = prefetches.get(step.level)
                 if completion is not None and completion > finish:
                     finish = completion
-            records.append((step.level, result.level))
+            records.append((step.level, last_level[0]))
             t = finish
         self.pwc.insert(path.va, path.leaf_level)
         latency = t - now
@@ -87,6 +92,128 @@ class PageWalker:
             records=records,
             prefetched_levels=tuple(sorted(prefetches)) if prefetches else (),
         )
+
+    def _build_walk_flat(self):
+        """Build ``walk_flat(lines, levels, pwc_tags, leaf_level, now,
+        prefetches, records) -> latency``.
+
+        The simulators cache each page's walk path once as flat tuples —
+        ``lines``/``levels`` per step (root first) and one PWC tag per
+        :attr:`SplitPwc.view` entry — so repeat walks skip path
+        reconstruction entirely.  Semantics match :meth:`walk` exactly
+        (PWC probe order, overlap rule, every stats counter), but the PWC
+        probe and insert run inline on the per-level flat arrays and
+        ``records`` is appended to only when the caller needs service
+        records, keeping the measurement-off path allocation-free.
+        """
+        from repro.tlb.tlb import EMPTY
+
+        pwc = self.pwc
+        pwc_latency = pwc.params.latency
+        #: (level, tags, frames, sizes, stride, num_sets, ways, stats)
+        #: per PWC level, probe order (deepest first).
+        level_views = tuple(
+            (level, tlb.tags, tlb.frames, tlb.sizes, tlb.stride,
+             tlb.num_sets, tlb.ways, tlb.stats)
+            for level, tlb in pwc.view
+        )
+        access = self.hierarchy.access
+        last_level = self.hierarchy.last_level
+
+        def walk_flat(lines, levels, pwc_tags, leaf_level, now,
+                      prefetches, records):
+            # --- PWC probe: deepest cached level wins -----------------
+            t = now + pwc_latency
+            pwc.probes += 1
+            skip_from = None
+            view_index = 0
+            for (level, vtags, vframes, vsizes, vstride, vnsets, _ways,
+                 vstats) in level_views:
+                tag = pwc_tags[view_index]
+                view_index += 1
+                set_index = tag % vnsets
+                base = set_index * vstride
+                if vtags[base] == tag:
+                    # MRU shortcut: hit in place.
+                    vstats.hits += 1
+                    pwc.hits += 1
+                    skip_from = level
+                    break
+                limit = base + vsizes[set_index]
+                vtags[limit] = tag
+                pos = vtags.index(tag, base)
+                vtags[limit] = EMPTY
+                if pos != limit:
+                    vstats.hits += 1
+                    frame = vframes[pos]
+                    vtags[base + 1:pos + 1] = vtags[base:pos]
+                    vtags[base] = tag
+                    vframes[base + 1:pos + 1] = vframes[base:pos]
+                    vframes[base] = frame
+                    pwc.hits += 1
+                    skip_from = level
+                    break
+                vstats.misses += 1
+            # --- steps the PWC could not skip -------------------------
+            n = len(lines)
+            start = 0
+            if skip_from is not None:
+                while start < n and levels[start] >= skip_from:
+                    if records is not None:
+                        records.append((levels[start], PWC_LABEL))
+                    start += 1
+            if records is None and prefetches is None:
+                for i in range(start, n):
+                    t += access(lines[i], t)
+            else:
+                for i in range(start, n):
+                    latency = access(lines[i], t)
+                    finish = t + latency
+                    if prefetches:
+                        completion = prefetches.get(levels[i])
+                        if completion is not None and completion > finish:
+                            finish = completion
+                    if records is not None:
+                        records.append((levels[i], last_level[0]))
+                    t = finish
+            # --- PWC insert: cache the produced intermediate entries --
+            view_index = 0
+            for (level, vtags, vframes, vsizes, vstride, vnsets, vways,
+                 _vstats) in level_views:
+                tag = pwc_tags[view_index]
+                view_index += 1
+                if level <= leaf_level:
+                    continue
+                set_index = tag % vnsets
+                base = set_index * vstride
+                if vtags[base] == tag:
+                    # Already MRU: refresh the (constant) payload only.
+                    vframes[base] = 1
+                    continue
+                size = vsizes[set_index]
+                limit = base + size
+                vtags[limit] = tag
+                pos = vtags.index(tag, base)
+                vtags[limit] = EMPTY
+                if pos != limit:
+                    vtags[base + 1:pos + 1] = vtags[base:pos]
+                    vframes[base + 1:pos + 1] = vframes[base:pos]
+                elif size >= vways:
+                    last = base + vways - 1
+                    vtags[base + 1:last + 1] = vtags[base:last]
+                    vframes[base + 1:last + 1] = vframes[base:last]
+                else:
+                    vtags[base + 1:limit + 1] = vtags[base:limit]
+                    vframes[base + 1:limit + 1] = vframes[base:limit]
+                    vsizes[set_index] = size + 1
+                vtags[base] = tag
+                vframes[base] = 1
+            latency = t - now
+            self.walks += 1
+            self.total_latency += latency
+            return latency
+
+        return walk_flat
 
     def walk_to_fault(
         self,
@@ -103,14 +230,16 @@ class PageWalker:
         """
         records: list[tuple[int, str]] = []
         t = now + self.pwc.latency
+        access = self.hierarchy.access
+        last_level = self.hierarchy.last_level
         for step in path.resolved_steps:
-            result = self.hierarchy.access_line(step.line, t)
-            finish = t + result.latency
+            latency = access(step.line, t)
+            finish = t + latency
             if prefetches:
                 completion = prefetches.get(step.level)
                 if completion is not None and completion > finish:
                     finish = completion
-            records.append((step.level, result.level))
+            records.append((step.level, last_level[0]))
             t = finish
         self.walks += 1
         self.total_latency += t - now

@@ -27,4 +27,6 @@ def first_touch_order(vpns: np.ndarray, order: str) -> np.ndarray:
     for index in np.sort(chunk_first):
         chunk = chunks[index]
         pieces.append(np.sort(demand[chunks == chunk]))
+    if not pieces:  # empty trace: nothing was ever touched
+        return demand
     return np.concatenate(pieces)

@@ -25,6 +25,8 @@ paid for its optional ASAP prefetcher (tracked by
 
 from __future__ import annotations
 
+import gc
+
 import numpy as np
 
 from repro.core.config import AsapConfig, BASELINE
@@ -32,14 +34,56 @@ from repro.core.prefetcher import AsapPrefetcher
 from repro.core.range_registers import VmaDescriptor
 from repro.kernelsim.process import ProcessAddressSpace
 from repro.mem.hierarchy import CacheHierarchy
+from repro.pagetable.constants import level_shift
 from repro.pagetable.pwc import SplitPwc
-from repro.pagetable.walker import PageWalker
+from repro.pagetable.walker import PWC_LABEL, PageWalker, WalkOutcome
 from repro.params import DEFAULT_MACHINE, MachineParams
 from repro.schemes import SchemeSpec, build_scheme
 from repro.sim.order import first_touch_order
 from repro.sim.stats import SimStats
 from repro.tlb.hierarchy import TlbHierarchy
+from repro.tlb.tlb import EMPTY
 from repro.workloads.corunner import Corunner
+
+
+def detect_runs(trace: np.ndarray,
+                n_records: int) -> tuple[list[int], list[int]]:
+    """Vectorised same-cache-line-block run detection.
+
+    Returns ``(starts, counts)``: the index of each run's first record
+    and the run's length, where a *run* is a maximal stretch of records
+    sharing one cache-line block (``va >> 6``) — hence one page and one
+    data line.  Shared by both simulators' batched front-ends.
+    """
+    if not n_records:
+        return [], []
+    blocks = trace >> 6
+    change = np.empty(n_records, dtype=bool)
+    change[0] = True
+    np.not_equal(blocks[1:], blocks[:-1], out=change[1:])
+    starts = np.flatnonzero(change)
+    return starts.tolist(), np.diff(starts, append=n_records).tolist()
+
+
+def drive_batched(run_starts, run_counts, handle, bulk, scalar_only):
+    """Shared batched-loop orchestration for both simulators.
+
+    ``handle(index)`` simulates one record through the scalar pipeline
+    and returns its vpn; ``bulk(vpn, first_index, repeats)`` costs a
+    run's repeat records in one step (handling the warmup-boundary
+    split itself).  With ``scalar_only`` (co-runner present: it touches
+    the shared caches after every record) repeats replay through
+    ``handle`` instead.
+    """
+    for index, count in zip(run_starts, run_counts):
+        vpn = handle(index)
+        if count == 1:
+            continue
+        if scalar_only:
+            for repeat_index in range(index + 1, index + count):
+                handle(repeat_index)
+        else:
+            bulk(vpn, index + 1, count - 1)
 
 
 def build_native_descriptors(
@@ -113,6 +157,443 @@ class NativeSimulation:
         return faults
 
     # ------------------------------------------------------------------
+    def _fast_native_sweep(
+        self,
+        addresses: list[int],
+        warmup: int,
+        collect_service: bool,
+        stats: SimStats,
+    ) -> None:
+        """The fully inlined record loop for the plain-pipeline case.
+
+        Preconditions (checked by :meth:`run` before dispatching here):
+        no scheme hooks, no L2-TLB evict hook, no co-runner, plain
+        (non-clustered, finite) TLBs, a three-level PWC (4-level page
+        table) and a trace without same-block repeats.  That is exactly
+        the baseline-radix configuration every figure sweep runs most,
+        so this path pays for no generality at all: the L1 TLB probe,
+        L2 S-TLB probe, PWC probe/insert, TLB fills and the MRU case of
+        the cache access run inline on the flat arrays, and every shared
+        counter is accumulated locally and flushed once at the end.
+
+        It must remain *byte-equivalent* to the general loop in
+        :meth:`run` — same stats, same final structure state.  The
+        golden-parity suite (tests/test_fast_path.py) pins both paths.
+        """
+        tlbs = self.tlbs
+        l1t = tlbs.l1
+        t_tags, t_frames, t_sizes = l1t.tags, l1t.frames, l1t.sizes
+        t_stride, t_nsets = l1t.stride, l1t.num_sets
+        l1_refill = l1t.fill
+        probe_large = tlbs.probe_large[0]
+        t_ways = l1t.ways
+        u = tlbs.l2_plain
+        u_tags, u_frames, u_sizes = u.tags, u.frames, u.sizes
+        u_stride, u_nsets, u_ways = u.stride, u.num_sets, u.ways
+        hierarchy = self.hierarchy
+        access = hierarchy.access
+        last_level = hierarchy.last_level
+        c1 = hierarchy.l1
+        c1_lines = c1.lines
+        c1_stats = c1.stats
+        c1_nsets, c1_stride = c1.num_sets, c1.stride
+        lat1 = hierarchy.latency_of("L1")
+        served = hierarchy.served
+        walker = self.walker
+        pwc = self.pwc
+        pwc_latency = pwc.params.latency
+        (_, p2), (_, p3), (_, p4) = pwc.view
+        p2_tags, p2_frames, p2_sizes = p2.tags, p2.frames, p2.sizes
+        p2_stride, p2_nsets, p2_ways = p2.stride, p2.num_sets, p2.ways
+        p3_tags, p3_frames, p3_sizes = p3.tags, p3.frames, p3.sizes
+        p3_stride, p3_nsets, p3_ways = p3.stride, p3.num_sets, p3.ways
+        p4_tags, p4_frames, p4_sizes = p4.tags, p4.frames, p4.sizes
+        p4_stride, p4_nsets, p4_ways = p4.stride, p4.num_sets, p4.ways
+        s2, s3, s4 = (level_shift(level) for level, _ in pwc.view)
+        flat_walk = self.process.flat_walk
+        flat_paths: dict[int, tuple] = {}
+        base_cycles = self.machine.core.base_cycles
+        record_service = stats.service.record_walk
+
+        # Counters mirrored locally; initialised from (and flushed back
+        # to) their owners so the observable end state matches the
+        # general loop exactly.
+        th, tm = tlbs.stats.hits, tlbs.stats.misses
+        l1h, l2h = tlbs.l1_hits, tlbs.l2_hits
+        ls_hits, ls_misses = l1t.stats.hits, l1t.stats.misses
+        us_hits, us_misses = u.stats.hits, u.stats.misses
+        pwc_probes, pwc_hits = pwc.probes, pwc.hits
+        p2_h, p2_m = p2.stats.hits, p2.stats.misses
+        p3_h, p3_m = p3.stats.hits, p3.stats.misses
+        p4_h, p4_m = p4.stats.hits, p4.stats.misses
+        walker_walks = walker.walks
+        walker_cycles = walker.total_latency
+        c1_mru = 0
+        acc = data_c = walk_c = walk_count = 0
+        tlb_l1_base = tlb_l2_base = 0
+        now = 0
+        measuring = warmup == 0
+
+        for index, va in enumerate(addresses):
+            if not measuring and index >= warmup:
+                measuring = True
+                tlb_l1_base = l1h
+                tlb_l2_base = l2h
+            vpn = va >> 12
+            translation = 0
+            # --- L1 D-TLB probe, small then (optional) large tag -----
+            tag = vpn << 1
+            set_index = tag % t_nsets
+            base = set_index * t_stride
+            frame = None
+            if t_tags[base] == tag:
+                ls_hits += 1
+                th += 1
+                l1h += 1
+                frame = t_frames[base]
+            else:
+                limit = base + t_sizes[set_index]
+                t_tags[limit] = tag
+                pos = t_tags.index(tag, base)
+                t_tags[limit] = EMPTY
+                if pos != limit:
+                    ls_hits += 1
+                    frame = t_frames[pos]
+                    t_tags[base + 1:pos + 1] = t_tags[base:pos]
+                    t_tags[base] = tag
+                    t_frames[base + 1:pos + 1] = t_frames[base:pos]
+                    t_frames[base] = frame
+                    th += 1
+                    l1h += 1
+                else:
+                    ls_misses += 1
+                    if probe_large:
+                        tag = ((vpn >> 9) << 1) | 1
+                        set_index = tag % t_nsets
+                        base = set_index * t_stride
+                        limit = base + t_sizes[set_index]
+                        t_tags[limit] = tag
+                        pos = t_tags.index(tag, base)
+                        t_tags[limit] = EMPTY
+                        if pos != limit:
+                            ls_hits += 1
+                            frame = t_frames[pos]
+                            if pos != base:
+                                t_tags[base + 1:pos + 1] = t_tags[base:pos]
+                                t_tags[base] = tag
+                                t_frames[base + 1:pos + 1] = \
+                                    t_frames[base:pos]
+                                t_frames[base] = frame
+                            th += 1
+                            l1h += 1
+                        else:
+                            ls_misses += 1
+            if frame is None:
+                # --- L2 S-TLB probe, small then (optional) large tag -
+                tag = vpn << 1
+                set_index = tag % u_nsets
+                base = set_index * u_stride
+                limit = base + u_sizes[set_index]
+                u_tags[limit] = tag
+                pos = u_tags.index(tag, base)
+                u_tags[limit] = EMPTY
+                if pos != limit:
+                    us_hits += 1
+                    frame = u_frames[pos]
+                    if pos != base:
+                        u_tags[base + 1:pos + 1] = u_tags[base:pos]
+                        u_tags[base] = tag
+                        u_frames[base + 1:pos + 1] = u_frames[base:pos]
+                        u_frames[base] = frame
+                else:
+                    us_misses += 1
+                    if probe_large:
+                        tag = ((vpn >> 9) << 1) | 1
+                        set_index = tag % u_nsets
+                        base = set_index * u_stride
+                        limit = base + u_sizes[set_index]
+                        u_tags[limit] = tag
+                        pos = u_tags.index(tag, base)
+                        u_tags[limit] = EMPTY
+                        if pos != limit:
+                            us_hits += 1
+                            frame = u_frames[pos]
+                            if pos != base:
+                                u_tags[base + 1:pos + 1] = u_tags[base:pos]
+                                u_tags[base] = tag
+                                u_frames[base + 1:pos + 1] = \
+                                    u_frames[base:pos]
+                                u_frames[base] = frame
+                        else:
+                            us_misses += 1
+                if frame is not None:
+                    th += 1
+                    l2h += 1
+                    l1_refill(vpn << 1, frame)
+                else:
+                    tm += 1
+                    # --- page walk (flat-path cache) -----------------
+                    flat = flat_paths.get(vpn)
+                    if flat is None:
+                        lines, levels, pframe, leaf_level = flat_walk(va)
+                        flat = (lines, levels, va >> s2, va >> s3,
+                                va >> s4, leaf_level, pframe,
+                                leaf_level >= 2)
+                        flat_paths[vpn] = flat
+                    (lines, levels, tg2, tg3, tg4, leaf_level, frame,
+                     large) = flat
+                    t = now + pwc_latency
+                    pwc_probes += 1
+                    records = [] if collect_service else None
+                    # PWC probe: PL2, then PL3, then PL4.
+                    skip_from = 0
+                    set_index = tg2 % p2_nsets
+                    base = set_index * p2_stride
+                    if p2_tags[base] == tg2:
+                        p2_h += 1
+                        pwc_hits += 1
+                        skip_from = 2
+                    else:
+                        limit = base + p2_sizes[set_index]
+                        p2_tags[limit] = tg2
+                        pos = p2_tags.index(tg2, base)
+                        p2_tags[limit] = EMPTY
+                        if pos != limit:
+                            p2_h += 1
+                            value = p2_frames[pos]
+                            p2_tags[base + 1:pos + 1] = p2_tags[base:pos]
+                            p2_tags[base] = tg2
+                            p2_frames[base + 1:pos + 1] = p2_frames[base:pos]
+                            p2_frames[base] = value
+                            pwc_hits += 1
+                            skip_from = 2
+                        else:
+                            p2_m += 1
+                            set_index = tg3 % p3_nsets
+                            base = set_index * p3_stride
+                            if p3_tags[base] == tg3:
+                                p3_h += 1
+                                pwc_hits += 1
+                                skip_from = 3
+                            else:
+                                limit = base + p3_sizes[set_index]
+                                p3_tags[limit] = tg3
+                                pos = p3_tags.index(tg3, base)
+                                p3_tags[limit] = EMPTY
+                                if pos != limit:
+                                    p3_h += 1
+                                    value = p3_frames[pos]
+                                    p3_tags[base + 1:pos + 1] = \
+                                        p3_tags[base:pos]
+                                    p3_tags[base] = tg3
+                                    p3_frames[base + 1:pos + 1] = \
+                                        p3_frames[base:pos]
+                                    p3_frames[base] = value
+                                    pwc_hits += 1
+                                    skip_from = 3
+                                else:
+                                    p3_m += 1
+                                    set_index = tg4 % p4_nsets
+                                    base = set_index * p4_stride
+                                    if p4_tags[base] == tg4:
+                                        p4_h += 1
+                                        pwc_hits += 1
+                                        skip_from = 4
+                                    else:
+                                        limit = base + p4_sizes[set_index]
+                                        p4_tags[limit] = tg4
+                                        pos = p4_tags.index(tg4, base)
+                                        p4_tags[limit] = EMPTY
+                                        if pos != limit:
+                                            p4_h += 1
+                                            value = p4_frames[pos]
+                                            p4_tags[base + 1:pos + 1] = \
+                                                p4_tags[base:pos]
+                                            p4_tags[base] = tg4
+                                            p4_frames[base + 1:pos + 1] = \
+                                                p4_frames[base:pos]
+                                            p4_frames[base] = value
+                                            pwc_hits += 1
+                                            skip_from = 4
+                                        else:
+                                            p4_m += 1
+                    # Steps the PWC skipped: levels is (4, 3, 2[, 1])
+                    # root-first, so the skipped prefix length is
+                    # 5 - skip_from, never exceeding the step count.
+                    if skip_from:
+                        start = 5 - skip_from
+                        if records is not None:
+                            for i in range(start):
+                                records.append((levels[i], PWC_LABEL))
+                    else:
+                        start = 0
+                    for i in range(start, len(lines)):
+                        line = lines[i]
+                        cache_base = (line % c1_nsets) * c1_stride
+                        if c1_lines[cache_base] == line:
+                            c1_mru += 1
+                            if records is not None:
+                                records.append((levels[i], "L1"))
+                            t += lat1
+                        else:
+                            latency = access(line, t)
+                            if records is not None:
+                                records.append((levels[i], last_level[0]))
+                            t += latency
+                    # PWC insert for the levels above the leaf.
+                    if leaf_level == 1:
+                        set_index = tg2 % p2_nsets
+                        base = set_index * p2_stride
+                        if p2_tags[base] == tg2:
+                            p2_frames[base] = 1
+                        else:
+                            size = p2_sizes[set_index]
+                            limit = base + size
+                            p2_tags[limit] = tg2
+                            pos = p2_tags.index(tg2, base)
+                            p2_tags[limit] = EMPTY
+                            if pos != limit:
+                                p2_tags[base + 1:pos + 1] = p2_tags[base:pos]
+                                p2_frames[base + 1:pos + 1] = \
+                                    p2_frames[base:pos]
+                            elif size >= p2_ways:
+                                last = base + p2_ways - 1
+                                p2_tags[base + 1:last + 1] = p2_tags[base:last]
+                                p2_frames[base + 1:last + 1] = \
+                                    p2_frames[base:last]
+                            else:
+                                p2_tags[base + 1:limit + 1] = \
+                                    p2_tags[base:limit]
+                                p2_frames[base + 1:limit + 1] = \
+                                    p2_frames[base:limit]
+                                p2_sizes[set_index] = size + 1
+                            p2_tags[base] = tg2
+                            p2_frames[base] = 1
+                    set_index = tg3 % p3_nsets
+                    base = set_index * p3_stride
+                    if p3_tags[base] == tg3:
+                        p3_frames[base] = 1
+                    else:
+                        size = p3_sizes[set_index]
+                        limit = base + size
+                        p3_tags[limit] = tg3
+                        pos = p3_tags.index(tg3, base)
+                        p3_tags[limit] = EMPTY
+                        if pos != limit:
+                            p3_tags[base + 1:pos + 1] = p3_tags[base:pos]
+                            p3_frames[base + 1:pos + 1] = p3_frames[base:pos]
+                        elif size >= p3_ways:
+                            last = base + p3_ways - 1
+                            p3_tags[base + 1:last + 1] = p3_tags[base:last]
+                            p3_frames[base + 1:last + 1] = p3_frames[base:last]
+                        else:
+                            p3_tags[base + 1:limit + 1] = p3_tags[base:limit]
+                            p3_frames[base + 1:limit + 1] = \
+                                p3_frames[base:limit]
+                            p3_sizes[set_index] = size + 1
+                        p3_tags[base] = tg3
+                        p3_frames[base] = 1
+                    set_index = tg4 % p4_nsets
+                    base = set_index * p4_stride
+                    if p4_tags[base] == tg4:
+                        p4_frames[base] = 1
+                    else:
+                        size = p4_sizes[set_index]
+                        limit = base + size
+                        p4_tags[limit] = tg4
+                        pos = p4_tags.index(tg4, base)
+                        p4_tags[limit] = EMPTY
+                        if pos != limit:
+                            p4_tags[base + 1:pos + 1] = p4_tags[base:pos]
+                            p4_frames[base + 1:pos + 1] = p4_frames[base:pos]
+                        elif size >= p4_ways:
+                            last = base + p4_ways - 1
+                            p4_tags[base + 1:last + 1] = p4_tags[base:last]
+                            p4_frames[base + 1:last + 1] = p4_frames[base:last]
+                        else:
+                            p4_tags[base + 1:limit + 1] = p4_tags[base:limit]
+                            p4_frames[base + 1:limit + 1] = \
+                                p4_frames[base:limit]
+                            p4_sizes[set_index] = size + 1
+                        p4_tags[base] = tg4
+                        p4_frames[base] = 1
+                    translation = t - now
+                    walker_walks += 1
+                    walker_cycles += translation
+                    # TLB fill (known absent after the full miss).
+                    if large:
+                        tlbs.fill(vpn, frame, large=True)
+                    else:
+                        tag = vpn << 1
+                        set_index = tag % t_nsets
+                        base = set_index * t_stride
+                        size = t_sizes[set_index]
+                        if size >= t_ways:
+                            last = base + t_ways - 1
+                            t_tags[base + 1:last + 1] = t_tags[base:last]
+                            t_frames[base + 1:last + 1] = t_frames[base:last]
+                        else:
+                            limit = base + size
+                            t_tags[base + 1:limit + 1] = t_tags[base:limit]
+                            t_frames[base + 1:limit + 1] = t_frames[base:limit]
+                            t_sizes[set_index] = size + 1
+                        t_tags[base] = tag
+                        t_frames[base] = frame
+                        set_index = tag % u_nsets
+                        base = set_index * u_stride
+                        size = u_sizes[set_index]
+                        if size >= u_ways:
+                            last = base + u_ways - 1
+                            u_tags[base + 1:last + 1] = u_tags[base:last]
+                            u_frames[base + 1:last + 1] = u_frames[base:last]
+                        else:
+                            limit = base + size
+                            u_tags[base + 1:limit + 1] = u_tags[base:limit]
+                            u_frames[base + 1:limit + 1] = u_frames[base:limit]
+                            u_sizes[set_index] = size + 1
+                        u_tags[base] = tag
+                        u_frames[base] = frame
+                    if measuring:
+                        walk_c += translation
+                        walk_count += 1
+                        if collect_service:
+                            record_service(records)
+            # --- data access ----------------------------------------
+            line = (frame << 6) | ((va & 0xFFF) >> 6)
+            cache_base = (line % c1_nsets) * c1_stride
+            if c1_lines[cache_base] == line:
+                c1_mru += 1
+                data_latency = lat1
+            else:
+                data_latency = access(line, now + translation)
+            now += base_cycles + translation + data_latency
+            if measuring:
+                acc += 1
+                data_c += data_latency
+
+        # Flush the local counters back to their owners.
+        tlbs.stats.hits, tlbs.stats.misses = th, tm
+        tlbs.l1_hits, tlbs.l2_hits = l1h, l2h
+        l1t.stats.hits, l1t.stats.misses = ls_hits, ls_misses
+        u.stats.hits, u.stats.misses = us_hits, us_misses
+        pwc.probes, pwc.hits = pwc_probes, pwc_hits
+        p2.stats.hits, p2.stats.misses = p2_h, p2_m
+        p3.stats.hits, p3.stats.misses = p3_h, p3_m
+        p4.stats.hits, p4.stats.misses = p4_h, p4_m
+        walker.walks = walker_walks
+        walker.total_latency = walker_cycles
+        c1_stats.hits += c1_mru
+        served["L1"] += c1_mru
+        stats.accesses = acc
+        stats.base_cycles = acc * base_cycles
+        stats.data_cycles = data_c
+        stats.walk_cycles = walk_c
+        stats.walks = walk_count
+        stats.cycles = acc * base_cycles + data_c + walk_c
+        stats.tlb_l1_hits = l1h - tlb_l1_base
+        stats.tlb_l2_hits = l2h - tlb_l2_base
+
+    # ------------------------------------------------------------------
     def run(
         self,
         trace: np.ndarray,
@@ -121,15 +602,34 @@ class NativeSimulation:
         collect_service: bool = True,
         init_order: str = "sequential",
     ) -> SimStats:
-        """Simulate the trace; statistics cover post-warmup records only."""
+        """Simulate the trace; statistics cover post-warmup records only.
+
+        The trace is consumed as *runs* of records sharing one cache-line
+        block (``va >> 6``), detected up front with one vectorized pass.
+        A run's first record goes through the full scalar pipeline; its
+        repeats are guaranteed L1-TLB + L1-D hits (the first record left
+        both at MRU and nothing else touches them mid-run), so they are
+        costed in bulk — counter increments and ``count * (base + L1)``
+        cycles — with byte-identical statistics.  Any record that can
+        observe or change more state than that takes the scalar path: the
+        first record of every run (and with it every TLB miss, scheme
+        hook and fill), every record of a co-runner simulation (the
+        co-runner perturbs the shared caches between records), and the
+        warmup boundary (a bulk segment is split so the hit counters are
+        snapshotted at exactly the record where measurement starts).
+
+        Per-page walk state (step lines/levels, PWC tags, leaf geometry,
+        cluster neighbours) is flattened once into ``flat_paths`` on the
+        page's first walk and replayed from there afterwards — the page
+        table cannot change mid-run, so the path is invariant; only the
+        cache/PWC state it is priced against evolves.
+        """
         if populate:
             self.populate(trace, order=init_order)
         if self.corunner is not None:
             self.corunner.prefill(self.hierarchy)
         stats = SimStats()
-        process = self.process
         tlbs = self.tlbs
-        walker = self.walker
         hierarchy = self.hierarchy
         corunner = self.corunner
         clustered = self.clustered_tlb
@@ -139,66 +639,171 @@ class NativeSimulation:
         walk_end = scheme.walk_end_hook()
         fill_hook = scheme.fill_hook()
         base_cycles = self.machine.core.base_cycles
-        service = stats.service
+        record_service = stats.service.record_walk
+        lookup = tlbs.lookup
+        tlb_fill = tlbs.fill_fast
+        access = hierarchy.access
+        walk_flat = self.walker.walk_flat
+        flat_walk = self.process.flat_walk
+        cluster_frames = self.process.cluster_frames
+        need_records = collect_service or walk_end is not None
+        l1_latency = hierarchy.latency_of("L1")
+        step_cost = base_cycles + l1_latency
+        pwc_shifts = tuple(level_shift(level) for level, _ in self.pwc.view)
+        flat_paths: dict[int, tuple] = {}
+        tlbs.probe_large[0] = self.process.page_table.has_large_pages
+
         now = 0
         measuring = warmup == 0
         tlb_l1_base = tlb_l2_base = 0
+        #: Local accumulators for the per-record statistics; flushed into
+        #: ``stats`` once after the loop (base/total cycles are derived:
+        #: every measured record contributes exactly ``base_cycles`` and
+        #: its translation stall is exactly what walk_cycles collects).
+        acc = data_c = walk_c = walk_count = 0
         addresses = trace.tolist()
-        for index, va in enumerate(addresses):
+
+        def handle(index: int) -> int:
+            """One record through the scalar pipeline; returns its vpn."""
+            nonlocal now, measuring, tlb_l1_base, tlb_l2_base
+            nonlocal acc, data_c, walk_c, walk_count
+            va = addresses[index]
             if not measuring and index >= warmup:
                 measuring = True
                 tlb_l1_base = tlbs.l1_hits
                 tlb_l2_base = tlbs.l2_hits
             vpn = va >> 12
-            frame = tlbs.lookup(vpn)
+            frame = lookup(vpn)
             translation = 0
             if frame is None:
-                walked = True
                 offset = 0
                 if probe is not None:
                     frame, offset = probe(va, vpn, now)
-                    if frame is not None:
-                        translation = offset
-                        walked = False
-                        tlbs.fill(vpn, frame)
-                if walked:
-                    path = process.walk_path(va)
+                if frame is not None:
+                    # Scheme probe hit: the walk is short-circuited and no
+                    # walk outcome exists on this path (the pre-refactor
+                    # loop left a stale one reachable in scope here).
+                    translation = offset
+                    tlb_fill(vpn, frame)
+                    if fill_hook is not None:
+                        fill_hook(vpn, frame)
+                    if measuring:
+                        walk_c += translation
+                else:
+                    flat = flat_paths.get(vpn)
+                    if flat is None:
+                        lines, levels, pframe, leaf_level = flat_walk(va)
+                        flat = (
+                            lines,
+                            levels,
+                            tuple(va >> shift for shift in pwc_shifts),
+                            leaf_level,
+                            pframe,
+                            leaf_level >= 2,
+                            cluster_frames(vpn)
+                            if clustered and leaf_level == 1 else None,
+                        )
+                        flat_paths[vpn] = flat
+                    (lines, levels, pwc_tags, leaf_level, frame, large,
+                     neighbours) = flat
                     prefetches = None
                     if walk_start is not None:
                         prefetches = walk_start(va, now + offset)
-                    outcome = walker.walk(path, now + offset, prefetches)
-                    translation = offset + outcome.latency
+                    records = [] if need_records else None
+                    latency = walk_flat(lines, levels, pwc_tags, leaf_level,
+                                        now + offset, prefetches, records)
+                    translation = offset + latency
                     if walk_end is not None:
-                        translation = walk_end(va, vpn, now, translation,
-                                               outcome)
-                    neighbours = None
-                    if clustered and path.leaf_level == 1:
-                        neighbours = process.cluster_frames(vpn)
-                    tlbs.fill(
-                        vpn,
-                        path.frame,
-                        large=path.is_large,
-                        neighbour_frames=neighbours,
-                    )
-                    frame = path.frame
-                if fill_hook is not None:
-                    fill_hook(vpn, frame)
-                if measuring:
-                    stats.walk_cycles += translation
-                    if walked:
-                        stats.walks += 1
+                        translation = walk_end(
+                            va, vpn, now, translation,
+                            WalkOutcome(latency=latency, records=records))
+                    tlb_fill(vpn, frame, large=large,
+                             neighbour_frames=neighbours)
+                    if fill_hook is not None:
+                        fill_hook(vpn, frame)
+                    if measuring:
+                        walk_c += translation
+                        walk_count += 1
                         if collect_service:
-                            service.record_walk(outcome.records)
-            data_line = ((frame << 12) | (va & 0xFFF)) >> 6
-            result = hierarchy.access_line(data_line, now + translation)
-            now += base_cycles + translation + result.latency
+                            record_service(records)
+            data_latency = access(((frame << 12) | (va & 0xFFF)) >> 6,
+                                  now + translation)
+            now += base_cycles + translation + data_latency
             if measuring:
-                stats.accesses += 1
-                stats.base_cycles += base_cycles
-                stats.data_cycles += result.latency
-                stats.cycles += base_cycles + translation + result.latency
+                acc += 1
+                data_c += data_latency
             if corunner is not None:
                 corunner.step(hierarchy, now)
+            return vpn
+
+        def bulk(vpn, first_index, repeats):
+            """Cost a run's repeat records (guaranteed L1-TLB/L1-D hits).
+
+            Unmeasured repeats advance state but not statistics; if the
+            warmup boundary lands inside the run, the hit counters are
+            snapshotted exactly there, like the scalar loop would.
+            """
+            nonlocal now, measuring, tlb_l1_base, tlb_l2_base, acc, data_c
+            if not measuring:
+                pre = warmup - first_index
+                if pre >= repeats:
+                    bulk_tlb(vpn, repeats)
+                    bulk_l1(repeats)
+                    now += step_cost * repeats
+                    return
+                if pre > 0:
+                    bulk_tlb(vpn, pre)
+                    bulk_l1(pre)
+                    now += step_cost * pre
+                    repeats -= pre
+                measuring = True
+                tlb_l1_base = tlbs.l1_hits
+                tlb_l2_base = tlbs.l2_hits
+            bulk_tlb(vpn, repeats)
+            bulk_l1(repeats)
+            now += step_cost * repeats
+            acc += repeats
+            data_c += l1_latency * repeats
+
+        n_records = len(addresses)
+        run_starts, run_counts = detect_runs(trace, n_records)
+        bulk_ok = corunner is None
+        bulk_tlb = tlbs.bulk_hits
+        bulk_l1 = hierarchy.bulk_l1_hits
+        # The loop allocates only short-lived tuples and the per-page
+        # flat paths; pausing the cyclic collector for its duration saves
+        # pointless generation-0 scans (restored even on error).
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            if (bulk_ok and len(run_starts) == n_records
+                    and probe is None and walk_start is None
+                    and walk_end is None and fill_hook is None
+                    and tlbs.l2_evict_hook is None
+                    and not tlbs.infinite and not clustered
+                    and len(self.pwc.view) == 3):
+                # The plain-pipeline case: hand the whole trace to the
+                # fully inlined sweep (byte-equivalent; see its docstring).
+                self._fast_native_sweep(addresses, warmup, collect_service,
+                                        stats)
+                scheme.finalize(stats)
+                return stats
+            if bulk_ok and len(run_starts) == n_records:
+                # No same-block repeats anywhere: plain scalar sweep.
+                for index in range(n_records):
+                    handle(index)
+            else:
+                drive_batched(run_starts, run_counts, handle, bulk,
+                              scalar_only=not bulk_ok)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        stats.accesses = acc
+        stats.base_cycles = acc * base_cycles
+        stats.data_cycles = data_c
+        stats.walk_cycles = walk_c
+        stats.walks = walk_count
+        stats.cycles = acc * base_cycles + data_c + walk_c
         stats.tlb_l1_hits = tlbs.l1_hits - tlb_l1_base
         stats.tlb_l2_hits = tlbs.l2_hits - tlb_l2_base
         scheme.finalize(stats)

@@ -15,6 +15,8 @@ nested walk verifies.
 
 from __future__ import annotations
 
+import gc
+
 import numpy as np
 
 from repro.core.config import AsapConfig, BASELINE
@@ -27,6 +29,7 @@ from repro.pagetable.pwc import SplitPwc
 from repro.params import DEFAULT_MACHINE, MachineParams
 from repro.schemes import SchemeSpec, build_scheme
 from repro.sim.order import first_touch_order
+from repro.sim.simulator import detect_runs, drive_batched
 from repro.sim.stats import SimStats
 from repro.tlb.hierarchy import TlbHierarchy
 from repro.workloads.corunner import Corunner
@@ -116,6 +119,17 @@ class VirtualizedSimulation:
         collect_service: bool = True,
         init_order: str = "sequential",
     ) -> SimStats:
+        """Simulate the trace; statistics cover post-warmup records only.
+
+        Same batched front-end as the native simulator (see
+        :meth:`repro.sim.simulator.NativeSimulation.run`): same-block
+        repeats of a record are guaranteed L1-TLB + L1-D hits and are
+        costed in bulk; the scalar pipeline handles runs' first records,
+        every co-runner record and the warmup boundary.  Nested walk
+        paths are cached per vpn — the guest and host page tables cannot
+        change mid-run — so repeat walks skip the Figure 7 schedule
+        reconstruction.
+        """
         if populate:
             self.populate(trace, order=init_order)
         if self.corunner is not None:
@@ -133,64 +147,143 @@ class VirtualizedSimulation:
         fill_hook = scheme.fill_hook()
         host_prefetcher = self.scheme.host_prefetcher
         base_cycles = self.machine.core.base_cycles
-        service = stats.service
+        record_service = stats.service.record_walk
+        lookup = tlbs.lookup
+        tlb_fill = tlbs.fill_fast
+        access = hierarchy.access
+        nested_path = vm.nested_path
+        walk = walker.walk
+        need_records = collect_service or walk_end is not None
+        l1_latency = hierarchy.latency_of("L1")
+        step_cost = base_cycles + l1_latency
+        nested_paths: dict[int, tuple] = {}
+        tlbs.probe_large[0] = vm.guest.page_table.has_large_pages
+
         now = 0
         measuring = warmup == 0
         tlb_l1_base = tlb_l2_base = 0
+        #: Local accumulators, flushed into ``stats`` after the loop
+        #: (see the native simulator).
+        acc = data_c = walk_c = walk_count = 0
         addresses = trace.tolist()
-        for index, va in enumerate(addresses):
+
+        def handle(index: int) -> int:
+            """One record through the scalar pipeline; returns its vpn."""
+            nonlocal now, measuring, tlb_l1_base, tlb_l2_base
+            nonlocal acc, data_c, walk_c, walk_count
+            va = addresses[index]
             if not measuring and index >= warmup:
                 measuring = True
                 tlb_l1_base = tlbs.l1_hits
                 tlb_l2_base = tlbs.l2_hits
             vpn = va >> 12
-            frame = tlbs.lookup(vpn)
+            frame = lookup(vpn)
             translation = 0
             if frame is None:
-                walked = True
                 offset = 0
                 if probe is not None:
                     frame, offset = probe(va, vpn, now)
-                    if frame is not None:
-                        translation = offset
-                        walked = False
-                        tlbs.fill(vpn, frame)
-                if walked:
-                    path = vm.nested_path(va)
+                if frame is not None:
+                    # Scheme probe hit: no walk, hence no walk outcome on
+                    # this path (the pre-refactor loop left a stale one
+                    # reachable in scope here).
+                    translation = offset
+                    tlb_fill(vpn, frame)
+                    if fill_hook is not None:
+                        fill_hook(vpn, frame)
+                    if measuring:
+                        walk_c += translation
+                else:
+                    cached = nested_paths.get(vpn)
+                    if cached is None:
+                        path = nested_path(va)
+                        cached = (path, path.data_frame,
+                                  path.guest_leaf_level >= 2)
+                        nested_paths[vpn] = cached
+                    path, frame, large = cached
                     guest_prefetches = None
                     if walk_start is not None:
                         guest_prefetches = walk_start(va, now + offset)
-                    outcome = walker.walk(
+                    outcome = walk(
                         path,
                         now + offset,
                         guest_prefetches=guest_prefetches,
                         host_prefetcher=host_prefetcher,
+                        collect=need_records,
                     )
                     translation = offset + outcome.latency
                     if walk_end is not None:
                         translation = walk_end(va, vpn, now, translation,
                                                outcome)
-                    tlbs.fill(vpn, path.data_frame,
-                              large=path.guest_leaf_level >= 2)
-                    frame = path.data_frame
-                if fill_hook is not None:
-                    fill_hook(vpn, frame)
-                if measuring:
-                    stats.walk_cycles += translation
-                    if walked:
-                        stats.walks += 1
+                    tlb_fill(vpn, frame, large=large)
+                    if fill_hook is not None:
+                        fill_hook(vpn, frame)
+                    if measuring:
+                        walk_c += translation
+                        walk_count += 1
                         if collect_service:
-                            service.record_walk(outcome.records)
-            data_line = ((frame << 12) | (va & 0xFFF)) >> 6
-            result = hierarchy.access_line(data_line, now + translation)
-            now += base_cycles + translation + result.latency
+                            record_service(outcome.records)
+            data_latency = access(((frame << 12) | (va & 0xFFF)) >> 6,
+                                  now + translation)
+            now += base_cycles + translation + data_latency
             if measuring:
-                stats.accesses += 1
-                stats.base_cycles += base_cycles
-                stats.data_cycles += result.latency
-                stats.cycles += base_cycles + translation + result.latency
+                acc += 1
+                data_c += data_latency
             if corunner is not None:
                 corunner.step(hierarchy, now)
+            return vpn
+
+        def bulk(vpn, first_index, repeats):
+            """Cost a run's repeat records; see the native simulator's
+            ``bulk`` (same warmup-boundary splitting)."""
+            nonlocal now, measuring, tlb_l1_base, tlb_l2_base, acc, data_c
+            if not measuring:
+                pre = warmup - first_index
+                if pre >= repeats:
+                    bulk_tlb(vpn, repeats)
+                    bulk_l1(repeats)
+                    now += step_cost * repeats
+                    return
+                if pre > 0:
+                    bulk_tlb(vpn, pre)
+                    bulk_l1(pre)
+                    now += step_cost * pre
+                    repeats -= pre
+                measuring = True
+                tlb_l1_base = tlbs.l1_hits
+                tlb_l2_base = tlbs.l2_hits
+            bulk_tlb(vpn, repeats)
+            bulk_l1(repeats)
+            now += step_cost * repeats
+            acc += repeats
+            data_c += l1_latency * repeats
+
+        n_records = len(addresses)
+        run_starts, run_counts = detect_runs(trace, n_records)
+        bulk_ok = corunner is None
+        bulk_tlb = tlbs.bulk_hits
+        bulk_l1 = hierarchy.bulk_l1_hits
+        # See the native simulator: pause the cyclic collector while the
+        # loop runs (restored even on error).
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            if bulk_ok and len(run_starts) == n_records:
+                # No same-block repeats anywhere: plain scalar sweep.
+                for index in range(n_records):
+                    handle(index)
+            else:
+                drive_batched(run_starts, run_counts, handle, bulk,
+                              scalar_only=not bulk_ok)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        stats.accesses = acc
+        stats.base_cycles = acc * base_cycles
+        stats.data_cycles = data_c
+        stats.walk_cycles = walk_c
+        stats.walks = walk_count
+        stats.cycles = acc * base_cycles + data_c + walk_c
         stats.tlb_l1_hits = tlbs.l1_hits - tlb_l1_base
         stats.tlb_l2_hits = tlbs.l2_hits - tlb_l2_base
         scheme.finalize(stats)

@@ -11,6 +11,13 @@ what makes eager coalescing implementable.
 The paper evaluates Clustered TLB as a drop-in replacement for the L2 S-TLB,
 reporting TLB MPKI reductions (Table 7) and page-walk cycle reductions
 (Figure 11).
+
+Storage follows the repository's flat-array LRU layout (`repro.tlb.tlb`):
+three parallel preallocated lists — virtual cluster tag, physical cluster
+tag, entry object — with each set owning one contiguous MRU→LRU segment.
+An entry is identified by the *(virtual, physical)* tag pair, so matching
+scans compare both flat tags by index; sub-index bitmaps stay in the small
+per-entry objects (they are not probed on the hot path).
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.params import TlbParams
-from repro.tlb.tlb import TlbStats
+from repro.tlb.tlb import EMPTY, TlbStats
 
 #: Pages per cluster (and PTEs per 64-byte page-table line).
 CLUSTER_PAGES = 8
@@ -63,9 +70,12 @@ class ClusteredTlb:
         self.name = name
         self.num_sets = params.sets
         self.ways = params.ways
-        self._sets: list[dict[tuple[int, int], _ClusterEntry]] = [
-            {} for _ in range(self.num_sets)
-        ]
+        self.stride = params.ways
+        total = self.num_sets * self.stride
+        self.vtags: list[int] = [EMPTY] * total
+        self.ptags: list[int] = [EMPTY] * total
+        self.entries: list[_ClusterEntry | None] = [None] * total
+        self.sizes: list[int] = [0] * self.num_sets
         self.stats = TlbStats()
         self.coalesced_fills = 0
         self.fills = 0
@@ -76,28 +86,45 @@ class ClusteredTlb:
     def _set_index(self, cluster_tag: int) -> int:
         return cluster_tag % self.num_sets
 
+    def _promote(self, base: int, pos: int) -> None:
+        """Move the entry at ``pos`` to the MRU slot of its segment."""
+        if pos == base:
+            return
+        vtags, ptags, entries = self.vtags, self.ptags, self.entries
+        vtag, ptag, entry = vtags[pos], ptags[pos], entries[pos]
+        vtags[base + 1:pos + 1] = vtags[base:pos]
+        ptags[base + 1:pos + 1] = ptags[base:pos]
+        entries[base + 1:pos + 1] = entries[base:pos]
+        vtags[base], ptags[base], entries[base] = vtag, ptag, entry
+
     def lookup(self, vpn: int) -> int | None:
         """Return the frame for ``vpn`` or None on a miss."""
         cluster_tag, slot = self._split(vpn)
-        tlb_set = self._sets[self._set_index(cluster_tag)]
-        for key, entry in tlb_set.items():
-            if key[0] != cluster_tag:
+        set_index = cluster_tag % self.num_sets
+        base = set_index * self.stride
+        vtags, entries = self.vtags, self.entries
+        # Oldest-first scan mirrors the previous dict's insertion-order
+        # iteration; at most one live entry can hold a given page.
+        for pos in range(base + self.sizes[set_index] - 1, base - 1, -1):
+            if vtags[pos] != cluster_tag:
                 continue
+            entry = entries[pos]
             sub = entry.get(slot)
             if sub is not None:
                 self.stats.hits += 1
-                del tlb_set[key]
-                tlb_set[key] = entry
+                self._promote(base, pos)
                 return (entry.phys_cluster << _CLUSTER_SHIFT) | sub
         self.stats.misses += 1
         return None
 
     def contains(self, vpn: int) -> bool:
         cluster_tag, slot = self._split(vpn)
-        tlb_set = self._sets[self._set_index(cluster_tag)]
+        set_index = cluster_tag % self.num_sets
+        base = set_index * self.stride
         return any(
-            key[0] == cluster_tag and entry.get(slot) is not None
-            for key, entry in tlb_set.items()
+            self.vtags[pos] == cluster_tag
+            and self.entries[pos].get(slot) is not None
+            for pos in range(base, base + self.sizes[set_index])
         )
 
     def fill(
@@ -115,16 +142,32 @@ class ClusteredTlb:
         """
         cluster_tag, slot = self._split(vpn)
         phys_cluster = frame >> _CLUSTER_SHIFT
-        key = (cluster_tag, phys_cluster)
-        tlb_set = self._sets[self._set_index(cluster_tag)]
-        entry = tlb_set.get(key)
-        if entry is not None:
-            del tlb_set[key]
-        else:
+        set_index = cluster_tag % self.num_sets
+        base = set_index * self.stride
+        vtags, ptags, entries = self.vtags, self.ptags, self.entries
+        size = self.sizes[set_index]
+        entry = None
+        for pos in range(base, base + size):
+            if vtags[pos] == cluster_tag and ptags[pos] == phys_cluster:
+                entry = entries[pos]
+                self._promote(base, pos)
+                break
+        if entry is None:
             entry = _ClusterEntry(phys_cluster)
-            if len(tlb_set) >= self.ways:
-                victim = next(iter(tlb_set))
-                del tlb_set[victim]
+            if size >= self.ways:
+                # Evict the LRU entry (last live slot) by shifting over it.
+                last = base + self.ways - 1
+                vtags[base + 1:last + 1] = vtags[base:last]
+                ptags[base + 1:last + 1] = ptags[base:last]
+                entries[base + 1:last + 1] = entries[base:last]
+            else:
+                limit = base + size
+                vtags[base + 1:limit + 1] = vtags[base:limit]
+                ptags[base + 1:limit + 1] = ptags[base:limit]
+                entries[base + 1:limit + 1] = entries[base:limit]
+                self.sizes[set_index] = size + 1
+            vtags[base], ptags[base], entries[base] = (
+                cluster_tag, phys_cluster, entry)
         entry.add(slot, frame & _CLUSTER_MASK)
         if neighbour_frames is not None:
             for other_slot, other_frame in enumerate(neighbour_frames):
@@ -133,32 +176,49 @@ class ClusteredTlb:
                 if (other_frame >> _CLUSTER_SHIFT) == phys_cluster:
                     entry.add(other_slot, other_frame & _CLUSTER_MASK)
                     self.coalesced_fills += 1
-        tlb_set[key] = entry
         self.fills += 1
 
     def invalidate(self, vpn: int) -> bool:
         cluster_tag, slot = self._split(vpn)
-        tlb_set = self._sets[self._set_index(cluster_tag)]
-        for key, entry in list(tlb_set.items()):
-            if key[0] == cluster_tag and entry.get(slot) is not None:
-                entry.valid_mask &= ~(1 << slot)
-                if not entry.valid_mask:
-                    del tlb_set[key]
-                return True
+        set_index = cluster_tag % self.num_sets
+        base = set_index * self.stride
+        vtags, ptags, entries = self.vtags, self.ptags, self.entries
+        size = self.sizes[set_index]
+        # Oldest-first, like the dict iteration it replaces (no promotion).
+        for pos in range(base + size - 1, base - 1, -1):
+            if vtags[pos] != cluster_tag:
+                continue
+            entry = entries[pos]
+            if entry.get(slot) is None:
+                continue
+            entry.valid_mask &= ~(1 << slot)
+            if not entry.valid_mask:
+                last = base + size - 1
+                vtags[pos:last] = vtags[pos + 1:last + 1]
+                ptags[pos:last] = ptags[pos + 1:last + 1]
+                entries[pos:last] = entries[pos + 1:last + 1]
+                vtags[last], ptags[last], entries[last] = EMPTY, EMPTY, None
+                self.sizes[set_index] = size - 1
+            return True
         return False
 
     def flush(self) -> None:
-        for tlb_set in self._sets:
-            tlb_set.clear()
+        total = self.num_sets * self.stride
+        self.vtags[:] = [EMPTY] * total
+        self.ptags[:] = [EMPTY] * total
+        self.entries[:] = [None] * total
+        self.sizes[:] = [0] * self.num_sets
 
     @property
     def occupancy(self) -> int:
         """Number of allocated entries (clusters, not translations)."""
-        return sum(len(s) for s in self._sets)
+        return sum(self.sizes)
 
     @property
     def translations(self) -> int:
         """Number of live translations across all entries."""
         return sum(
-            entry.population for s in self._sets for entry in s.values()
+            self.entries[set_index * self.stride + offset].population
+            for set_index in range(self.num_sets)
+            for offset in range(self.sizes[set_index])
         )

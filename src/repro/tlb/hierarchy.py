@@ -13,6 +13,12 @@ Three variants are exposed through one class:
   §5.4.1 (coalescing up to eight translations per entry),
 * ``infinite=True`` never evicts, which reproduces the paper's
   libhugetlbfs trick of §5.3 (only cold misses remain) for Table 6.
+
+Hot-path note: ``lookup`` is a closure built per instance that probes the
+L1 arrays (`repro.tlb.tlb` flat storage) inline — one call per trace
+record, no dispatch into the per-structure methods on the L1 hit path.
+The infinite store stays a plain dict: it is an unbounded exact map with
+no replacement decisions, so there is nothing to preallocate.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ from collections.abc import Callable, Sequence
 from repro.params import TlbHierarchyParams
 from repro.pagetable.constants import LEVEL_BITS
 from repro.tlb.clustered import ClusteredTlb
-from repro.tlb.tlb import Tlb, TlbStats
+from repro.tlb.tlb import EMPTY, Tlb, TlbStats
 
 
 def _small_tag(vpn: int) -> int:
@@ -62,51 +68,266 @@ class TlbHierarchy:
         #: victims (e.g. Victima parking them in the data cache) attach
         #: here at bind time.  None costs one test per walk-path fill.
         self.l2_evict_hook: Callable[[int, int], None] | None = None
+        #: One-element cell read by the lookup closure: the simulators
+        #: clear it when the (immutable, pre-populated) page table holds
+        #: no 2MB mappings, so the large-tag probes — which can then
+        #: never hit — are skipped.  Behaviour-neutral either way.
+        self.probe_large: list[bool] = [True]
+        #: Inlined hot-path probe (closure; see module docstring).
+        self.lookup: Callable[[int], int | None] = self._build_lookup()
+        #: Inlined fill for the simulators' post-miss fills (closure).
+        self.fill_fast: Callable[..., None] = self._build_fill_fast()
 
     # ------------------------------------------------------------------
-    def lookup(self, vpn: int) -> int | None:
-        """Probe the hierarchy for ``vpn``; None means a walk is required."""
-        if self.infinite:
-            frame = self._infinite_store.get(vpn)
-            if frame is None:
-                self.stats.misses += 1
+    def _build_lookup(self) -> Callable[[int], int | None]:
+        """Build ``lookup(vpn) -> frame | None`` with the L1 probe inlined.
+
+        Walk-trigger accounting is unchanged: a returned None has already
+        counted one hierarchy miss.  The L2 probe and the L1 refill stay
+        behind one call each — they only run on L1 misses.
+        """
+        l1 = self.l1
+        l1_tags, l1_frames = l1.tags, l1.frames
+        l1_sizes, l1_stride, l1_nsets = l1.sizes, l1.stride, l1.num_sets
+        l1_stats = l1.stats
+        stats = self.stats
+        l2 = self.l2_plain
+        if l2 is not None:
+            l2_tags, l2_frames = l2.tags, l2.frames
+            l2_sizes, l2_stride, l2_nsets = l2.sizes, l2.stride, l2.num_sets
+            l2_stats = l2.stats
+        l2_generic = self._l2_lookup
+        l1_fill = l1.fill
+        infinite = self.infinite
+        clustered = self.clustered
+        infinite_get = self._infinite_store.get
+        probe_large = self.probe_large
+
+        def l2_lookup(vpn: int) -> int | None:
+            """Plain L2 S-TLB probe (small then large tag), inline."""
+            tag = vpn << 1
+            set_index = tag % l2_nsets
+            base = set_index * l2_stride
+            limit = base + l2_sizes[set_index]
+            l2_tags[limit] = tag
+            pos = l2_tags.index(tag, base)
+            l2_tags[limit] = EMPTY
+            if pos != limit:
+                l2_stats.hits += 1
+                frame = l2_frames[pos]
+                if pos != base:
+                    l2_tags[base + 1:pos + 1] = l2_tags[base:pos]
+                    l2_tags[base] = tag
+                    l2_frames[base + 1:pos + 1] = l2_frames[base:pos]
+                    l2_frames[base] = frame
+                return frame
+            l2_stats.misses += 1
+            if not probe_large[0]:
                 return None
-            self.stats.hits += 1
-            self.l1_hits += 1
-            return frame
+            tag = ((vpn >> LEVEL_BITS) << 1) | 1
+            set_index = tag % l2_nsets
+            base = set_index * l2_stride
+            limit = base + l2_sizes[set_index]
+            l2_tags[limit] = tag
+            pos = l2_tags.index(tag, base)
+            l2_tags[limit] = EMPTY
+            if pos != limit:
+                l2_stats.hits += 1
+                frame = l2_frames[pos]
+                if pos != base:
+                    l2_tags[base + 1:pos + 1] = l2_tags[base:pos]
+                    l2_tags[base] = tag
+                    l2_frames[base + 1:pos + 1] = l2_frames[base:pos]
+                    l2_frames[base] = frame
+                return frame
+            l2_stats.misses += 1
+            return None
 
-        frame = self.l1.lookup(_small_tag(vpn))
-        if frame is None:
-            frame = self.l1.lookup(_large_tag(vpn))
-        if frame is not None:
-            self.stats.hits += 1
-            self.l1_hits += 1
-            return frame
+        if clustered:
+            l2_lookup = l2_generic
 
-        frame = self._l2_lookup(vpn)
-        if frame is not None:
-            self.stats.hits += 1
-            self.l2_hits += 1
-            # Refill the first level on an L2 hit (4KB refills only need the
-            # small tag; a large hit refills the large tag).
-            self.l1.fill(_small_tag(vpn), frame)
-            return frame
+        def lookup(vpn: int) -> int | None:
+            """Probe the hierarchy for ``vpn``; None means a walk is
+            required."""
+            if infinite:
+                frame = infinite_get(vpn)
+                if frame is None:
+                    stats.misses += 1
+                    return None
+                stats.hits += 1
+                self.l1_hits += 1
+                return frame
 
-        self.stats.misses += 1
-        return None
+            # L1 probe, small (4KB) tag then large (2MB) tag, inline.
+            tag = vpn << 1
+            set_index = tag % l1_nsets
+            base = set_index * l1_stride
+            if l1_tags[base] == tag:
+                # MRU shortcut: hit in place, no reordering needed.
+                l1_stats.hits += 1
+                stats.hits += 1
+                self.l1_hits += 1
+                return l1_frames[base]
+            limit = base + l1_sizes[set_index]
+            l1_tags[limit] = tag
+            pos = l1_tags.index(tag, base)
+            l1_tags[limit] = EMPTY
+            if pos != limit:
+                l1_stats.hits += 1
+                frame = l1_frames[pos]
+                l1_tags[base + 1:pos + 1] = l1_tags[base:pos]
+                l1_tags[base] = tag
+                l1_frames[base + 1:pos + 1] = l1_frames[base:pos]
+                l1_frames[base] = frame
+                stats.hits += 1
+                self.l1_hits += 1
+                return frame
+            l1_stats.misses += 1
+            if probe_large[0]:
+                tag = ((vpn >> LEVEL_BITS) << 1) | 1
+                set_index = tag % l1_nsets
+                base = set_index * l1_stride
+                limit = base + l1_sizes[set_index]
+                l1_tags[limit] = tag
+                pos = l1_tags.index(tag, base)
+                l1_tags[limit] = EMPTY
+                if pos != limit:
+                    l1_stats.hits += 1
+                    frame = l1_frames[pos]
+                    if pos != base:
+                        l1_tags[base + 1:pos + 1] = l1_tags[base:pos]
+                        l1_tags[base] = tag
+                        l1_frames[base + 1:pos + 1] = l1_frames[base:pos]
+                        l1_frames[base] = frame
+                    stats.hits += 1
+                    self.l1_hits += 1
+                    return frame
+                l1_stats.misses += 1
+
+            frame = l2_lookup(vpn)
+            if frame is not None:
+                stats.hits += 1
+                self.l2_hits += 1
+                # Refill the first level on an L2 hit (4KB refills only
+                # need the small tag; a large hit refills the large tag).
+                l1_fill(vpn << 1, frame)
+                return frame
+
+            stats.misses += 1
+            return None
+
+        return lookup
 
     def _l2_lookup(self, vpn: int) -> int | None:
         if self.l2_clustered is not None:
             frame = self.l2_clustered.lookup(vpn)
             if frame is not None:
                 return frame
+            if not self.probe_large[0]:
+                return None
             large = self._large_side.lookup(_large_tag(vpn))
             return large
         assert self.l2_plain is not None
         frame = self.l2_plain.lookup(_small_tag(vpn))
-        if frame is None:
+        if frame is None and self.probe_large[0]:
             frame = self.l2_plain.lookup(_large_tag(vpn))
         return frame
+
+    # ------------------------------------------------------------------
+    def _build_fill_fast(self) -> Callable[..., None]:
+        """Build the simulators' fill: same signature as :meth:`fill`.
+
+        Precondition (which :meth:`fill` does not require): the caller
+        just took a full hierarchy miss for ``vpn``, so neither L1 tag
+        nor the plain-L2 tag is resident — fills can install without the
+        membership scan.  The simulators only fill on that path; every
+        other caller uses the generic :meth:`fill`.  Large-page,
+        clustered and infinite fills delegate to it (off the 4KB common
+        case; the clustered TLB coalesces into existing entries).
+        """
+        l1 = self.l1
+        l1_tags, l1_frames = l1.tags, l1.frames
+        l1_sizes, l1_stride, l1_nsets = l1.sizes, l1.stride, l1.num_sets
+        l1_ways = l1.ways
+        l2 = self.l2_plain
+        if l2 is not None:
+            l2_tags, l2_frames = l2.tags, l2.frames
+            l2_sizes, l2_stride, l2_nsets = l2.sizes, l2.stride, l2.num_sets
+            l2_ways = l2.ways
+        generic_fill = self.fill
+
+        if self.infinite or self.clustered:
+            return generic_fill
+
+        def fill_fast(vpn, frame, large=False, neighbour_frames=None):
+            if large:
+                generic_fill(vpn, frame, large=True)
+                return
+            tag = vpn << 1
+            # L1 install (tag known absent).
+            set_index = tag % l1_nsets
+            base = set_index * l1_stride
+            size = l1_sizes[set_index]
+            if size >= l1_ways:
+                last = base + l1_ways - 1
+                l1_tags[base + 1:last + 1] = l1_tags[base:last]
+                l1_frames[base + 1:last + 1] = l1_frames[base:last]
+            else:
+                limit = base + size
+                l1_tags[base + 1:limit + 1] = l1_tags[base:limit]
+                l1_frames[base + 1:limit + 1] = l1_frames[base:limit]
+                l1_sizes[set_index] = size + 1
+            l1_tags[base] = tag
+            l1_frames[base] = frame
+            # L2 install (tag known absent); victims feed the evict hook.
+            set_index = tag % l2_nsets
+            base = set_index * l2_stride
+            size = l2_sizes[set_index]
+            victim_tag = EMPTY
+            if size >= l2_ways:
+                last = base + l2_ways - 1
+                victim_tag = l2_tags[last]
+                victim_frame = l2_frames[last]
+                l2_tags[base + 1:last + 1] = l2_tags[base:last]
+                l2_frames[base + 1:last + 1] = l2_frames[base:last]
+            else:
+                limit = base + size
+                l2_tags[base + 1:limit + 1] = l2_tags[base:limit]
+                l2_frames[base + 1:limit + 1] = l2_frames[base:limit]
+                l2_sizes[set_index] = size + 1
+            l2_tags[base] = tag
+            l2_frames[base] = frame
+            if victim_tag != EMPTY and not (victim_tag & 1):
+                hook = self.l2_evict_hook
+                if hook is not None:
+                    hook(victim_tag >> 1, victim_frame)
+
+        return fill_fast
+
+    # ------------------------------------------------------------------
+    def bulk_hits(self, vpn: int, count: int) -> None:
+        """Account ``count`` back-to-back L1 hits for ``vpn``.
+
+        The batched front-end calls this for the repeat records of a
+        same-page streak: the preceding record's lookup or fill left the
+        translation resident at L1 MRU, so each repeat would hit without
+        moving any replacement state — only the counters advance.  The
+        per-structure counters replicate the scalar path exactly,
+        including the small-tag probe that misses first when the page is
+        resident under its large tag.
+        """
+        self.stats.hits += count
+        self.l1_hits += count
+        if self.infinite:
+            return
+        l1 = self.l1
+        if l1.contains(_small_tag(vpn)):
+            l1.stats.hits += count
+        else:
+            assert l1.contains(_large_tag(vpn)), \
+                "bulk_hits called for a vpn the L1 TLB does not hold"
+            l1.stats.misses += count
+            l1.stats.hits += count
 
     # ------------------------------------------------------------------
     def fill(

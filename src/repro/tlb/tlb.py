@@ -1,10 +1,29 @@
-"""A set-associative TLB with true-LRU replacement.
+"""A set-associative TLB with true-LRU replacement on flat array storage.
 
 Entries are keyed by an integer *tag* supplied by the caller; the two-level
 hierarchy (`repro.tlb.hierarchy`) encodes the page-size class into the tag so
 4KB and 2MB translations share one structure without ambiguity.  The payload
 of an entry is the translated frame number, kept so fills can be validated
 and so clustered designs can be compared like-for-like.
+
+Storage layout (shared by every LRU structure in the hot path — see
+docs/ARCHITECTURE.md):
+
+* ``tags`` / ``frames`` are preallocated flat lists of ``sets * (ways+1)``
+  slots; set ``s`` owns the contiguous segment ``[s*stride, s*stride+ways)``
+  plus one *guard* slot at the segment end.
+* Within a segment, live entries sit at the front in MRU→LRU order, so the
+  physical position **is** the LRU counter: a hit moves the entry to the
+  segment base (one C-level slice shift), the eviction victim is always the
+  last live slot, and a set's residency count lives in ``sizes``.
+* Empty slots hold the ``-1`` sentinel.  Probes write the searched tag into
+  the guard slot and use ``list.index`` — a C-speed scan that needs no
+  exception on a miss (the guard always terminates it).
+
+This replaces the previous dict-of-entries sets: identical replacement
+behaviour (dict insertion order and segment order encode the same recency
+relation), but the flat layout lets the simulators' hot loops probe by
+integer indexing without per-entry objects or hashing.
 """
 
 from __future__ import annotations
@@ -12,6 +31,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.params import TlbParams
+
+#: Sentinel marking an empty slot; real tags are non-negative.
+EMPTY = -1
 
 
 @dataclass
@@ -42,7 +64,11 @@ class Tlb:
         self.name = name
         self.num_sets = params.sets
         self.ways = params.ways
-        self._sets: list[dict[int, int]] = [{} for _ in range(self.num_sets)]
+        #: Slots per set segment: ``ways`` entries plus the guard slot.
+        self.stride = params.ways + 1
+        self.tags: list[int] = [EMPTY] * (self.num_sets * self.stride)
+        self.frames: list[int] = [0] * (self.num_sets * self.stride)
+        self.sizes: list[int] = [0] * self.num_sets
         self.stats = TlbStats()
 
     def _set_index(self, tag: int) -> int:
@@ -50,43 +76,92 @@ class Tlb:
 
     def lookup(self, tag: int) -> int | None:
         """Return the cached frame for ``tag`` or None on a miss."""
-        tlb_set = self._sets[self._set_index(tag)]
-        frame = tlb_set.get(tag)
-        if frame is None:
+        set_index = tag % self.num_sets
+        base = set_index * self.stride
+        tags = self.tags
+        limit = base + self.sizes[set_index]
+        tags[limit] = tag
+        pos = tags.index(tag, base)
+        tags[limit] = EMPTY
+        if pos == limit:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        del tlb_set[tag]
-        tlb_set[tag] = frame
+        frames = self.frames
+        frame = frames[pos]
+        if pos != base:
+            tags[base + 1:pos + 1] = tags[base:pos]
+            tags[base] = tag
+            frames[base + 1:pos + 1] = frames[base:pos]
+            frames[base] = frame
         return frame
 
     def contains(self, tag: int) -> bool:
-        return tag in self._sets[self._set_index(tag)]
+        set_index = tag % self.num_sets
+        base = set_index * self.stride
+        tags = self.tags
+        limit = base + self.sizes[set_index]
+        tags[limit] = tag
+        pos = tags.index(tag, base)
+        tags[limit] = EMPTY
+        return pos != limit
 
     def fill(self, tag: int, frame: int) -> tuple[int, int] | None:
         """Install a translation; returns the evicted (tag, frame), if
         any — eviction-recycling schemes (Victima) consume the victim."""
-        tlb_set = self._sets[self._set_index(tag)]
+        set_index = tag % self.num_sets
+        base = set_index * self.stride
+        tags = self.tags
+        frames = self.frames
+        size = self.sizes[set_index]
+        limit = base + size
+        tags[limit] = tag
+        pos = tags.index(tag, base)
+        tags[limit] = EMPTY
         victim = None
-        if tag in tlb_set:
-            del tlb_set[tag]
-        elif len(tlb_set) >= self.ways:
-            victim_tag = next(iter(tlb_set))
-            victim = (victim_tag, tlb_set.pop(victim_tag))
-        tlb_set[tag] = frame
+        if pos != limit:
+            # Already present: promote to MRU (and refresh the payload).
+            if pos != base:
+                tags[base + 1:pos + 1] = tags[base:pos]
+                frames[base + 1:pos + 1] = frames[base:pos]
+        elif size >= self.ways:
+            last = base + self.ways - 1
+            victim = (tags[last], frames[last])
+            tags[base + 1:last + 1] = tags[base:last]
+            frames[base + 1:last + 1] = frames[base:last]
+        else:
+            tags[base + 1:limit + 1] = tags[base:limit]
+            frames[base + 1:limit + 1] = frames[base:limit]
+            self.sizes[set_index] = size + 1
+        tags[base] = tag
+        frames[base] = frame
         return victim
 
     def invalidate(self, tag: int) -> bool:
-        tlb_set = self._sets[self._set_index(tag)]
-        if tag in tlb_set:
-            del tlb_set[tag]
-            return True
-        return False
+        set_index = tag % self.num_sets
+        base = set_index * self.stride
+        tags = self.tags
+        size = self.sizes[set_index]
+        limit = base + size
+        tags[limit] = tag
+        pos = tags.index(tag, base)
+        tags[limit] = EMPTY
+        if pos == limit:
+            return False
+        frames = self.frames
+        last = limit - 1
+        tags[pos:last] = tags[pos + 1:limit]
+        frames[pos:last] = frames[pos + 1:limit]
+        tags[last] = EMPTY
+        self.sizes[set_index] = size - 1
+        return True
 
     def flush(self) -> None:
-        for tlb_set in self._sets:
-            tlb_set.clear()
+        total = self.num_sets * self.stride
+        self.tags[:] = [EMPTY] * total
+        self.frames[:] = [0] * total
+        self.sizes[:] = [0] * self.num_sets
 
     @property
     def occupancy(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return sum(self.sizes)

@@ -32,9 +32,8 @@ def test_lines_do_not_collide_with_low_memory():
     corunner.step(hierarchy, 0)
     # Everything the co-runner touches sits above 2^37 in line space.
     for cache in (hierarchy.l1,):
-        for cache_set in cache._sets:
-            for line in cache_set:
-                assert line >= 1 << 37
+        for line in cache.resident_lines():
+            assert line >= 1 << 37
 
 
 def test_prefill_fills_all_cache_levels():

@@ -1,7 +1,5 @@
 """Unit tests for the three-level cache hierarchy and prefetch path."""
 
-import pytest
-
 from repro.mem.hierarchy import CacheHierarchy
 from repro.params import CacheParams, HierarchyParams
 

@@ -4,7 +4,6 @@ These exercise whole slices of the stack against each other — the
 invariants that individual unit tests cannot see.
 """
 
-import pytest
 
 from repro.core.prefetcher import AsapPrefetcher
 from repro.core.range_registers import RangeRegisterFile, VmaDescriptor

@@ -1,7 +1,5 @@
 """Unit tests for the 2D nested page walker (Figure 7 timing)."""
 
-import pytest
-
 from repro.core.prefetcher import AsapPrefetcher
 from repro.core.range_registers import RangeRegisterFile, VmaDescriptor
 from repro.mem.hierarchy import CacheHierarchy

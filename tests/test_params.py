@@ -1,7 +1,5 @@
 """Unit tests for the machine-model parameters (Table 5)."""
 
-import pytest
-
 from repro.params import (
     DEFAULT_MACHINE,
     CacheParams,

@@ -1,6 +1,5 @@
 """Integration tests: the native simulator end to end."""
 
-import numpy as np
 import pytest
 
 from repro.core import config as cfg

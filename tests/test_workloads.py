@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.pagetable.constants import PAGE_SIZE
-from repro.workloads.base import KeyValue, Mix, VmaSpec, WorkloadSpec, Zipf
+from repro.workloads.base import KeyValue, Mix, Zipf
 from repro.workloads.graph import GraphTraversal
 from repro.workloads.suite import ALL_NAMES, WORKLOADS, get
 

@@ -5,19 +5,27 @@ Usage::
 
     PYTHONPATH=src python tools/bench_schemes.py [--output BENCH_schemes.json]
         [--workload mc80] [--trace-length 60000] [--virtualized] [--repeats 3]
+        [--check-against BENCH_schemes.json [--threshold 1.25]]
 
 Times every registered scheme (`repro.experiments.common.SCHEMES`) on
-one fixed workload/trace and writes a JSON record — the repository's
-perf trajectory for the simulator hot path.  Two things are tracked:
+one fixed workload/trace and records the result in a JSON *trajectory* —
+the repository's perf history for the simulator hot path.  Each run
+appends one entry (date, interpreter, per-scheme rows) to the output
+file's ``entries`` list, so the checked-in ``BENCH_schemes.json`` reads
+as a timeline: the PR 2 dict-backed seed, the PR 3 array-backed rewrite,
+and whatever comes next.  Three things are tracked:
 
 * **absolute cost** — wall seconds per scheme at the 60k-trace report
   scale, so hot-path regressions show up as a diff in the checked-in
-  ``BENCH_schemes.json``;
+  trajectory;
 * **dispatch overhead** — the ``BaselineRadix`` row is the scheme
-  layer's price over a scheme-less loop.  Every hook the baseline
-  declines is a single ``is not None`` test hoisted out of the record
-  loop, so this row moving is the first sign the dispatch grew a
-  per-record cost.
+  layer's price over a scheme-less loop (and, since PR 3, the fully
+  inlined fast sweep); this row moving is the first sign the hot path
+  grew a per-record cost;
+* **regressions in CI** — ``--check-against`` reruns the benchmark (CI
+  uses a reduced ``--trace-length``) and fails if any scheme is slower
+  than the reference entry by more than ``--threshold`` (default
+  1.25×), after normalising both sides to seconds per record.
 
 Simulation statistics ride along (walks, translation-cycle fraction,
 scheme counters) so a perf change that silently changes *behaviour* is
@@ -74,6 +82,76 @@ def bench_one(name: str, workload: str, scale: Scale, virtualized: bool,
     }
 
 
+def load_trajectory(path: Path) -> dict | None:
+    """Read an existing benchmark file in either schema.
+
+    Pre-trajectory files carried one run's ``results`` at top level;
+    they are folded into a single-entry trajectory.
+    """
+    if not path.exists():
+        return None
+    document = json.loads(path.read_text())
+    if "entries" in document:
+        return document
+    entry = {
+        "generated": document.pop("generated", None),
+        "python": document.pop("python", None),
+        "machine": document.pop("machine", None),
+        "results": document.pop("results", []),
+    }
+    document["entries"] = [entry]
+    return document
+
+
+def reference_entry(path: Path) -> tuple[dict, dict]:
+    """Latest entry of the reference trajectory plus its metadata."""
+    document = load_trajectory(path)
+    if document is None:
+        raise SystemExit(f"reference file {path} does not exist")
+    entries = document.get("entries")
+    if not entries:
+        raise SystemExit(f"reference file {path} has no entries")
+    return entries[-1], document
+
+
+def check_against(rows: list[dict], trace_length: int, reference: Path,
+                  threshold: float, entry: dict, document: dict) -> int:
+    """Compare this run against the reference; returns the exit code.
+
+    ``entry``/``document`` are the reference snapshot, loaded *before*
+    this run was appended to any output file (the reference and the
+    output may be the same path).  Seconds are normalised to per-record
+    cost before comparing, so CI can run at a reduced ``--trace-length``
+    against the checked-in full-scale trajectory.  A scheme missing
+    from the reference is reported but not failed (new schemes start
+    their own history).
+    """
+    ref_length = document.get("trace_length", trace_length)
+    ref_rows = {row["scheme"]: row for row in entry["results"]}
+    failures = []
+    print(f"\nperf check vs {reference} "
+          f"(entry {entry.get('generated')}, threshold {threshold:.2f}x)")
+    for row in rows:
+        ref = ref_rows.get(row["scheme"])
+        if ref is None:
+            print(f"  {row['scheme']:10s} no reference entry — skipped")
+            continue
+        measured = row["seconds"] / trace_length
+        allowed = threshold * ref["seconds"] / ref_length
+        ratio = measured / (ref["seconds"] / ref_length)
+        verdict = "ok" if measured <= allowed else "FAIL"
+        print(f"  {row['scheme']:10s} {1e6 * measured:8.2f} us/rec "
+              f"(ref {1e6 * ref['seconds'] / ref_length:8.2f}, "
+              f"{ratio:5.2f}x) {verdict}")
+        if measured > allowed:
+            failures.append(row["scheme"])
+    if failures:
+        print(f"perf check FAILED for: {', '.join(failures)}")
+        return 1
+    print("perf check passed")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workload", default="mc80", choices=ALL_NAMES)
@@ -84,7 +162,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="runs per scheme; the best time is kept")
     parser.add_argument("--output", default=str(REPO_ROOT
                                                 / "BENCH_schemes.json"))
+    parser.add_argument("--label", default=None,
+                        help="optional tag stored with this entry")
+    parser.add_argument("--check-against", default=None, metavar="FILE",
+                        help="compare against FILE's latest entry and exit "
+                             "non-zero on regression (the CI perf gate)")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="allowed slowdown factor for --check-against")
+    parser.add_argument("--fresh", action="store_true",
+                        help="allow replacing an existing trajectory whose "
+                             "run parameters differ from this invocation")
     args = parser.parse_args(argv)
+
+    # Snapshot the reference before anything is written: the reference
+    # and --output may be the same file, and comparing a run against the
+    # entry it just appended would pass vacuously.
+    reference = None
+    if args.check_against:
+        reference = reference_entry(Path(args.check_against))
 
     scale = Scale(trace_length=args.trace_length,
                   warmup=args.trace_length // 5, seed=args.seed)
@@ -104,7 +199,19 @@ def main(argv: list[str] | None = None) -> int:
         row["relative_to_baseline"] = round(
             row["seconds"] / baseline["seconds"], 3)
 
-    document = {
+    entry = {
+        "generated": time.strftime("%Y-%m-%d"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeats": args.repeats,
+        "results": rows,
+    }
+    if args.label:
+        entry["label"] = args.label
+
+    output = Path(args.output)
+    document = load_trajectory(output)
+    header = {
         "benchmark": "scheme dispatch hot path",
         "tool": "tools/bench_schemes.py",
         "workload": args.workload,
@@ -112,14 +219,33 @@ def main(argv: list[str] | None = None) -> int:
         "trace_length": args.trace_length,
         "warmup": scale.warmup,
         "seed": args.seed,
-        "repeats": args.repeats,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "generated": time.strftime("%Y-%m-%d"),
-        "results": rows,
     }
-    Path(args.output).write_text(json.dumps(document, indent=2) + "\n")
-    print(f"wrote {args.output}")
+    # ``repeats`` is a measurement-quality knob, recorded per entry; it
+    # does not make entries incomparable and is not part of the header.
+    if document is not None and any(
+            document.get(key, value) != value
+            for key, value in header.items()):
+        # Entries are only comparable at equal run parameters; never
+        # silently discard an existing history (the checked-in
+        # trajectory is the perf gate's reference).
+        if not args.fresh:
+            raise SystemExit(
+                f"{output} holds a trajectory with different run "
+                "parameters; write elsewhere with --output or pass "
+                "--fresh to replace it")
+        document = None
+    if document is None:
+        document = dict(header)
+        document["entries"] = []
+    document["entries"].append(entry)
+    output.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {output}")
+
+    if reference is not None:
+        ref_entry, ref_document = reference
+        return check_against(rows, args.trace_length,
+                             Path(args.check_against), args.threshold,
+                             ref_entry, ref_document)
     return 0
 
 
