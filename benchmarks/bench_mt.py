@@ -1,0 +1,26 @@
+"""Benchmark: regenerate the multi-tenant consolidation sweep."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import mt
+
+
+def test_mt(benchmark):
+    native, virt, retention = run_once(benchmark, mt.run, BENCH_SCALE)
+    print()
+    for table in (native, virt, retention):
+        print(table.render())
+        print()
+    isolated = native.row_by("scenario", "isolated")
+    consolidated = [row for row in native.rows
+                    if row["scenario"] != "isolated"]
+    # Consolidation raises translation pressure over the isolated mean
+    # for the walk-based schemes.
+    for name in ("baseline", "asap"):
+        assert max(row[name] for row in consolidated) > isolated[name]
+    # ASAP keeps beating the baseline under consolidation.
+    for row in consolidated:
+        assert row["asap"] < row["baseline"]
+    # ASID retention is never a meaningful regression over flushing.
+    for row in retention.rows:
+        assert row["native_mean"] > -1.0

@@ -14,7 +14,9 @@ Public API tour
   substrate: radix tree, walkers, PWCs, TLBs and the cache hierarchy.
 * ``repro.workloads`` — the Table 3 benchmark suite and the SMT co-runner.
 * ``repro.sim`` — trace-driven simulators; ``run_native`` and
-  ``run_virtualized`` are the one-call entry points.
+  ``run_virtualized`` are the one-call entry points, and
+  ``repro.sim.multitenant`` consolidates N tenants onto one machine
+  (``run_native_mt`` / ``run_virtualized_mt``).
 * ``repro.runtime`` — parallel experiment runtime: hashable job specs,
   sweep engine, on-disk result cache and process fan-out.
 * ``repro.experiments`` — one module per reproduced table/figure.
@@ -51,6 +53,11 @@ from repro.core.config import (
 )
 from repro.params import DEFAULT_MACHINE, MachineParams
 from repro.schemes import SchemeSpec
+from repro.sim.multitenant import (
+    MultiTenantSpec,
+    run_native_mt,
+    run_virtualized_mt,
+)
 from repro.sim.runner import Scale, run_native, run_virtualized
 from repro.sim.stats import SimStats
 from repro.workloads.suite import WORKLOADS
@@ -85,6 +92,7 @@ __all__ = [
     "FULL_2D",
     "LARGE_HOST",
     "MachineParams",
+    "MultiTenantSpec",
     "NATIVE_LADDER",
     "P1",
     "P1G",
@@ -100,5 +108,7 @@ __all__ = [
     "__version__",
     "example_scale",
     "run_native",
+    "run_native_mt",
     "run_virtualized",
+    "run_virtualized_mt",
 ]

@@ -6,6 +6,7 @@ Commands
 * ``run WORKLOAD [options]``   — one scenario, print its statistics
 * ``experiment NAME``          — regenerate one table/figure (e.g. fig8)
 * ``compare [--schemes ...]``  — race translation schemes head-to-head
+* ``mt``                       — multi-tenant consolidation sweep
 * ``sweep [--only NAME ...]``  — every experiment as one parallel batch
 * ``report [--fast]``          — regenerate everything, section by section
 * ``validate``                 — check the paper's qualitative shapes
@@ -67,6 +68,10 @@ def _cmd_list(_args) -> int:
     for key, entry in SCHEMES.items():
         print(f"  {key:12s} native={entry.native_config.name:10s} "
               f"virtualized={entry.virt_config.name}")
+    print("\nMulti-tenant mixes (repro mt):")
+    from repro.workloads.suite import MT_MIXES
+    for key, members in MT_MIXES.items():
+        print(f"  {key:12s} {' + '.join(members)}")
     return 0
 
 
@@ -142,6 +147,18 @@ def _cmd_compare(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     for table in tables:
+        print(table.render())
+        print()
+    return 0
+
+
+def _cmd_mt(args) -> int:
+    from repro.experiments import mt
+
+    scale = Scale(trace_length=args.trace_length,
+                  warmup=args.trace_length // 5, seed=args.seed)
+    engine = _engine_from(args)
+    for table in mt.run(scale, engine):
         print(table.render())
         print()
     return 0
@@ -224,6 +241,13 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--seed", type=int, default=42)
     _add_engine_options(comp)
 
+    mt = sub.add_parser(
+        "mt", help="multi-tenant consolidation sweep "
+                   "(schemes x tenants x quantum x switch policy)")
+    mt.add_argument("--trace-length", type=int, default=30_000)
+    mt.add_argument("--seed", type=int, default=42)
+    _add_engine_options(mt)
+
     sweep = sub.add_parser(
         "sweep", help="run every experiment as one parallel batch")
     sweep.add_argument("--only", action="append", default=None,
@@ -253,6 +277,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "experiment": _cmd_experiment,
         "compare": _cmd_compare,
+        "mt": _cmd_mt,
         "sweep": _cmd_sweep,
         "report": _cmd_report,
         "validate": _cmd_validate,

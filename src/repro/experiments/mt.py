@@ -1,0 +1,187 @@
+"""Multi-tenant consolidation sweep (`repro mt`).
+
+Not a figure from the source paper: the paper measures per-process costs
+and gestures at consolidation through the §4 co-runner; this experiment
+simulates it directly with the `repro.sim.multitenant` subsystem — N
+address spaces sharing one physical memory, cache hierarchy and TLB/PWC
+set, scheduled round-robin — and sweeps the four translation schemes
+across process count, scheduling quantum and context-switch policy
+(full translation-state flush vs ASID-tagged retention).
+
+The ranking metric is the translation-cycle fraction, as in ``repro
+compare``.  The single-tenant reference row averages the mix's members
+at full trace length; those cells are value-equal to ``repro compare``'s
+jobs, so a ``repro sweep`` executes them once for both experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    SCHEMES,
+    Engine,
+    ExperimentTable,
+    SchemeEntry,
+    execute,
+    mean,
+    scheme_job,
+)
+from repro.runtime.job import NATIVE, VIRTUALIZED, Job
+from repro.sim.multitenant import MultiTenantSpec
+from repro.sim.runner import Scale
+from repro.workloads.suite import MT_MIXES
+
+#: The consolidated-server mix driving every cell (see workloads/suite.py).
+MIX = "mix-server"
+
+#: Native grid: process count x quantum x switch policy.  Quanta are
+#: expressed as fractions of the scale's trace length so every scale —
+#: the 60k report runs and CI's 2-3k smoke runs — schedules several
+#: rounds per tenant (a fixed record count would swallow a whole tenant
+#: in one slice at small scales, making the policies indistinguishable).
+#: The small divisor-128 quantum sits below the L2 S-TLB's churn
+#: horizon (~1500 fills), where ASID retention visibly beats flushing;
+#: at the divisor-8 quantum the intervening tenants evict nearly
+#: everything and the two policies converge — the table shows both ends.
+TENANT_COUNTS = (2, 4)
+QUANTUM_DIVISORS = (128, 8)
+POLICIES = ("flush", "asid")
+
+#: Virtualized grid (kept small: 2D walks are an order of magnitude
+#: slower): the paper's design vs the baseline, two VMs, one quantum.
+VIRT_SCHEMES = ("baseline", "asap")
+VIRT_TENANTS = (2,)
+VIRT_QUANTUM_DIVISORS = (8,)
+
+
+def _quanta(kind: str, scale: Scale) -> tuple[int, ...]:
+    divisors = (QUANTUM_DIVISORS if kind == NATIVE
+                else VIRT_QUANTUM_DIVISORS)
+    return tuple(max(1, scale.trace_length // d) for d in divisors)
+
+
+def _mt_job(kind: str, entry: SchemeEntry, tenants: int, quantum: int,
+            policy: str, scale: Scale) -> Job:
+    config = entry.native_config if kind == NATIVE else entry.virt_config
+    return Job(kind=kind, workload=MIX, config=config, scale=scale,
+               scheme=entry.spec,
+               multi_tenant=MultiTenantSpec(tenants, quantum, policy))
+
+
+def _grid(kind: str, scale: Scale) -> list[tuple[int, int, str]]:
+    tenants = TENANT_COUNTS if kind == NATIVE else VIRT_TENANTS
+    return [(t, q, p) for t in tenants for q in _quanta(kind, scale)
+            for p in POLICIES]
+
+
+def _roster(kind: str) -> list[str]:
+    return list(SCHEMES) if kind == NATIVE else list(VIRT_SCHEMES)
+
+
+def jobs(scale: Scale) -> list[Job]:
+    out: list[Job] = []
+    for kind in (NATIVE, VIRTUALIZED):
+        for name in _roster(kind):
+            entry = SCHEMES[name]
+            # Single-tenant reference: the mix's members at full length
+            # (value-equal to the `repro compare` cells -> deduplicated).
+            for member in MT_MIXES[MIX]:
+                out.append(scheme_job(kind, member, entry, scale))
+            for tenants, quantum, policy in _grid(kind, scale):
+                out.append(_mt_job(kind, entry, tenants, quantum, policy,
+                                   scale))
+    return out
+
+
+def _fraction(results: Mapping[Job, Any], job: Job) -> float:
+    return 100.0 * results[job].walk_fraction
+
+
+def _detail(results: Mapping[Job, Any], kind: str,
+            scale: Scale) -> ExperimentTable:
+    roster = _roster(kind)
+    table = ExperimentTable(
+        title=f"Multi-tenant ({kind}): translation-cycle fraction, "
+              f"{MIX} (%; lower is better)",
+        columns=["scenario"] + roster,
+        notes="isolated = mean over the mix's members, each run alone at "
+              "full trace length; N x qQ = N tenants, Q-record quantum; "
+              "flush = full translation-state flush per switch, asid = "
+              "ASID-tagged retention.",
+    )
+    table.add_row(scenario="isolated", **{
+        name: mean([
+            _fraction(results,
+                      scheme_job(kind, member, SCHEMES[name], scale))
+            for member in MT_MIXES[MIX]
+        ])
+        for name in roster
+    })
+    for tenants, quantum, policy in _grid(kind, scale):
+        table.add_row(scenario=f"{tenants} x q{quantum} {policy}", **{
+            name: _fraction(results,
+                            _mt_job(kind, SCHEMES[name], tenants, quantum,
+                                    policy, scale))
+            for name in roster
+        })
+    return table
+
+
+def _retention(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
+    """ASID retention's win over full flushing, in percentage points."""
+    table = ExperimentTable(
+        title="Multi-tenant: ASID retention benefit over full flush "
+              "(translation-fraction percentage points; higher = "
+              "retention matters more)",
+        columns=["scheme", "native_mean", "native_max", "virtualized_mean"],
+        notes="Per (tenants, quantum) cell: fraction(flush) - "
+              "fraction(asid).  Retention pays most at small quanta, "
+              "where a flushed TLB never warms up within a slice.",
+    )
+    for name in SCHEMES:
+        deltas = []
+        for tenants in TENANT_COUNTS:
+            for quantum in _quanta(NATIVE, scale):
+                flush = _fraction(results, _mt_job(
+                    NATIVE, SCHEMES[name], tenants, quantum, "flush", scale))
+                asid = _fraction(results, _mt_job(
+                    NATIVE, SCHEMES[name], tenants, quantum, "asid", scale))
+                deltas.append(flush - asid)
+        virt_deltas = []
+        if name in VIRT_SCHEMES:
+            for tenants in VIRT_TENANTS:
+                for quantum in _quanta(VIRTUALIZED, scale):
+                    flush = _fraction(results, _mt_job(
+                        VIRTUALIZED, SCHEMES[name], tenants, quantum,
+                        "flush", scale))
+                    asid = _fraction(results, _mt_job(
+                        VIRTUALIZED, SCHEMES[name], tenants, quantum,
+                        "asid", scale))
+                    virt_deltas.append(flush - asid)
+        table.add_row(scheme=name,
+                      native_mean=mean(deltas),
+                      native_max=max(deltas),
+                      virtualized_mean=mean(virt_deltas)
+                      if virt_deltas else "-")
+    return table
+
+
+def tables(results: Mapping[Job, Any], scale: Scale
+           ) -> tuple[ExperimentTable, ExperimentTable, ExperimentTable]:
+    return (_detail(results, NATIVE, scale),
+            _detail(results, VIRTUALIZED, scale),
+            _retention(results, scale))
+
+
+def run(scale: Scale | None = None, engine: Engine | None = None
+        ) -> tuple[ExperimentTable, ExperimentTable, ExperimentTable]:
+    scale = scale or DEFAULT_SCALE
+    return tables(execute(jobs(scale), engine), scale)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for table in run():
+        print(table.render())
+        print()

@@ -32,6 +32,7 @@ from repro.experiments import (
     fig10,
     fig11,
     fig12,
+    mt,
     table1,
     table2,
     table6,
@@ -58,6 +59,7 @@ MODULES = (
     ("Figure 12", fig12),
     ("Ablations", ablations),
     ("Compare", compare),
+    ("Multi-tenant", mt),
 )
 
 #: (name, callable) back-compat view of :data:`MODULES`.
@@ -112,6 +114,8 @@ def _canonical(name: str) -> str:
     token = token.replace("figure", "fig").replace("+table7", "")
     if token in ("fig11", "table7"):
         return "fig11"
+    if token in ("mt", "multitenant"):
+        return "multi-tenant"
     return token
 
 

@@ -57,6 +57,16 @@ class MshrFile:
         self.allocations += 1
         return True
 
+    def drain(self) -> None:
+        """Abandon every in-flight miss, keeping the counters.
+
+        Context switches and translation-state flushes use this: whatever
+        was in flight is conceptually completed-and-discarded, and a new
+        simulation epoch (whose clock restarts) must not merge with stale
+        completion times from the previous one.
+        """
+        self._inflight.clear()
+
     @property
     def occupancy(self) -> int:
         return len(self._inflight)

@@ -9,6 +9,14 @@ PL3, then PL4) — one 2-cycle probe regardless of outcome.
 Under virtualization each dimension gets its own SplitPwc instance (Table 5:
 "one dedicated PWC for guest PT, one for host PT"); host PWCs are tagged by
 guest-physical addresses.
+
+Multi-tenant runs set :attr:`SplitPwc.asid_bias` (``asid_bias(asid)`` from
+`repro.tlb.tlb`) before driving a tenant's records: the bias is ORed into
+every level tag — the same high-bits encoding the TLB hierarchy uses — so
+entries of different address spaces (or, for host PWCs, different VMs)
+coexist.  The simulators' inlined flat-walk path applies the identical
+bias when it precomputes per-page PWC tags, keeping both probe paths
+coherent.  Bias 0 is the identity.
 """
 
 from __future__ import annotations
@@ -40,6 +48,9 @@ class SplitPwc:
         #: walkers' inlined fast paths iterate this instead of the dict.
         self.view: tuple[tuple[int, Tlb], ...] = tuple(
             sorted(self._caches.items()))
+        #: ASID bias ORed into every level tag (multi-tenant runs; see
+        #: module docstring).  0 — the single-tenant default — is a no-op.
+        self.asid_bias = 0
         self.probes = 0
         self.hits = 0
 
@@ -54,8 +65,10 @@ class SplitPwc:
         top..L and proceeds straight to level L-1.
         """
         self.probes += 1
+        bias = self.asid_bias
         for level in range(2, self.top_level + 1):
-            if self._caches[level].lookup(level_tag(va, level)) is not None:
+            if self._caches[level].lookup(
+                    level_tag(va, level) | bias) is not None:
                 self.hits += 1
                 return level
         return None
@@ -66,8 +79,9 @@ class SplitPwc:
         Entries at the leaf level itself belong in the TLB, not the PWC,
         so a 2MB walk (leaf at PL2) populates only PL3 and above.
         """
+        bias = self.asid_bias
         for level in range(leaf_level + 1, self.top_level + 1):
-            self._caches[level].fill(level_tag(va, level), 1)
+            self._caches[level].fill(level_tag(va, level) | bias, 1)
 
     def flush(self) -> None:
         for cache in self._caches.values():

@@ -28,11 +28,13 @@ from typing import Any
 from repro.core.config import AsapConfig, BASELINE
 from repro.params import DEFAULT_MACHINE
 from repro.schemes import SchemeSpec
+from repro.sim.multitenant import MultiTenantSpec
 from repro.sim.runner import Scale, run_native, run_virtualized
 
 #: Bump when the payload layout or the meaning of a field changes; old
 #: cache entries then miss instead of being misinterpreted.
-SPEC_VERSION = 2
+#: 3: multi_tenant joined the spec (ASID-tagged multi-process scenarios).
+SPEC_VERSION = 3
 
 #: Scenario kinds understood by :func:`execute_job`.
 NATIVE = "native"
@@ -70,6 +72,11 @@ class Job:
     #: level is enabled, plain baseline otherwise — so every pre-scheme
     #: call site keeps its meaning and its cache identity rules.
     scheme: SchemeSpec | None = None
+    #: Multi-tenant scenario (`repro.sim.multitenant`): process count,
+    #: scheduler quantum and context-switch policy.  ``None`` — the
+    #: default — is the single-tenant path; with it set, ``workload``
+    #: may also name an ``MT_MIXES`` mix.
+    multi_tenant: MultiTenantSpec | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -116,6 +123,26 @@ class Job:
                 or self.scheme.kind != "baseline"):
             raise ValueError(
                 f"{PT_INVENTORY} jobs use only workload and scale")
+        if self.multi_tenant is not None:
+            mt = self.multi_tenant
+            if self.kind not in (NATIVE, VIRTUALIZED):
+                raise ValueError(
+                    f"multi_tenant applies to {NATIVE}/{VIRTUALIZED} jobs "
+                    f"only, not {self.kind}")
+            if mt.tenants == 1 and mt.quantum == 0:
+                # One tenant, no switching executes identically to the
+                # plain path; two distinct-looking specs must not cache
+                # separately (the sim-level identity itself is pinned by
+                # tests/test_multitenant.py).
+                raise ValueError(
+                    "multi_tenant with one tenant and no switching is the "
+                    "single-tenant scenario; use multi_tenant=None")
+            if (self.colocated or self.clustered_tlb or self.infinite_tlb
+                    or self.hole_rate or self.pt_levels != 4):
+                raise ValueError(
+                    "multi_tenant does not compose with colocated/"
+                    "clustered/infinite TLBs, hole_rate or non-4-level "
+                    "page tables")
 
     # ------------------------------------------------------------------
     def payload(self) -> dict[str, Any]:
@@ -141,6 +168,8 @@ class Job:
             "pwc_scale": self.pwc_scale,
             "hole_rate": self.hole_rate,
             "collect_service": self.collect_service,
+            "multi_tenant": (None if self.multi_tenant is None
+                             else self.multi_tenant.payload()),
         }
 
     def spec_hash(self) -> str:
@@ -162,6 +191,8 @@ class Job:
             (self.pt_levels != 4, f"{self.pt_levels}L"),
             (self.pwc_scale != 1, f"pwc-x{self.pwc_scale}"),
             (self.hole_rate != 0.0, f"holes={self.hole_rate:g}"),
+            (self.multi_tenant is not None,
+             self.multi_tenant.label() if self.multi_tenant else ""),
         ):
             if flag:
                 parts.append(text)
@@ -196,6 +227,29 @@ def execute_job(job: Job) -> Any:
     machine = DEFAULT_MACHINE
     if job.pwc_scale != 1:
         machine = machine.with_pwc_scale(job.pwc_scale)
+    if job.multi_tenant is not None:
+        from repro.sim.multitenant import run_native_mt, run_virtualized_mt
+
+        if job.kind == NATIVE:
+            return run_native_mt(
+                job.workload,
+                job.config,
+                job.multi_tenant,
+                machine=machine,
+                scale=job.scale,
+                collect_service=job.collect_service,
+                scheme=job.scheme,
+            )
+        return run_virtualized_mt(
+            job.workload,
+            job.config,
+            job.multi_tenant,
+            host_page_level=job.host_page_level,
+            machine=machine,
+            scale=job.scale,
+            collect_service=job.collect_service,
+            scheme=job.scheme,
+        )
     if job.kind == NATIVE:
         return run_native(
             job.workload,

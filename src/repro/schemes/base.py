@@ -197,6 +197,16 @@ class TranslationScheme:
     def fill_hook(self) -> FillHook | None:
         return None
 
+    # -- translation-state lifecycle ------------------------------------
+    def on_translation_flush(self) -> None:
+        """A full translation-state flush is happening: drop any
+        *translation-bearing* state this scheme caches outside the
+        TLB/PWC structures (Victima's cache-parked entries).  State that
+        is OS-owned configuration rather than cached translations —
+        ASAP's range registers, Revelator's placement lottery — survives,
+        exactly as it would survive a CR3 write.  Counters are kept.
+        """
+
     # -- accounting -----------------------------------------------------
     def scheme_stats(self) -> dict[str, int]:
         """Per-scheme counters, published into ``SimStats.scheme_stats``."""

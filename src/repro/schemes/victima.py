@@ -100,5 +100,15 @@ class VictimaLike(TranslationScheme):
     def probe_hook(self) -> ProbeHook:
         return self._probe
 
+    def on_translation_flush(self) -> None:
+        """Parked entries *are* cached translations: a full flush must
+        kill them — bookkeeping and their L2-resident lines — or a
+        flush-then-continue run would keep short-circuiting walks with
+        supposedly-flushed state (the multi-tenant full-flush switch
+        policy was the first caller to hit this)."""
+        for vpn in self._parked:
+            self._hierarchy.l2.invalidate(_PARK_TAG_BASE | vpn)
+        self._parked.clear()
+
     def scheme_stats(self) -> dict[str, int]:
         return dict(self.stats)

@@ -143,27 +143,42 @@ def run_native(
 # ----------------------------------------------------------------------
 # virtualized scenarios
 # ----------------------------------------------------------------------
+def guest_mem_bytes(spec: WorkloadSpec) -> int:
+    """Table 4: 128GB guests (bigger for datasets that would not fit)."""
+    return max(128 * GB, -(-int(spec.footprint_bytes * 1.3) // GB) * GB)
+
+
 def build_vm(
     spec: WorkloadSpec,
     config: AsapConfig,
     scale: Scale,
     host_page_level: int = 1,
+    seed: int | None = None,
+    host_buddy=None,
 ) -> VirtualMachine:
-    # Table 4: 128GB guests (bigger for datasets that would not fit).
-    guest_mem = max(128 * GB, -(-int(spec.footprint_bytes * 1.3) // GB) * GB)
-    guest_buddy = BuddyAllocator(PhysicalMemory(guest_mem), seed=scale.seed)
+    """Build one guest VM.
+
+    ``seed`` overrides ``scale.seed`` for the guest-side randomness
+    (per-tenant seeds in multi-tenant runs) and ``host_buddy`` supplies a
+    shared host allocator (several VMs consolidated onto one physical
+    machine); both default to the historical single-VM behaviour.
+    """
+    seed = scale.seed if seed is None else seed
+    guest_mem = guest_mem_bytes(spec)
+    guest_buddy = BuddyAllocator(PhysicalMemory(guest_mem), seed=seed)
     guest = spec.build_process(
         asap_levels=config.guest_levels,
-        seed=scale.seed,
+        seed=seed,
         buddy=guest_buddy,
     )
     return VirtualMachine(
         guest,
         guest_mem_bytes=guest_mem,
+        host_buddy=host_buddy,
         host_page_level=host_page_level,
         host_asap_levels=config.host_levels,
         back_guest_pt_contiguously=bool(config.guest_levels),
-        seed=scale.seed,
+        seed=seed,
     )
 
 

@@ -42,7 +42,7 @@ from repro.schemes import SchemeSpec, build_scheme
 from repro.sim.order import first_touch_order
 from repro.sim.stats import SimStats
 from repro.tlb.hierarchy import TlbHierarchy
-from repro.tlb.tlb import EMPTY
+from repro.tlb.tlb import EMPTY, asid_bias
 from repro.workloads.corunner import Corunner
 
 
@@ -120,23 +120,73 @@ class NativeSimulation:
         infinite_tlb: bool = False,
         corunner: Corunner | None = None,
         scheme: SchemeSpec | None = None,
+        hierarchy: CacheHierarchy | None = None,
+        tlbs: TlbHierarchy | None = None,
+        pwc: SplitPwc | None = None,
+        walker: PageWalker | None = None,
+        asid: int = 0,
     ) -> None:
+        """``hierarchy``/``tlbs``/``pwc``/``walker`` let the multi-tenant
+        driver (`repro.sim.multitenant`) hand several per-process
+        simulations one shared set of hardware structures; ``asid`` tags
+        this process's translations within them (0 — the single-tenant
+        default — changes nothing, bit for bit)."""
+        if asid and (clustered_tlb or infinite_tlb):
+            raise ValueError(
+                "ASID-tagged simulations do not compose with "
+                "clustered/infinite TLBs")
         self.process = process
         self.machine = machine
         self.asap = asap
         self.clustered_tlb = clustered_tlb
-        self.hierarchy = CacheHierarchy(machine.hierarchy)
-        self.tlbs = TlbHierarchy(
+        self.hierarchy = hierarchy or CacheHierarchy(machine.hierarchy)
+        self.tlbs = tlbs or TlbHierarchy(
             machine.tlb, clustered=clustered_tlb, infinite=infinite_tlb
         )
-        self.pwc = SplitPwc(machine.pwc,
-                            top_level=process.page_table.levels)
-        self.walker = PageWalker(self.hierarchy, self.pwc)
+        self.pwc = pwc or SplitPwc(machine.pwc,
+                                   top_level=process.page_table.levels)
+        self.walker = walker or PageWalker(self.hierarchy, self.pwc)
         self.corunner = corunner
+        self.asid = asid
+        #: Per-vpn flattened walk paths (general loop / inlined sweep).
+        #: Instance state so a run can be split into scheduler quanta
+        #: without re-flattening, and so ``flush_translation_state`` can
+        #: clear them coherently with the hardware structures.
+        self._flat_paths: dict[int, tuple] = {}
+        self._fast_paths: dict[int, tuple] = {}
         #: Set by AsapScheme.bind_native for introspection/back-compat.
         self.prefetcher: AsapPrefetcher | None = None
         self.scheme = build_scheme(scheme, asap)
         self.scheme.bind_native(self)
+
+    # ------------------------------------------------------------------
+    def flush_translation_state(self) -> None:
+        """Flush *every* piece of cached translation state coherently.
+
+        ``TlbHierarchy.flush()`` alone is not a safe mid-run flush: the
+        page-walk caches, the in-flight translation-prefetch MSHRs, the
+        simulator's per-vpn flattened walk paths and any scheme-cached
+        translations (Victima's parked entries) would all survive it and
+        keep serving stale translations.  This is the one entry point
+        that restores every translation structure to its cold state (the
+        shared data caches and all statistics counters are untouched);
+        the multi-tenant scheduler's full-flush switch policy and any
+        shootdown-like event must go through it.
+        """
+        self.tlbs.flush()
+        self.pwc.flush()
+        self.hierarchy.mshrs.drain()
+        self.flush_private_translation_state()
+
+    def flush_private_translation_state(self) -> None:
+        """The per-process half of :meth:`flush_translation_state`: the
+        flattened walk-path caches and the scheme's own translation
+        state.  The multi-tenant scheduler calls this on the *other*
+        tenants after flushing the shared hardware once through the
+        active one."""
+        self._flat_paths.clear()
+        self._fast_paths.clear()
+        self.scheme.on_translation_flush()
 
     # ------------------------------------------------------------------
     def populate(self, trace: np.ndarray, order: str = "sequential") -> int:
@@ -211,7 +261,10 @@ class NativeSimulation:
         p4_stride, p4_nsets, p4_ways = p4.stride, p4.num_sets, p4.ways
         s2, s3, s4 = (level_shift(level) for level, _ in pwc.view)
         flat_walk = self.process.flat_walk
-        flat_paths: dict[int, tuple] = {}
+        flat_paths = self._fast_paths
+        #: ASID bias, hoisted: constant for the whole sweep (one OR per
+        #: record; 0 in single-tenant runs leaves every tag unchanged).
+        vbias = asid_bias(self.asid)
         base_cycles = self.machine.core.base_cycles
         record_service = stats.service.record_walk
 
@@ -230,16 +283,22 @@ class NativeSimulation:
         walker_cycles = walker.total_latency
         c1_mru = 0
         acc = data_c = walk_c = walk_count = 0
-        tlb_l1_base = tlb_l2_base = 0
         now = 0
         measuring = warmup == 0
+        # Measurement baselines snapshot the *current* counters, not
+        # zero: on shared (multi-tenant) structures a later segment
+        # starts with non-zero cumulative hits, and the measured window
+        # must cover only this run.  Fresh structures start at zero, so
+        # single-tenant results are unchanged.
+        tlb_l1_base = l1h if measuring else 0
+        tlb_l2_base = l2h if measuring else 0
 
         for index, va in enumerate(addresses):
             if not measuring and index >= warmup:
                 measuring = True
                 tlb_l1_base = l1h
                 tlb_l2_base = l2h
-            vpn = va >> 12
+            vpn = (va >> 12) | vbias
             translation = 0
             # --- L1 D-TLB probe, small then (optional) large tag -----
             tag = vpn << 1
@@ -336,9 +395,9 @@ class NativeSimulation:
                     flat = flat_paths.get(vpn)
                     if flat is None:
                         lines, levels, pframe, leaf_level = flat_walk(va)
-                        flat = (lines, levels, va >> s2, va >> s3,
-                                va >> s4, leaf_level, pframe,
-                                leaf_level >= 2)
+                        flat = (lines, levels, (va >> s2) | vbias,
+                                (va >> s3) | vbias, (va >> s4) | vbias,
+                                leaf_level, pframe, leaf_level >= 2)
                         flat_paths[vpn] = flat
                     (lines, levels, tg2, tg3, tg4, leaf_level, frame,
                      large) = flat
@@ -650,12 +709,20 @@ class NativeSimulation:
         l1_latency = hierarchy.latency_of("L1")
         step_cost = base_cycles + l1_latency
         pwc_shifts = tuple(level_shift(level) for level, _ in self.pwc.view)
-        flat_paths: dict[int, tuple] = {}
+        flat_paths = self._flat_paths
+        #: ASID bias, hoisted once: ORed into the vpn (and the PWC tags
+        #: baked into cached flat paths) so shared TLB/PWC structures keep
+        #: tenants apart.  0 in single-tenant runs — a no-op bit for bit.
+        vbias = asid_bias(self.asid)
+        self.pwc.asid_bias = vbias
         tlbs.probe_large[0] = self.process.page_table.has_large_pages
 
         now = 0
         measuring = warmup == 0
-        tlb_l1_base = tlb_l2_base = 0
+        # See _fast_native_sweep: baselines snapshot the current shared
+        # counters so a mid-sequence segment measures only its window.
+        tlb_l1_base = tlbs.l1_hits if measuring else 0
+        tlb_l2_base = tlbs.l2_hits if measuring else 0
         #: Local accumulators for the per-record statistics; flushed into
         #: ``stats`` once after the loop (base/total cycles are derived:
         #: every measured record contributes exactly ``base_cycles`` and
@@ -672,7 +739,7 @@ class NativeSimulation:
                 measuring = True
                 tlb_l1_base = tlbs.l1_hits
                 tlb_l2_base = tlbs.l2_hits
-            vpn = va >> 12
+            vpn = (va >> 12) | vbias
             frame = lookup(vpn)
             translation = 0
             if frame is None:
@@ -696,10 +763,13 @@ class NativeSimulation:
                         flat = (
                             lines,
                             levels,
-                            tuple(va >> shift for shift in pwc_shifts),
+                            tuple((va >> shift) | vbias
+                                  for shift in pwc_shifts),
                             leaf_level,
                             pframe,
                             leaf_level >= 2,
+                            # vpn == raw vpn here: clustered TLBs are
+                            # single-tenant only (ctor guard).
                             cluster_frames(vpn)
                             if clustered and leaf_level == 1 else None,
                         )

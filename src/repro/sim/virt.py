@@ -32,6 +32,7 @@ from repro.sim.order import first_touch_order
 from repro.sim.simulator import detect_runs, drive_batched
 from repro.sim.stats import SimStats
 from repro.tlb.hierarchy import TlbHierarchy
+from repro.tlb.tlb import asid_bias
 from repro.workloads.corunner import Corunner
 
 
@@ -76,23 +77,63 @@ class VirtualizedSimulation:
         infinite_tlb: bool = False,
         corunner: Corunner | None = None,
         scheme: SchemeSpec | None = None,
+        hierarchy: CacheHierarchy | None = None,
+        tlbs: TlbHierarchy | None = None,
+        guest_pwc: SplitPwc | None = None,
+        host_pwc: SplitPwc | None = None,
+        walker: NestedPageWalker | None = None,
+        asid: int = 0,
     ) -> None:
+        """The optional structure arguments let the multi-tenant driver
+        (`repro.sim.multitenant`) run several VMs against one shared set
+        of hardware structures; ``asid`` doubles as the VMID tagging this
+        VM's entries in the shared TLBs and in both PWC dimensions (0 —
+        the single-tenant default — changes nothing, bit for bit)."""
+        if asid and infinite_tlb:
+            raise ValueError(
+                "ASID-tagged simulations do not compose with infinite TLBs")
         self.vm = vm
         self.machine = machine
         self.asap = asap
-        self.hierarchy = CacheHierarchy(machine.hierarchy)
-        self.tlbs = TlbHierarchy(machine.tlb, infinite=infinite_tlb)
-        self.guest_pwc = SplitPwc(machine.pwc,
-                                  top_level=vm.guest.page_table.levels)
-        self.host_pwc = SplitPwc(machine.pwc, top_level=4)
-        self.walker = NestedPageWalker(self.hierarchy, self.guest_pwc,
-                                       self.host_pwc)
+        self.hierarchy = hierarchy or CacheHierarchy(machine.hierarchy)
+        self.tlbs = tlbs or TlbHierarchy(machine.tlb, infinite=infinite_tlb)
+        self.guest_pwc = guest_pwc or SplitPwc(
+            machine.pwc, top_level=vm.guest.page_table.levels)
+        self.host_pwc = host_pwc or SplitPwc(machine.pwc, top_level=4)
+        self.walker = walker or NestedPageWalker(
+            self.hierarchy, self.guest_pwc, self.host_pwc)
         self.corunner = corunner
+        self.asid = asid
+        #: Per-vpn nested walk paths; instance state for the same reasons
+        #: as the native simulator's flat caches (quantum splitting and
+        #: coherent flushing).
+        self._nested_paths: dict[int, tuple] = {}
         #: Set by AsapScheme.bind_virtualized for introspection/back-compat.
         self.guest_prefetcher: AsapPrefetcher | None = None
         self.host_prefetcher: AsapPrefetcher | None = None
         self.scheme = build_scheme(scheme, asap)
         self.scheme.bind_virtualized(self)
+
+    # ------------------------------------------------------------------
+    def flush_translation_state(self) -> None:
+        """Flush every piece of cached translation state coherently:
+        TLBs, both PWC dimensions, in-flight translation-prefetch MSHRs,
+        the per-vpn nested-path cache and scheme-cached translations.
+        See
+        :meth:`repro.sim.simulator.NativeSimulation.flush_translation_state`
+        — this is the virtualized half of the same coherence contract.
+        """
+        self.tlbs.flush()
+        self.guest_pwc.flush()
+        self.host_pwc.flush()
+        self.hierarchy.mshrs.drain()
+        self.flush_private_translation_state()
+
+    def flush_private_translation_state(self) -> None:
+        """Per-VM half of the flush: the nested-path cache and the
+        scheme's own translation state (see the native simulator)."""
+        self._nested_paths.clear()
+        self.scheme.on_translation_flush()
 
     # ------------------------------------------------------------------
     def populate(self, trace: np.ndarray, order: str = "sequential") -> int:
@@ -156,12 +197,22 @@ class VirtualizedSimulation:
         need_records = collect_service or walk_end is not None
         l1_latency = hierarchy.latency_of("L1")
         step_cost = base_cycles + l1_latency
-        nested_paths: dict[int, tuple] = {}
+        nested_paths = self._nested_paths
+        #: ASID/VMID bias, hoisted once per run: the TLB sees it in the
+        #: vpn, the nested walker in both PWCs' tags (guest PWC keyed by
+        #: gVA, host PWC by gPA — gPA spaces of different VMs collide
+        #: numerically, hence the host-side bias too).  0 single-tenant.
+        vbias = asid_bias(self.asid)
+        self.guest_pwc.asid_bias = vbias
+        self.host_pwc.asid_bias = vbias
         tlbs.probe_large[0] = vm.guest.page_table.has_large_pages
 
         now = 0
         measuring = warmup == 0
-        tlb_l1_base = tlb_l2_base = 0
+        # Baselines snapshot the current shared counters (see the native
+        # simulator): a mid-sequence segment measures only its window.
+        tlb_l1_base = tlbs.l1_hits if measuring else 0
+        tlb_l2_base = tlbs.l2_hits if measuring else 0
         #: Local accumulators, flushed into ``stats`` after the loop
         #: (see the native simulator).
         acc = data_c = walk_c = walk_count = 0
@@ -176,7 +227,7 @@ class VirtualizedSimulation:
                 measuring = True
                 tlb_l1_base = tlbs.l1_hits
                 tlb_l2_base = tlbs.l2_hits
-            vpn = va >> 12
+            vpn = (va >> 12) | vbias
             frame = lookup(vpn)
             translation = 0
             if frame is None:

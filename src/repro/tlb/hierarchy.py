@@ -6,6 +6,13 @@ before the lookup, §2.5), and fills install at the granularity the walk
 discovered.  Tags encode the size class in the low bit so both classes
 share the set-associative structures.
 
+Multi-tenant runs encode the address-space identifier the same way: the
+simulators hand this hierarchy *biased* vpns (``vpn | asid_bias(asid)``,
+see :data:`repro.tlb.tlb.ASID_SHIFT`), so the ASID lands in the high bits
+of both the small and the large tag and translations of different tenants
+coexist without ambiguity.  ASID 0 is the identity — single-tenant runs
+pass raw vpns and pay nothing.
+
 Three variants are exposed through one class:
 
 * the plain Table 5 configuration (64-entry L1, 1536-entry L2),
@@ -31,6 +38,8 @@ from repro.tlb.clustered import ClusteredTlb
 from repro.tlb.tlb import EMPTY, Tlb, TlbStats
 
 
+# The size class rides in the low bit; an ASID bias (if any) rides in the
+# high bits of ``vpn`` itself and therefore survives both encodings.
 def _small_tag(vpn: int) -> int:
     return vpn << 1
 

@@ -35,6 +35,25 @@ from repro.params import TlbParams
 #: Sentinel marking an empty slot; real tags are non-negative.
 EMPTY = -1
 
+#: Bit position of the ASID in a *biased* vpn key (multi-tenant runs).
+#:
+#: Address-space identifiers ride in the key the same way the page-size
+#: class rides in the tag: encoded into the integer before it reaches the
+#: structure, so every probe/fill below is tenant-oblivious.  The highest
+#: vpn any workload can produce is below 2**45 (57-bit virtual addresses),
+#: and PWC tags (``va >> level_shift``) are smaller still, so ORing
+#: ``asid << ASID_SHIFT`` into a vpn or PWC tag can never collide with
+#: another tenant's bits — and ASID 0 is the identity, which is what keeps
+#: single-tenant runs byte-identical to the pre-ASID simulators.
+ASID_SHIFT = 52
+
+
+def asid_bias(asid: int) -> int:
+    """The OR-mask encoding ``asid`` into vpn/PWC-tag keys (0 for ASID 0)."""
+    if asid < 0:
+        raise ValueError("ASIDs are non-negative")
+    return asid << ASID_SHIFT
+
 
 @dataclass
 class TlbStats:

@@ -208,17 +208,27 @@ class WorkloadSpec:
         buddy: BuddyAllocator | None = None,
         pt_levels: int = 4,
         memory_bytes: int = 1 << 41,
+        data_pool: str = "data",
+        pt_pool: str = "pt",
     ) -> ProcessAddressSpace:
-        """Instantiate the process: VMAs mapped, nothing yet faulted in."""
+        """Instantiate the process: VMAs mapped, nothing yet faulted in.
+
+        ``data_pool``/``pt_pool`` name this process's allocation streams;
+        multi-tenant runs give each process its own pair on one shared
+        ``buddy`` so per-workload fragmentation knobs stay per-process
+        while all tenants draw from the same physical memory.
+        """
         if buddy is None:
             buddy = BuddyAllocator(PhysicalMemory(memory_bytes), seed=seed)
-        buddy.configure_pool("data", self.data_run_mean)
-        buddy.configure_pool("pt", self.pt_run_mean)
+        buddy.configure_pool(data_pool, self.data_run_mean)
+        buddy.configure_pool(pt_pool, self.pt_run_mean)
         layout = None
         if asap_levels:
-            layout = AsapPtLayout(buddy, levels=asap_levels, seed=seed)
+            layout = AsapPtLayout(buddy, levels=asap_levels, seed=seed,
+                                  fallback_pool=pt_pool)
         process = ProcessAddressSpace(
-            buddy=buddy, levels=pt_levels, asap_layout=layout
+            buddy=buddy, levels=pt_levels, asap_layout=layout,
+            data_pool=data_pool, pt_pool=pt_pool,
         )
         for spec, base in self.layout():
             process.mmap(

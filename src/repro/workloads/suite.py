@@ -203,6 +203,23 @@ FIGURE2_NAMES = ("mcf", "canneal", "bfs", "pagerank", "mc80", "redis")
 TABLE6_NAMES = ("mcf", "canneal", "bfs", "pagerank", "redis")
 ALL_NAMES = tuple(WORKLOADS)
 
+#: Multi-tenant consolidation mixes (`repro mt`): named rosters of the
+#: Table 3 workloads above.  Tenant ``i`` of an N-tenant run executes
+#: ``mix[i % len(mix)]`` with a per-tenant seed, so one mix name scales
+#: to any process count.  The mixes mirror §4's co-runner methodology:
+#: a server consolidating key-value caches with batch analytics.
+MT_MIXES: dict[str, tuple[str, ...]] = {
+    #: A caching tier: big and small key-value stores side by side.
+    "mix-kv": ("mc80", "redis"),
+    #: Batch analytics: the two graph workloads sharing one socket.
+    "mix-graph": ("bfs", "pagerank"),
+    #: The consolidated server: caches + analytics + a SPEC-style batch
+    #: job, the most heterogeneous pressure on shared TLB/PWC/caches.
+    "mix-server": ("mc80", "redis", "bfs", "mcf"),
+}
+
+MIX_NAMES = tuple(MT_MIXES)
+
 
 def get(name: str) -> WorkloadSpec:
     try:
@@ -211,3 +228,19 @@ def get(name: str) -> WorkloadSpec:
         raise KeyError(
             f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
         ) from None
+
+
+def tenant_names(workload: str, tenants: int) -> list[str]:
+    """Per-tenant workload names for a multi-tenant run.
+
+    ``workload`` is either one Table 3 workload (every tenant runs it,
+    each with its own seed) or an :data:`MT_MIXES` name (tenants cycle
+    through the mix).
+    """
+    if tenants < 1:
+        raise ValueError("a multi-tenant run needs at least one tenant")
+    mix = MT_MIXES.get(workload)
+    if mix is None:
+        get(workload)  # raises the canonical error for unknown names
+        mix = (workload,)
+    return [mix[i % len(mix)] for i in range(tenants)]

@@ -51,3 +51,17 @@ def test_validate_command(capsys):
     assert main(["validate", "--trace-length", "4000"]) in (0, 1)
     out = capsys.readouterr().out
     assert "shapes hold" in out
+
+
+def test_mt_command(capsys):
+    assert main(["mt", "--trace-length", "1200", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "Multi-tenant (native)" in out
+    assert "isolated" in out
+    assert "ASID retention benefit" in out
+
+
+def test_list_mentions_mixes(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "mix-server" in out

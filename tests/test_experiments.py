@@ -151,3 +151,52 @@ class TestAblations:
         table = ablations.run_holes(TINY)
         useful = [row["useful_prefetch_%"] for row in table.rows]
         assert useful[0] > useful[-1]
+
+
+class TestMultiTenant:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        from repro.experiments import mt
+        return mt.run(Scale(trace_length=1_500, warmup=300, seed=13))
+
+    def test_structure(self, tables):
+        native, virt, retention = tables
+        assert native.columns[0] == "scenario"
+        assert [row["scenario"] for row in native.rows][0] == "isolated"
+        # 1 isolated row + tenants x quanta x policies grid rows.
+        assert len(native.rows) == 1 + 2 * 2 * 2
+        assert len(virt.rows) == 1 + 1 * 1 * 2
+        assert {row["scheme"] for row in retention.rows} \
+            == {"baseline", "asap", "victima", "revelator"}
+
+    def test_fractions_bounded(self, tables):
+        native, virt, _ = tables
+        for table in (native, virt):
+            for row in table.rows:
+                for key, value in row.items():
+                    if key != "scenario":
+                        assert 0.0 <= value <= 100.0
+
+    def test_consolidation_raises_translation_pressure(self, tables):
+        native, _, _ = tables
+        isolated = native.row_by("scenario", "isolated")
+        consolidated = [row for row in native.rows
+                        if row["scenario"] != "isolated"]
+        for name in ("baseline", "asap"):
+            worst = max(row[name] for row in consolidated)
+            assert worst > isolated[name]
+
+    def test_retention_never_loses_badly(self, tables):
+        """ASID retention's delta over flushing may be small but must
+        not be a regression beyond noise."""
+        _, _, retention = tables
+        for row in retention.rows:
+            assert row["native_mean"] > -1.0
+
+    def test_cells_shared_with_compare(self):
+        from repro.experiments import compare, mt
+        scale = Scale(trace_length=1_500, warmup=300, seed=13)
+        shared = set(mt.jobs(scale)) & set(compare.jobs(scale))
+        # Every single-tenant reference cell is value-equal to a
+        # compare cell, so a sweep executes them once for both.
+        assert len(shared) >= 16

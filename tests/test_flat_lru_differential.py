@@ -1,0 +1,370 @@
+"""Randomized differential tests for the flat-array LRU structures.
+
+The hot path probes `repro.tlb.tlb.Tlb`, `repro.tlb.clustered.ClusteredTlb`
+and `repro.mem.cache.SetAssociativeCache` through guard-slot
+``list.index`` scans and C-level slice shifts (docs/ARCHITECTURE.md §9).
+These tests drive each structure through long interleaved streams of
+lookup/fill/invalidate/flush (including full-set invalidates, which walk
+a set down to empty and back) against naive ordered-list reference
+models, comparing every return value, every hit/miss counter and the
+complete live state after every mutation.  Any divergence — a guard slot
+leaking into a scan, a slice shift off by one, a size counter drifting —
+fails with the operation stream's seed for replay.
+"""
+
+import random
+
+import pytest
+
+from repro.mem.cache import SetAssociativeCache
+from repro.params import CacheParams, TlbParams
+from repro.tlb.clustered import CLUSTER_PAGES, ClusteredTlb
+from repro.tlb.tlb import EMPTY, Tlb
+
+SEEDS = (0, 1, 2, 3, 17)
+STEPS = 1500
+
+
+# ----------------------------------------------------------------------
+# reference models: per-set python lists, MRU first
+# ----------------------------------------------------------------------
+class RefTlb:
+    def __init__(self, num_sets: int, ways: int) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+        self.sets: list[list[list[int]]] = [[] for _ in range(num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set(self, tag: int) -> list[list[int]]:
+        return self.sets[tag % self.num_sets]
+
+    def lookup(self, tag: int):
+        entries = self._set(tag)
+        for index, entry in enumerate(entries):
+            if entry[0] == tag:
+                self.hits += 1
+                entries.insert(0, entries.pop(index))
+                return entry[1]
+        self.misses += 1
+        return None
+
+    def fill(self, tag: int, frame: int):
+        entries = self._set(tag)
+        victim = None
+        for index, entry in enumerate(entries):
+            if entry[0] == tag:
+                entries.insert(0, entries.pop(index))
+                entry[1] = frame
+                return None
+        if len(entries) >= self.ways:
+            victim = tuple(entries.pop())
+        entries.insert(0, [tag, frame])
+        return victim
+
+    def invalidate(self, tag: int) -> bool:
+        entries = self._set(tag)
+        for index, entry in enumerate(entries):
+            if entry[0] == tag:
+                del entries[index]
+                return True
+        return False
+
+    def flush(self) -> None:
+        self.sets = [[] for _ in range(self.num_sets)]
+
+    def state(self):
+        return [[tuple(entry) for entry in entries]
+                for entries in self.sets]
+
+
+class RefCache:
+    def __init__(self, num_sets: int, ways: int) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+        self.sets: list[list[int]] = [[] for _ in range(num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _set(self, line: int) -> list[int]:
+        return self.sets[line % self.num_sets]
+
+    def lookup(self, line: int, update_lru: bool = True) -> bool:
+        entries = self._set(line)
+        if line in entries:
+            self.hits += 1
+            if update_lru:
+                entries.insert(0, entries.pop(entries.index(line)))
+            return True
+        self.misses += 1
+        return False
+
+    def install(self, line: int):
+        entries = self._set(line)
+        victim = None
+        if line in entries:
+            entries.insert(0, entries.pop(entries.index(line)))
+            return None
+        if len(entries) >= self.ways:
+            victim = entries.pop()
+            self.evictions += 1
+        entries.insert(0, line)
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        entries = self._set(line)
+        if line in entries:
+            entries.remove(line)
+            return True
+        return False
+
+    def flush(self) -> None:
+        self.sets = [[] for _ in range(self.num_sets)]
+
+    def state(self):
+        return [list(entries) for entries in self.sets]
+
+
+class RefClustered:
+    """Mirror of ClusteredTlb: entries keyed (vtag, ptag), MRU first;
+    lookups and invalidates scan oldest-first like the flat arrays."""
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+        #: per set: [vtag, ptag, {slot: sub}] MRU first.
+        self.sets: list[list[list]] = [[] for _ in range(num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, vpn: int):
+        cluster, slot = vpn >> 3, vpn & (CLUSTER_PAGES - 1)
+        entries = self.sets[cluster % self.num_sets]
+        for index in range(len(entries) - 1, -1, -1):  # oldest first
+            vtag, ptag, slots = entries[index]
+            if vtag == cluster and slot in slots:
+                self.hits += 1
+                entries.insert(0, entries.pop(index))
+                return (ptag << 3) | slots[slot]
+        self.misses += 1
+        return None
+
+    def fill(self, vpn: int, frame: int, neighbours=None) -> None:
+        cluster, slot = vpn >> 3, vpn & (CLUSTER_PAGES - 1)
+        phys = frame >> 3
+        entries = self.sets[cluster % self.num_sets]
+        entry = None
+        for index, candidate in enumerate(entries):  # MRU first
+            if candidate[0] == cluster and candidate[1] == phys:
+                entry = candidate
+                entries.insert(0, entries.pop(index))
+                break
+        if entry is None:
+            if len(entries) >= self.ways:
+                entries.pop()
+            entry = [cluster, phys, {}]
+            entries.insert(0, entry)
+        entry[2][slot] = frame & (CLUSTER_PAGES - 1)
+        if neighbours is not None:
+            for other_slot, other_frame in enumerate(neighbours):
+                if other_frame is None or other_slot == slot:
+                    continue
+                if (other_frame >> 3) == phys:
+                    entry[2][other_slot] = other_frame & (CLUSTER_PAGES - 1)
+
+    def invalidate(self, vpn: int) -> bool:
+        cluster, slot = vpn >> 3, vpn & (CLUSTER_PAGES - 1)
+        entries = self.sets[cluster % self.num_sets]
+        for index in range(len(entries) - 1, -1, -1):  # oldest first
+            vtag, _ptag, slots = entries[index]
+            if vtag == cluster and slot in slots:
+                del slots[slot]
+                if not slots:
+                    del entries[index]
+                return True
+        return False
+
+    def flush(self) -> None:
+        self.sets = [[] for _ in range(self.num_sets)]
+
+    def state(self):
+        return [[(vtag, ptag, dict(sorted(slots.items())))
+                 for vtag, ptag, slots in entries]
+                for entries in self.sets]
+
+
+# ----------------------------------------------------------------------
+# live-state extraction from the flat arrays
+# ----------------------------------------------------------------------
+def tlb_state(tlb: Tlb):
+    out = []
+    for set_index in range(tlb.num_sets):
+        base = set_index * tlb.stride
+        size = tlb.sizes[set_index]
+        out.append([(tlb.tags[base + i], tlb.frames[base + i])
+                    for i in range(size)])
+        # The guard slot and every dead slot must hold the sentinel —
+        # a stale tag there would satisfy a future guard scan early.
+        assert all(tag == EMPTY
+                   for tag in tlb.tags[base + size:base + tlb.stride])
+    return out
+
+
+def cache_state(cache: SetAssociativeCache):
+    out = []
+    for set_index in range(cache.num_sets):
+        base = set_index * cache.stride
+        size = cache.sizes[set_index]
+        out.append(cache.lines[base:base + size])
+        assert all(line == EMPTY
+                   for line in cache.lines[base + size:base + cache.stride])
+    return out
+
+
+def clustered_state(tlb: ClusteredTlb):
+    out = []
+    for set_index in range(tlb.num_sets):
+        base = set_index * tlb.stride
+        size = tlb.sizes[set_index]
+        rows = []
+        for offset in range(size):
+            entry = tlb.entries[base + offset]
+            slots = {slot: entry.sub_indices[slot]
+                     for slot in range(CLUSTER_PAGES)
+                     if entry.valid_mask & (1 << slot)}
+            rows.append((tlb.vtags[base + offset], tlb.ptags[base + offset],
+                         dict(sorted(slots.items()))))
+        out.append(rows)
+        assert all(tag == EMPTY
+                   for tag in tlb.vtags[base + size:base + tlb.stride])
+    return out
+
+
+# ----------------------------------------------------------------------
+# the differential drivers
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_tlb_differential(seed):
+    rng = random.Random(seed)
+    tlb = Tlb(TlbParams(entries=16, ways=4), name="diff")
+    ref = RefTlb(tlb.num_sets, tlb.ways)
+    tag_space = 64
+    for step in range(STEPS):
+        op = rng.random()
+        tag = rng.randrange(tag_space)
+        context = f"seed={seed} step={step} tag={tag}"
+        if op < 0.40:
+            assert tlb.lookup(tag) == ref.lookup(tag), context
+        elif op < 0.75:
+            frame = rng.randrange(1 << 20)
+            assert tlb.fill(tag, frame) == ref.fill(tag, frame), context
+        elif op < 0.90:
+            assert tlb.invalidate(tag) == ref.invalidate(tag), context
+        elif op < 0.97:
+            # Full-set invalidate: empty one set tag by tag (shootdown).
+            set_index = tag % tlb.num_sets
+            resident = [entry[0] for entry in ref.sets[set_index]]
+            for victim in resident:
+                assert tlb.invalidate(victim) == ref.invalidate(victim), \
+                    context
+            assert tlb.sizes[set_index] == 0
+        else:
+            tlb.flush()
+            ref.flush()
+        assert tlb_state(tlb) == ref.state(), context
+        assert (tlb.stats.hits, tlb.stats.misses) == (ref.hits, ref.misses)
+        assert tlb.contains(tag) == any(
+            entry[0] == tag for entry in ref.sets[tag % tlb.num_sets])
+    assert tlb.occupancy == sum(len(s) for s in ref.sets)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cache_differential(seed):
+    rng = random.Random(seed)
+    cache = SetAssociativeCache(
+        CacheParams(size_bytes=16 * 64, ways=4, latency=1), name="diff")
+    ref = RefCache(cache.num_sets, cache.ways)
+    line_space = 64
+    for step in range(STEPS):
+        op = rng.random()
+        line = rng.randrange(line_space)
+        context = f"seed={seed} step={step} line={line}"
+        if op < 0.35:
+            assert cache.lookup(line) == ref.lookup(line), context
+        elif op < 0.45:
+            assert cache.lookup(line, update_lru=False) \
+                == ref.lookup(line, update_lru=False), context
+        elif op < 0.80:
+            assert cache.install(line) == ref.install(line), context
+        elif op < 0.92:
+            assert cache.invalidate(line) == ref.invalidate(line), context
+        elif op < 0.97:
+            set_index = line % cache.num_sets
+            for victim in list(ref.sets[set_index]):
+                assert cache.invalidate(victim) == ref.invalidate(victim), \
+                    context
+            assert cache.sizes[set_index] == 0
+        else:
+            cache.flush()
+            ref.flush()
+        assert cache_state(cache) == ref.state(), context
+        assert (cache.stats.hits, cache.stats.misses,
+                cache.stats.evictions) == (ref.hits, ref.misses,
+                                           ref.evictions), context
+        assert cache.contains(line) == (line in ref.sets[
+            line % cache.num_sets])
+    assert cache.occupancy == sum(len(s) for s in ref.sets)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_clustered_tlb_differential(seed):
+    rng = random.Random(seed)
+    tlb = ClusteredTlb(TlbParams(entries=16, ways=4), name="diff")
+    ref = RefClustered(tlb.num_sets, tlb.ways)
+    # A fixed vpn -> frame mapping (the page table): the structure's
+    # one-entry-per-page invariant assumes a page maps to one frame for
+    # the lifetime of its residency.
+    vpn_space = 256
+    mapping = {vpn: rng.randrange(1 << 16) for vpn in range(vpn_space)}
+
+    def neighbours_of(vpn: int):
+        cluster_base = vpn & ~(CLUSTER_PAGES - 1)
+        return [mapping.get(cluster_base + slot)
+                if rng.random() < 0.8 else None
+                for slot in range(CLUSTER_PAGES)]
+
+    for step in range(STEPS):
+        op = rng.random()
+        vpn = rng.randrange(vpn_space)
+        context = f"seed={seed} step={step} vpn={vpn}"
+        if op < 0.40:
+            assert tlb.lookup(vpn) == ref.lookup(vpn), context
+        elif op < 0.60:
+            frame = mapping[vpn]
+            tlb.fill(vpn, frame)
+            ref.fill(vpn, frame)
+        elif op < 0.80:
+            # Coalescing fill: both models see the same neighbour list
+            # (one rng draw, shared).
+            frame = mapping[vpn]
+            neighbours = neighbours_of(vpn)
+            tlb.fill(vpn, frame, neighbours)
+            ref.fill(vpn, frame, neighbours)
+        elif op < 0.92:
+            assert tlb.invalidate(vpn) == ref.invalidate(vpn), context
+        elif op < 0.97:
+            # Full-set invalidate, page by page.
+            set_index = (vpn >> 3) % tlb.num_sets
+            pages = [(vtag << 3) | slot
+                     for vtag, _ptag, slots in ref.sets[set_index]
+                     for slot in sorted(slots)]
+            for page in pages:
+                assert tlb.invalidate(page) == ref.invalidate(page), context
+            assert tlb.sizes[set_index] == 0
+        else:
+            tlb.flush()
+            ref.flush()
+        assert clustered_state(tlb) == ref.state(), context
+        assert (tlb.stats.hits, tlb.stats.misses) == (ref.hits, ref.misses)
+    assert tlb.occupancy == sum(len(s) for s in ref.sets)

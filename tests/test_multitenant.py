@@ -1,0 +1,317 @@
+"""Multi-tenant subsystem: parity, isolation, scheduling, Job plumbing.
+
+The acceptance anchor is golden-pinned single-tenant parity: a
+multi-tenant run with one process and no switching must produce
+byte-identical SimStats to the plain simulators for every scheme.  The
+goldens below are the same tuples test_fast_path.py pins against the
+pre-rewrite simulators, so the chain cold-path -> fast-path ->
+multi-tenant is closed end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import config as cfg
+from repro.runtime.job import NATIVE, PT_INVENTORY, Job
+from repro.schemes import SchemeSpec
+from repro.sim.multitenant import (
+    MultiTenantSpec,
+    round_robin_schedule,
+    run_native_mt,
+    run_virtualized_mt,
+    tenant_seed,
+)
+from repro.sim.runner import Scale, run_native, run_virtualized
+from repro.tlb.hierarchy import TlbHierarchy
+from repro.tlb.tlb import ASID_SHIFT, asid_bias
+from repro.workloads.suite import MT_MIXES, tenant_names
+
+FIELDS = ("accesses", "cycles", "base_cycles", "data_cycles",
+          "walk_cycles", "walks", "tlb_l1_hits", "tlb_l2_hits",
+          "prefetches_issued", "prefetches_useful", "prefetches_dropped")
+
+NSCALE = Scale(trace_length=6_000, warmup=1_000, seed=7)
+VSCALE = Scale(trace_length=4_000, warmup=800, seed=7)
+SMALL = Scale(trace_length=4_000, warmup=800, seed=7)
+
+#: The test_fast_path.py goldens for mc80 at the scales above — captured
+#: from the pre-array-rewrite simulators and re-pinned here through the
+#: multi-tenant path.
+GOLDEN_NATIVE_BASELINE = (5000, 1172312, 10000, 576554, 585758, 3610,
+                          168, 1222, 0, 0, 0)
+GOLDEN_VIRT_BASELINE = (3200, 984727, 6400, 389136, 589191, 2328,
+                        115, 757, 0, 0, 0)
+
+SINGLE = MultiTenantSpec(tenants=1, quantum=0)
+
+
+def fields_of(stats):
+    return tuple(int(getattr(stats, field)) for field in FIELDS)
+
+
+def signature(stats):
+    return (fields_of(stats), tuple(sorted(stats.scheme_stats.items())),
+            {str(level): dict(sorted(counts.items()))
+             for level, counts in stats.service._counts.items()})
+
+
+class TestSingleTenantParity:
+    """tenants=1, no switching == the single-tenant path, byte for byte."""
+
+    def test_native_baseline_matches_golden(self):
+        stats = run_native_mt("mc80", cfg.BASELINE, SINGLE, scale=NSCALE)
+        assert fields_of(stats) == GOLDEN_NATIVE_BASELINE
+        assert stats.scheme_stats == {}
+
+    def test_virtualized_baseline_matches_golden(self):
+        stats = run_virtualized_mt("mc80", cfg.BASELINE, SINGLE,
+                                   scale=VSCALE)
+        assert fields_of(stats) == GOLDEN_VIRT_BASELINE
+        assert stats.scheme_stats == {}
+
+    @pytest.mark.parametrize("config,scheme", [
+        (cfg.BASELINE, None),
+        (cfg.P1_P2, None),
+        (cfg.BASELINE, SchemeSpec.victima()),
+        (cfg.BASELINE, SchemeSpec.revelator()),
+    ], ids=["baseline", "asap", "victima", "revelator"])
+    def test_native_all_schemes(self, config, scheme):
+        single = run_native(("mc80"), config, scale=NSCALE, scheme=scheme)
+        multi = run_native_mt("mc80", config, SINGLE, scale=NSCALE,
+                              scheme=scheme)
+        assert signature(multi) == signature(single)
+
+    @pytest.mark.parametrize("config,scheme", [
+        (cfg.FULL_2D, None),
+        (cfg.BASELINE, SchemeSpec.victima()),
+        (cfg.BASELINE, SchemeSpec.revelator()),
+    ], ids=["asap-2d", "victima", "revelator"])
+    def test_virtualized_all_schemes(self, config, scheme):
+        single = run_virtualized("mc80", config, scale=VSCALE,
+                                 scheme=scheme)
+        multi = run_virtualized_mt("mc80", config, SINGLE, scale=VSCALE,
+                                   scheme=scheme)
+        assert signature(multi) == signature(single)
+
+
+class TestRoundRobinSchedule:
+    def test_quantum_zero_runs_each_tenant_to_completion(self):
+        assert round_robin_schedule([5, 3], 0) == [(0, 0, 5), (1, 0, 3)]
+
+    def test_round_robin_interleaves(self):
+        assert round_robin_schedule([5, 3], 2) == [
+            (0, 0, 2), (1, 0, 2), (0, 2, 4), (1, 2, 3), (0, 4, 5)]
+
+    def test_exhausted_tenants_drop_out(self):
+        schedule = round_robin_schedule([1, 6], 2)
+        assert schedule[0] == (0, 0, 1)
+        assert all(tenant == 1 for tenant, _, _ in schedule[1:])
+
+    def test_covers_every_record_exactly_once(self):
+        lengths = [7, 0, 13, 4]
+        seen = [set() for _ in lengths]
+        for tenant, start, stop in round_robin_schedule(lengths, 3):
+            assert start < stop
+            chunk = set(range(start, stop))
+            assert not (seen[tenant] & chunk)
+            seen[tenant] |= chunk
+        assert [len(s) for s in seen] == lengths
+
+
+class TestAsidIsolation:
+    def test_distinct_asids_never_alias_in_the_tlb(self):
+        tlbs = TlbHierarchy()
+        tlbs.fill(100 | asid_bias(1), 555)
+        assert tlbs.lookup(100) is None
+        assert tlbs.lookup(100 | asid_bias(2)) is None
+        assert tlbs.lookup(100 | asid_bias(1)) == 555
+
+    def test_asid_zero_is_the_identity(self):
+        assert asid_bias(0) == 0
+        assert (100 | asid_bias(0)) == 100
+
+    def test_bias_is_recoverable_from_the_key(self):
+        key = (123456 | asid_bias(3))
+        assert key >> ASID_SHIFT == 3
+
+    def test_negative_asid_rejected(self):
+        with pytest.raises(ValueError):
+            asid_bias(-1)
+
+
+class TestScheduler:
+    def test_deterministic(self):
+        mt = MultiTenantSpec(2, 500, "asid")
+        a = run_native_mt("mix-kv", cfg.BASELINE, mt, scale=SMALL)
+        b = run_native_mt("mix-kv", cfg.BASELINE, mt, scale=SMALL)
+        assert signature(a) == signature(b)
+
+    def test_switch_counters_published(self):
+        mt = MultiTenantSpec(2, 500, "flush")
+        stats = run_native_mt("mix-kv", cfg.BASELINE, mt, scale=SMALL)
+        assert stats.scheme_stats["mt_tenants"] == 2
+        assert stats.scheme_stats["mt_switches"] > 0
+        assert (stats.scheme_stats["mt_flushes"]
+                == stats.scheme_stats["mt_switches"])
+
+    def test_asid_retention_never_walks_more_than_flushing(self):
+        flush = run_native_mt("mix-kv", cfg.BASELINE,
+                              MultiTenantSpec(2, 250, "flush"), scale=SMALL)
+        asid = run_native_mt("mix-kv", cfg.BASELINE,
+                             MultiTenantSpec(2, 250, "asid"), scale=SMALL)
+        assert asid.walks <= flush.walks
+        assert asid.scheme_stats["mt_flushes"] == 0
+
+    def test_quantum_splitting_preserves_every_stat(self):
+        """A single tenant sliced into quanta (asid policy: nothing is
+        flushed) must aggregate to exactly the unsliced run — including
+        the TLB hit counters, which are measured as per-segment windows
+        of the *shared* cumulative counters (a fully-measured segment
+        must snapshot its baseline at segment start, not at zero)."""
+        scale = Scale(4_000, 0, 7)
+        whole = run_native_mt("mc80", cfg.BASELINE,
+                              MultiTenantSpec(1, 0), scale=scale)
+        sliced = run_native_mt("mc80", cfg.BASELINE,
+                               MultiTenantSpec(1, 500, "asid"), scale=scale)
+        assert fields_of(sliced) == fields_of(whole)
+
+    def test_total_accesses_split_across_tenants(self):
+        mt = MultiTenantSpec(2, 500, "flush")
+        stats = run_native_mt("mix-kv", cfg.BASELINE, mt,
+                              scale=Scale(4_000, 0, 7))
+        # Two tenants x (4000 // 2) records, no warmup: all measured.
+        assert stats.accesses == 4_000
+
+    def test_warmup_spans_the_interleaved_stream(self):
+        mt = MultiTenantSpec(2, 500, "asid")
+        stats = run_native_mt("mix-kv", cfg.BASELINE, mt,
+                              scale=Scale(4_000, 1_000, 7))
+        assert stats.accesses == 3_000
+
+    def test_asap_runs_per_tenant_prefetchers(self):
+        mt = MultiTenantSpec(2, 500, "asid")
+        stats = run_native_mt("mix-kv", cfg.P1_P2, mt, scale=SMALL)
+        assert stats.prefetches_issued > 0
+        assert stats.scheme_stats["prefetches_issued"] \
+            == stats.prefetches_issued
+
+    def test_victima_parks_across_tenants(self):
+        mt = MultiTenantSpec(2, 250, "asid")
+        stats = run_native_mt("mix-kv", cfg.BASELINE, mt, scale=SMALL,
+                              scheme=SchemeSpec.victima())
+        assert stats.scheme_stats["parked"] > 0
+
+    def test_virtualized_two_tenants(self):
+        mt = MultiTenantSpec(2, 500, "asid")
+        stats = run_virtualized_mt("mix-kv", cfg.BASELINE, mt,
+                                   scale=Scale(1_500, 300, 7))
+        assert stats.accesses == 1_200
+        assert stats.walks > 0
+
+
+class TestTenantNaming:
+    def test_mix_cycles(self):
+        assert tenant_names("mix-kv", 3) == ["mc80", "redis", "mc80"]
+
+    def test_plain_workload_replicates(self):
+        assert tenant_names("mcf", 2) == ["mcf", "mcf"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            tenant_names("nope", 2)
+
+    def test_mixes_reference_real_workloads(self):
+        from repro.workloads.suite import WORKLOADS
+        for members in MT_MIXES.values():
+            assert all(name in WORKLOADS for name in members)
+
+    def test_tenant_zero_keeps_the_seed(self):
+        assert tenant_seed(42, 0) == 42
+        assert tenant_seed(42, 1) != 42
+
+
+class TestSpecAndJob:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            MultiTenantSpec(tenants=0)
+        with pytest.raises(ValueError):
+            MultiTenantSpec(quantum=-1)
+        with pytest.raises(ValueError):
+            MultiTenantSpec(switch_policy="lazy")
+
+    def test_job_rejects_degenerate_single_tenant_spec(self):
+        with pytest.raises(ValueError, match="single-tenant"):
+            Job(kind=NATIVE, workload="mcf", scale=SMALL,
+                multi_tenant=MultiTenantSpec(1, 0))
+
+    def test_job_allows_single_tenant_with_switching(self):
+        job = Job(kind=NATIVE, workload="mcf", scale=SMALL,
+                  multi_tenant=MultiTenantSpec(1, 500))
+        assert "mt1q500-flush" in job.label()
+
+    def test_job_rejects_incompatible_knobs(self):
+        mt = MultiTenantSpec(2, 500)
+        for kwargs in (dict(colocated=True), dict(clustered_tlb=True),
+                       dict(infinite_tlb=True), dict(pt_levels=5)):
+            with pytest.raises(ValueError):
+                Job(kind=NATIVE, workload="mcf", scale=SMALL,
+                    multi_tenant=mt, **kwargs)
+        with pytest.raises(ValueError):
+            Job(kind=PT_INVENTORY, workload="mcf", scale=SMALL,
+                multi_tenant=mt)
+
+    def test_payload_and_hash_carry_the_spec(self):
+        base = Job(kind=NATIVE, workload="mix-kv", scale=SMALL,
+                   multi_tenant=MultiTenantSpec(2, 500, "asid"))
+        other = Job(kind=NATIVE, workload="mix-kv", scale=SMALL,
+                    multi_tenant=MultiTenantSpec(2, 500, "flush"))
+        assert base.payload()["multi_tenant"] == {
+            "tenants": 2, "quantum": 500, "policy": "asid"}
+        assert base.spec_hash() != other.spec_hash()
+
+    def test_single_tenant_jobs_have_null_payload_field(self):
+        job = Job(kind=NATIVE, workload="mcf", scale=SMALL)
+        assert job.payload()["multi_tenant"] is None
+
+    def test_execute_job_dispatches_to_the_mt_runner(self):
+        from repro.runtime.job import execute_job
+
+        mt = MultiTenantSpec(2, 500, "asid")
+        job = Job(kind=NATIVE, workload="mix-kv", scale=SMALL,
+                  multi_tenant=mt, collect_service=False)
+        direct = run_native_mt("mix-kv", cfg.BASELINE, mt, scale=SMALL,
+                               collect_service=False)
+        assert signature(execute_job(job)) == signature(direct)
+
+    def test_engine_parallel_identical_to_serial(self):
+        from repro.runtime.engine import Engine
+
+        jobs = [Job(kind=NATIVE, workload="mix-kv", scale=SMALL,
+                    multi_tenant=MultiTenantSpec(2, 500, policy),
+                    collect_service=False)
+                for policy in ("flush", "asid")]
+        serial = Engine(jobs=1).map(jobs)
+        parallel = Engine(jobs=2).map(jobs)
+        assert [signature(s) for s in serial] \
+            == [signature(s) for s in parallel]
+
+
+class TestSharedPhysicalMemory:
+    def test_tenants_share_one_buddy_but_not_frames(self):
+        """Two tenants on one physical memory never map the same frame."""
+        from repro.kernelsim.buddy import BuddyAllocator
+        from repro.kernelsim.phys import PhysicalMemory
+        from repro.workloads.suite import get
+
+        buddy = BuddyAllocator(PhysicalMemory(2 << 41), seed=1)
+        frames = []
+        for index, name in enumerate(("mc80", "redis")):
+            process = get(name).build_process(
+                seed=tenant_seed(1, index), buddy=buddy,
+                data_pool=f"data{index}", pt_pool=f"pt{index}")
+            trace = np.arange(64, dtype=np.int64) * 4096 \
+                + 0x5555_0000_0000
+            process.populate((trace >> 12).tolist())
+            frames.append({process.frame_of(int(vpn))
+                           for vpn in (trace >> 12).tolist()})
+        assert not (frames[0] & frames[1])

@@ -32,13 +32,21 @@ scheme counters) so a perf change that silently changes *behaviour* is
 visible in the same diff.  Timings exclude trace generation (the trace
 cache is pre-warmed) but include process/VM construction and
 population, like any real experiment cell.
+
+Each entry also records environment metadata (python version, platform,
+core count, git SHA) so the noisy-box trajectory stays interpretable,
+and native runs add a ``baseline-mt2`` row timing the multi-tenant
+scheduler path (two tenants, flush policy) so the new subsystem sits
+under the same perf gate as the scheme dispatch.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -47,6 +55,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.experiments.common import SCHEMES  # noqa: E402
+from repro.sim.multitenant import (  # noqa: E402
+    MultiTenantSpec,
+    run_native_mt,
+)
 from repro.sim.runner import (  # noqa: E402
     Scale,
     make_trace,
@@ -54,6 +66,27 @@ from repro.sim.runner import (  # noqa: E402
     run_virtualized,
 )
 from repro.workloads.suite import ALL_NAMES, get  # noqa: E402
+
+
+def environment_metadata() -> dict:
+    """Environment facts that make a noisy-box trajectory interpretable:
+    the same entry measured on a different interpreter, machine or
+    commit is comparable only with these recorded alongside it."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        sha = "unknown"
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "nproc": os.cpu_count(),
+        "git_sha": sha,
+    }
 
 
 def bench_one(name: str, workload: str, scale: Scale, virtualized: bool,
@@ -73,6 +106,42 @@ def bench_one(name: str, workload: str, scale: Scale, virtualized: bool,
     return {
         "scheme": name,
         "config": config.name,
+        "seconds": round(best, 3),
+        "walks": stats.walks,
+        "walk_cycles": stats.walk_cycles,
+        "translation_fraction": round(stats.walk_fraction, 4),
+        "avg_walk_latency": round(stats.avg_walk_latency, 1),
+        "scheme_stats": stats.scheme_stats,
+    }
+
+
+#: The multi-tenant perf-gate row: two tenants of the benchmark
+#: workload, full-flush switching, a quantum that scales with the trace
+#: so CI's reduced lengths see the same switches-per-record density.
+MT_ROW = "baseline-mt2"
+MT_TENANTS = 2
+MT_QUANTUM_DIVISOR = 8
+
+
+def bench_mt(workload: str, scale: Scale, repeats: int) -> dict:
+    """Time the multi-tenant scheduler path (baseline scheme)."""
+    mt = MultiTenantSpec(
+        tenants=MT_TENANTS,
+        quantum=max(1, scale.trace_length // MT_QUANTUM_DIVISOR),
+        switch_policy="flush",
+    )
+    best = None
+    stats = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        stats = run_native_mt(workload, mt=mt, scale=scale,
+                              collect_service=False)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    assert stats is not None and best is not None
+    return {
+        "scheme": MT_ROW,
+        "config": mt.label(),
         "seconds": round(best, 3),
         "walks": stats.walks,
         "walk_cycles": stats.walk_cycles,
@@ -193,16 +262,26 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{name:10s} {row['seconds']:7.3f}s  "
               f"walks={row['walks']}  "
               f"translation={100 * row['translation_fraction']:.1f}%")
+    if not args.virtualized:
+        # The multi-tenant scheduler row (native only: the 2D mt path is
+        # too slow for the CI gate's wall-clock budget).
+        row = bench_mt(args.workload, scale, args.repeats)
+        rows.append(row)
+        print(f"{row['scheme']:10s} {row['seconds']:7.3f}s  "
+              f"walks={row['walks']}  "
+              f"translation={100 * row['translation_fraction']:.1f}%")
 
     baseline = next(r for r in rows if r["scheme"] == "baseline")
     for row in rows:
         row["relative_to_baseline"] = round(
             row["seconds"] / baseline["seconds"], 3)
 
+    env = environment_metadata()
     entry = {
         "generated": time.strftime("%Y-%m-%d"),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        "python": env["python"],
+        "machine": env["machine"],
+        "env": env,
         "repeats": args.repeats,
         "results": rows,
     }
