@@ -17,6 +17,10 @@ Public API tour
   ``run_virtualized`` are the one-call entry points, and
   ``repro.sim.multitenant`` consolidates N tenants onto one machine
   (``run_native_mt`` / ``run_virtualized_mt``).
+* ``repro.traces`` — streaming traces: canonical chunked generation,
+  the on-disk format behind ``repro trace``, and the chunk-iterator
+  sources that carry 10M+-record runs through the simulators with
+  memory bounded by chunk size.
 * ``repro.runtime`` — parallel experiment runtime: hashable job specs,
   sweep engine, on-disk result cache and process fan-out.
 * ``repro.experiments`` — one module per reproduced table/figure.
@@ -60,6 +64,7 @@ from repro.sim.multitenant import (
 )
 from repro.sim.runner import Scale, run_native, run_virtualized
 from repro.sim.stats import SimStats
+from repro.traces import TraceRef, materialize_trace, open_trace
 from repro.workloads.suite import WORKLOADS
 
 __version__ = "1.0.0"
@@ -103,10 +108,13 @@ __all__ = [
     "Scale",
     "SchemeSpec",
     "SimStats",
+    "TraceRef",
     "VIRT_LADDER",
     "WORKLOADS",
     "__version__",
     "example_scale",
+    "materialize_trace",
+    "open_trace",
     "run_native",
     "run_native_mt",
     "run_virtualized",

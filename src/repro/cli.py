@@ -7,6 +7,8 @@ Commands
 * ``experiment NAME``          — regenerate one table/figure (e.g. fig8)
 * ``compare [--schemes ...]``  — race translation schemes head-to-head
 * ``mt``                       — multi-tenant consolidation sweep
+* ``scaling``                  — translation-fraction convergence vs scale
+* ``trace materialize|info|hash`` — on-disk streaming traces
 * ``sweep [--only NAME ...]``  — every experiment as one parallel batch
 * ``report [--fast]``          — regenerate everything, section by section
 * ``validate``                 — check the paper's qualitative shapes
@@ -164,6 +166,59 @@ def _cmd_mt(args) -> int:
     return 0
 
 
+def _cmd_scaling(args) -> int:
+    from repro.experiments import scaling
+    from repro.traces.store import read_ref
+
+    engine = _engine_from(args)
+    try:
+        if args.trace:
+            # No explicit --seed: the trace's own seed drives the OS
+            # substrate, so the replay matches the generated run the
+            # trace was materialised from.
+            table = scaling.run_for_trace(read_ref(args.trace), engine,
+                                          seed=args.seed)
+        else:
+            scale = Scale(trace_length=args.trace_length,
+                          warmup=args.trace_length // 5,
+                          seed=42 if args.seed is None else args.seed)
+            table = scaling.run(scale, engine)
+    except (ValueError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(table.render())
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.traces import store
+    from repro.workloads.suite import get as get_workload
+
+    try:
+        if args.trace_command == "materialize":
+            ref = store.materialize_trace(
+                get_workload(args.workload), args.records, args.seed,
+                args.out, force=args.force)
+            print(f"materialized {ref.records} records of {ref.workload} "
+                  f"(seed {ref.seed}) at {ref.path}")
+            print(f"  sha256: {ref.digest}")
+        elif args.trace_command == "info":
+            header, payload = store.open_trace(args.path)
+            for key in ("format_version", "workload", "records", "seed",
+                        "gen_chunk_records", "dtype", "sha256"):
+                print(f"  {key:18s} {header[key]}")
+            print(f"  {'payload_bytes':18s} {payload.nbytes}")
+        else:  # hash
+            ref = store.verify_trace(args.path)
+            print(f"ok: {ref.path} ({ref.records} records of "
+                  f"{ref.workload})")
+            print(f"  sha256: {ref.digest}")
+    except (ValueError, FileNotFoundError, FileExistsError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     import dataclasses
 
@@ -223,12 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--virtualized", action="store_true")
     run.add_argument("--colocated", action="store_true")
     run.add_argument("--large-host-pages", action="store_true")
-    run.add_argument("--trace-length", type=int, default=30_000)
+    run.add_argument("--trace-length", type=positive_int, default=30_000)
     run.add_argument("--seed", type=int, default=42)
 
     exp = sub.add_parser("experiment", help="regenerate one table/figure")
     exp.add_argument("name")
-    exp.add_argument("--trace-length", type=int, default=30_000)
+    exp.add_argument("--trace-length", type=positive_int, default=30_000)
     exp.add_argument("--seed", type=int, default=42)
     _add_engine_options(exp)
 
@@ -237,16 +292,48 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--schemes", default=None, metavar="LIST",
                       help="comma-separated roster (default: "
                            "baseline,asap,victima,revelator)")
-    comp.add_argument("--trace-length", type=int, default=30_000)
+    comp.add_argument("--trace-length", type=positive_int, default=30_000)
     comp.add_argument("--seed", type=int, default=42)
     _add_engine_options(comp)
 
     mt = sub.add_parser(
         "mt", help="multi-tenant consolidation sweep "
                    "(schemes x tenants x quantum x switch policy)")
-    mt.add_argument("--trace-length", type=int, default=30_000)
+    mt.add_argument("--trace-length", type=positive_int, default=30_000)
     mt.add_argument("--seed", type=int, default=42)
     _add_engine_options(mt)
+
+    scal = sub.add_parser(
+        "scaling", help="translation-fraction convergence vs trace scale "
+                        "(streamed 10M+-record runs)")
+    scal.add_argument("--trace", default=None, metavar="DIR",
+                      help="replay one materialized trace instead of the "
+                           "generated scale ladder")
+    scal.add_argument("--trace-length", type=positive_int, default=60_000,
+                      help="base of the x1/x~17/x~167 record ladder "
+                           "(default: 60000 -> 60k/1M/10M)")
+    scal.add_argument("--seed", type=int, default=None,
+                      help="seed for the generated ladder (default 42); "
+                           "with --trace, overrides the trace's own seed "
+                           "for the OS substrate (default: the trace's)")
+    _add_engine_options(scal)
+
+    trace = sub.add_parser(
+        "trace", help="materialize / inspect on-disk streaming traces")
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+    tmat = tsub.add_parser(
+        "materialize", help="generate a trace to disk, chunk by chunk")
+    tmat.add_argument("workload", choices=ALL_NAMES)
+    tmat.add_argument("--records", type=positive_int, required=True)
+    tmat.add_argument("--seed", type=int, default=42)
+    tmat.add_argument("--out", required=True, metavar="DIR")
+    tmat.add_argument("--force", action="store_true",
+                      help="overwrite an existing trace directory")
+    tinfo = tsub.add_parser("info", help="print a trace's header")
+    tinfo.add_argument("path")
+    thash = tsub.add_parser(
+        "hash", help="recompute the content digest and verify the header")
+    thash.add_argument("path")
 
     sweep = sub.add_parser(
         "sweep", help="run every experiment as one parallel batch")
@@ -256,7 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "e.g. --only fig8 --only table2")
     sweep.add_argument("--fast", action="store_true",
                        help="reduced scale (quick smoke pass)")
-    sweep.add_argument("--trace-length", type=int, default=None)
+    sweep.add_argument("--trace-length", type=positive_int, default=None)
     sweep.add_argument("--seed", type=int, default=42)
     _add_engine_options(sweep)
 
@@ -265,7 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_options(rep)
 
     val = sub.add_parser("validate", help="check paper-shape invariants")
-    val.add_argument("--trace-length", type=int, default=20_000)
+    val.add_argument("--trace-length", type=positive_int, default=20_000)
     val.add_argument("--seed", type=int, default=42)
     return parser
 
@@ -278,6 +365,8 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "compare": _cmd_compare,
         "mt": _cmd_mt,
+        "scaling": _cmd_scaling,
+        "trace": _cmd_trace,
         "sweep": _cmd_sweep,
         "report": _cmd_report,
         "validate": _cmd_validate,

@@ -33,6 +33,7 @@ from repro.experiments import (
     fig11,
     fig12,
     mt,
+    scaling,
     table1,
     table2,
     table6,
@@ -60,6 +61,7 @@ MODULES = (
     ("Ablations", ablations),
     ("Compare", compare),
     ("Multi-tenant", mt),
+    ("Scaling", scaling),
 )
 
 #: (name, callable) back-compat view of :data:`MODULES`.

@@ -30,11 +30,15 @@ from repro.params import DEFAULT_MACHINE
 from repro.schemes import SchemeSpec
 from repro.sim.multitenant import MultiTenantSpec
 from repro.sim.runner import Scale, run_native, run_virtualized
+from repro.traces.store import TraceRef
 
 #: Bump when the payload layout or the meaning of a field changes; old
 #: cache entries then miss instead of being misinterpreted.
 #: 3: multi_tenant joined the spec (ASID-tagged multi-process scenarios).
-SPEC_VERSION = 3
+#: 4: trace references joined the spec (on-disk traces, identified by
+#:    content digest) and streamed generation opened trace lengths past
+#:    one generation chunk.
+SPEC_VERSION = 4
 
 #: Scenario kinds understood by :func:`execute_job`.
 NATIVE = "native"
@@ -77,11 +81,19 @@ class Job:
     #: default — is the single-tenant path; with it set, ``workload``
     #: may also name an ``MT_MIXES`` mix.
     multi_tenant: MultiTenantSpec | None = None
+    #: Materialised on-disk trace to replay (`repro.traces`) instead of
+    #: generating the addresses from the workload spec.  Cache identity
+    #: is the trace's *content digest* plus record count — never the
+    #: path — so results stay sound wherever the file lives, and a
+    #: rewritten payload can never serve a stale cached result
+    #: (``execute_job`` re-checks the digest at open time).
+    trace: TraceRef | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(f"unknown job kind {self.kind!r}; "
                              f"one of {KINDS}")
+        self._validate_workload()
         if self.scheme is None:
             object.__setattr__(self, "scheme",
                                SchemeSpec.for_config(self.config))
@@ -143,6 +155,40 @@ class Job:
                     "multi_tenant does not compose with colocated/"
                     "clustered/infinite TLBs, hole_rate or non-4-level "
                     "page tables")
+        if self.trace is not None:
+            if self.kind not in (NATIVE, VIRTUALIZED):
+                raise ValueError(
+                    f"trace references apply to {NATIVE}/{VIRTUALIZED} "
+                    f"jobs only, not {self.kind}")
+            if self.multi_tenant is not None:
+                raise ValueError(
+                    "trace references do not compose with multi_tenant "
+                    "(each tenant generates its own per-seed trace)")
+            if self.trace.records != self.scale.trace_length:
+                raise ValueError(
+                    f"trace holds {self.trace.records} records but the "
+                    f"scale asks for {self.scale.trace_length}")
+            if self.trace.workload != self.workload:
+                raise ValueError(
+                    f"trace was materialised from {self.trace.workload!r} "
+                    f"but the job runs {self.workload!r}; the replayed "
+                    f"addresses must match the process's VMA layout")
+
+    def _validate_workload(self) -> None:
+        """Reject unknown workload names at spec time with the full
+        choice list, not as a KeyError from deep inside a worker."""
+        from repro.workloads.suite import MT_MIXES, WORKLOADS
+
+        known = set(WORKLOADS)
+        if self.multi_tenant is not None:
+            known |= set(MT_MIXES)
+            extra = " or multi-tenant mix"
+        else:
+            extra = ""
+        if self.workload not in known:
+            raise ValueError(
+                f"unknown workload{extra} {self.workload!r}; "
+                f"one of {sorted(known)}")
 
     # ------------------------------------------------------------------
     def payload(self) -> dict[str, Any]:
@@ -170,6 +216,9 @@ class Job:
             "collect_service": self.collect_service,
             "multi_tenant": (None if self.multi_tenant is None
                              else self.multi_tenant.payload()),
+            "trace": (None if self.trace is None
+                      else {"digest": self.trace.digest,
+                            "records": self.trace.records}),
         }
 
     def spec_hash(self) -> str:
@@ -193,6 +242,8 @@ class Job:
             (self.hole_rate != 0.0, f"holes={self.hole_rate:g}"),
             (self.multi_tenant is not None,
              self.multi_tenant.label() if self.multi_tenant else ""),
+            (self.trace is not None,
+             f"trace={self.trace.digest[:8]}" if self.trace else ""),
         ):
             if flag:
                 parts.append(text)
@@ -220,6 +271,25 @@ def _pt_inventory(job: Job) -> dict[str, int]:
     }
 
 
+def _open_trace_source(ref: TraceRef):
+    """Memory-map a referenced trace, re-checking its identity.
+
+    The header digest must equal the reference's: a payload rewritten
+    since the reference was taken would otherwise run (and cache) under
+    the old content hash.
+    """
+    from repro.traces.source import ArraySource
+    from repro.traces.store import open_trace
+
+    header, payload = open_trace(ref.path)
+    if header["sha256"] != ref.digest:
+        raise ValueError(
+            f"trace {ref.path} content changed since it was referenced "
+            f"(header digest {header['sha256'][:12]}..., job expects "
+            f"{ref.digest[:12]}...)")
+    return ArraySource(payload)
+
+
 def execute_job(job: Job) -> Any:
     """Run one job to completion — a pure function of the spec."""
     if job.kind == PT_INVENTORY:
@@ -227,6 +297,8 @@ def execute_job(job: Job) -> Any:
     machine = DEFAULT_MACHINE
     if job.pwc_scale != 1:
         machine = machine.with_pwc_scale(job.pwc_scale)
+    trace_source = (None if job.trace is None
+                    else _open_trace_source(job.trace))
     if job.multi_tenant is not None:
         from repro.sim.multitenant import run_native_mt, run_virtualized_mt
 
@@ -263,6 +335,7 @@ def execute_job(job: Job) -> Any:
             collect_service=job.collect_service,
             hole_rate=job.hole_rate,
             scheme=job.scheme,
+            trace_source=trace_source,
         )
     return run_virtualized(
         job.workload,
@@ -274,4 +347,5 @@ def execute_job(job: Job) -> Any:
         scale=job.scale,
         collect_service=job.collect_service,
         scheme=job.scheme,
+        trace_source=trace_source,
     )

@@ -56,6 +56,7 @@ from repro.sim.stats import SimStats
 from repro.sim.virt import VirtualizedSimulation
 from repro.tlb.hierarchy import TlbHierarchy
 from repro.tlb.tlb import ASID_SHIFT
+from repro.traces.source import as_trace_source
 from repro.workloads.suite import get as get_workload
 from repro.workloads.suite import tenant_names
 
@@ -198,8 +199,15 @@ def _install_evict_dispatcher(tlbs, evict_hooks) -> None:
 
 def _drive(sims, traces, evict_hooks, mt: MultiTenantSpec, warmup: int,
            collect_service: bool) -> SimStats:
-    """Interleave the tenants' traces and aggregate their statistics."""
-    lengths = [len(trace) for trace in traces]
+    """Interleave the tenants' traces and aggregate their statistics.
+
+    ``traces`` may be ndarrays or chunk-streaming TraceSources; each
+    quantum hands the active tenant's simulator one ``section`` of its
+    source, so a streamed (10M+-record) tenant trace never materialises
+    beyond one execution chunk.
+    """
+    sources = [as_trace_source(trace) for trace in traces]
+    lengths = [source.records for source in sources]
     schedule = round_robin_schedule(lengths, mt.quantum)
     hierarchy = sims[0].hierarchy
     tlbs = sims[0].tlbs
@@ -228,7 +236,7 @@ def _drive(sims, traces, evict_hooks, mt: MultiTenantSpec, warmup: int,
                     flushes += 1
         segment_warmup = min(max(warmup - consumed, 0), stop - start)
         seg = sims[tenant].run(
-            traces[tenant][start:stop],
+            sources[tenant].section(start, stop),
             warmup=segment_warmup,
             populate=False,
             collect_service=collect_service,

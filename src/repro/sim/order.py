@@ -1,6 +1,14 @@
-"""First-touch ordering models for demand paging."""
+"""First-touch ordering models for demand paging.
+
+Both entry points produce the same orders; the streaming variant folds
+the trace one chunk at a time so population of a 10M-record streamed
+trace needs memory proportional to the *touched page count* (inherent
+state — the page table holds it anyway), never the trace length.
+"""
 
 from __future__ import annotations
+
+from typing import Iterable
 
 import numpy as np
 
@@ -13,14 +21,49 @@ def first_touch_order(vpns: np.ndarray, order: str) -> np.ndarray:
     chunk (slab/arena allocators).
     "demand": pure first-touch (request) order.
     """
+    return streaming_first_touch_order((vpns,), order)
+
+
+def streaming_first_touch_order(
+    chunks: Iterable[np.ndarray], order: str
+) -> np.ndarray:
+    """:func:`first_touch_order` over a chunk iterator.
+
+    Identical output for identical records whatever the chunking — the
+    per-chunk folds only ever keep first occurrences, and first
+    occurrence across a concatenation is first occurrence in the first
+    chunk that holds one.
+    """
     if order == "sequential":
-        return np.unique(vpns)
-    _, first_index = np.unique(vpns, return_index=True)
-    demand = vpns[np.sort(first_index)]
+        unique: np.ndarray | None = None
+        for chunk in chunks:
+            piece = np.unique(chunk)
+            unique = piece if unique is None else np.unique(
+                np.concatenate([unique, piece]))
+        if unique is None:
+            return np.empty(0, dtype=np.int64)
+        return unique
+    if order not in ("demand", "chunked"):
+        raise ValueError(f"unknown init order {order!r}")
+    seen: set[int] = set()
+    pieces: list[np.ndarray] = []
+    for chunk in chunks:
+        _, first_index = np.unique(chunk, return_index=True)
+        chunk_demand = chunk[np.sort(first_index)]
+        fresh = [vpn for vpn in chunk_demand.tolist() if vpn not in seen]
+        if fresh:
+            seen.update(fresh)
+            pieces.append(np.asarray(fresh, dtype=np.int64))
+    demand = (np.concatenate(pieces) if pieces
+              else np.empty(0, dtype=np.int64))
     if order == "demand":
         return demand
-    if order != "chunked":
-        raise ValueError(f"unknown init order {order!r}")
+    return _chunk_regroup(demand)
+
+
+def _chunk_regroup(demand: np.ndarray) -> np.ndarray:
+    """The "chunked" model: 256-page chunks in first-touch order, VA
+    order inside each chunk."""
     chunks = demand >> 8
     _, chunk_first = np.unique(chunks, return_index=True)
     pieces = []

@@ -29,6 +29,8 @@ from repro.schemes import SchemeSpec
 from repro.sim.simulator import NativeSimulation
 from repro.sim.stats import SimStats
 from repro.sim.virt import VirtualizedSimulation
+from repro.traces.source import GeneratedSource, TraceSource
+from repro.traces.stream import GEN_CHUNK_RECORDS
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.corunner import Corunner
 from repro.workloads.suite import get as get_workload
@@ -43,11 +45,27 @@ class Scale:
     The default is sized for interactive experimentation; EXPERIMENTS.md
     runs use a larger scale.  ``warmup`` records warm the TLBs/caches/PWCs
     before measurement starts (steady-state methodology, §4).
+
+    Degenerate geometries are rejected up front: a zero-length trace
+    would silently produce all-zero statistics, and ``warmup >=
+    trace_length`` would leave the measured window empty — every
+    fraction/ratio then reads 0.0 and looks like a (nonsense) result.
     """
 
     trace_length: int = 60_000
     warmup: int = 10_000
     seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.trace_length < 1:
+            raise ValueError(
+                f"trace_length must be >= 1, got {self.trace_length}")
+        if self.warmup < 0:
+            raise ValueError(f"warmup cannot be negative ({self.warmup})")
+        if self.warmup >= self.trace_length:
+            raise ValueError(
+                f"warmup ({self.warmup}) must be smaller than the trace "
+                f"length ({self.trace_length}); nothing would be measured")
 
     def smaller(self, factor: int) -> "Scale":
         return Scale(
@@ -64,8 +82,26 @@ BENCH_SCALE = Scale(trace_length=14_000, warmup=3_000, seed=42)
 
 _TRACE_CACHE: dict[tuple[str, int, int], np.ndarray] = {}
 
+#: Traces longer than this stream through the simulators as generated
+#: chunks (`repro.traces`) instead of materialising one ndarray; at the
+#: generation-chunk size the streamed content is identical to the
+#: monolithic ``generate_trace`` output for everything at or below the
+#: threshold, so every historical scale keeps its exact addresses.
+STREAM_RECORDS = GEN_CHUNK_RECORDS
 
-def make_trace(spec: WorkloadSpec, scale: Scale) -> np.ndarray:
+#: Execution-chunk size for streamed traces; ``None`` consumes whole
+#: generation chunks.  The golden-parity suite lowers both knobs to
+#: drive every scenario through the streaming path at test scales.
+STREAM_CHUNK_RECORDS: int | None = None
+
+
+def make_trace(spec: WorkloadSpec, scale: Scale):
+    """The trace for ``(spec, scale)``: one cached ndarray at
+    interactive scales, a chunk-streaming ``GeneratedSource`` beyond
+    :data:`STREAM_RECORDS` (memory stays bounded by the chunk size)."""
+    if scale.trace_length > STREAM_RECORDS:
+        return GeneratedSource(spec, scale.trace_length, scale.seed,
+                               chunk_records=STREAM_CHUNK_RECORDS)
     key = (spec.name, scale.trace_length, scale.seed)
     trace = _TRACE_CACHE.get(key)
     if trace is None:
@@ -92,6 +128,19 @@ def _corunner(scale: Scale) -> Corunner:
     return Corunner(seed=scale.seed + 99, intensity=CORUNNER_INTENSITY)
 
 
+def _trace_for(spec: WorkloadSpec, scale: Scale,
+               trace_source: TraceSource | None):
+    """The trace a scenario replays: the explicit source if given
+    (geometry-checked), else the generated one."""
+    if trace_source is None:
+        return make_trace(spec, scale)
+    if trace_source.records != scale.trace_length:
+        raise ValueError(
+            f"trace source holds {trace_source.records} records but the "
+            f"scale asks for {scale.trace_length}")
+    return trace_source
+
+
 # ----------------------------------------------------------------------
 # native scenarios
 # ----------------------------------------------------------------------
@@ -107,6 +156,7 @@ def run_native(
     collect_service: bool = True,
     hole_rate: float = 0.0,
     scheme: SchemeSpec | None = None,
+    trace_source: TraceSource | None = None,
 ) -> SimStats:
     """Run one native scenario and return its statistics.
 
@@ -114,9 +164,13 @@ def run_native(
     placement fails with this probability, so the affected walks lose
     acceleration but stay correct.  It must be set before population, so
     it is a runner knob rather than a post-hoc mutation.
+
+    ``trace_source`` replays an explicit trace (e.g. a materialised
+    ``repro trace`` file) instead of generating one from the spec; its
+    record count must match ``scale.trace_length``.
     """
     spec = _resolve(workload)
-    trace = make_trace(spec, scale)
+    trace = _trace_for(spec, scale, trace_source)
     process = spec.build_process(
         asap_levels=config.native_levels,
         seed=scale.seed,
@@ -192,10 +246,15 @@ def run_virtualized(
     scale: Scale = Scale(),
     collect_service: bool = True,
     scheme: SchemeSpec | None = None,
+    trace_source: TraceSource | None = None,
 ) -> SimStats:
-    """Run one virtualized scenario and return its statistics."""
+    """Run one virtualized scenario and return its statistics.
+
+    ``trace_source`` replays an explicit trace, as in
+    :func:`run_native`.
+    """
     spec = _resolve(workload)
-    trace = make_trace(spec, scale)
+    trace = _trace_for(spec, scale, trace_source)
     vm = build_vm(spec, config, scale, host_page_level=host_page_level)
     simulation = VirtualizedSimulation(
         vm,

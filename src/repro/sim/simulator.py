@@ -39,8 +39,9 @@ from repro.pagetable.pwc import SplitPwc
 from repro.pagetable.walker import PWC_LABEL, PageWalker, WalkOutcome
 from repro.params import DEFAULT_MACHINE, MachineParams
 from repro.schemes import SchemeSpec, build_scheme
-from repro.sim.order import first_touch_order
+from repro.sim.order import streaming_first_touch_order
 from repro.sim.stats import SimStats
+from repro.traces.source import iter_trace_chunks
 from repro.tlb.hierarchy import TlbHierarchy
 from repro.tlb.tlb import EMPTY, asid_bias
 from repro.workloads.corunner import Corunner
@@ -189,15 +190,20 @@ class NativeSimulation:
         self.scheme.on_translation_flush()
 
     # ------------------------------------------------------------------
-    def populate(self, trace: np.ndarray, order: str = "sequential") -> int:
+    def populate(self, trace, order: str = "sequential") -> int:
         """Pre-fault every page of the trace in first-touch order.
+
+        ``trace`` is an ndarray or a :class:`~repro.traces.source.
+        TraceSource`; the ordering folds it one execution chunk at a
+        time, so populating a streamed trace needs memory proportional
+        to the touched page count, not the trace length.
 
         In infinite-TLB mode (Table 6's "execution without TLB misses",
         the analog of the paper's libhugetlbfs trick) the translations are
         pre-installed too, so the measured run has no walks at all.
         """
-        vpns = trace >> 12
-        ordered = first_touch_order(vpns, order)
+        ordered = streaming_first_touch_order(
+            (chunk >> 12 for chunk in iter_trace_chunks(trace)), order)
         faults = self.process.populate(ordered.tolist())
         if self.tlbs.infinite:
             for vpn in ordered.tolist():
@@ -213,22 +219,31 @@ class NativeSimulation:
         warmup: int,
         collect_service: bool,
         stats: SimStats,
-    ) -> None:
+        carry: tuple,
+    ) -> tuple:
         """The fully inlined record loop for the plain-pipeline case.
 
         Preconditions (checked by :meth:`run` before dispatching here):
         no scheme hooks, no L2-TLB evict hook, no co-runner, plain
         (non-clustered, finite) TLBs, a three-level PWC (4-level page
-        table) and a trace without same-block repeats.  That is exactly
+        table) and a chunk without same-block repeats.  That is exactly
         the baseline-radix configuration every figure sweep runs most,
         so this path pays for no generality at all: the L1 TLB probe,
         L2 S-TLB probe, PWC probe/insert, TLB fills and the MRU case of
         the cache access run inline on the flat arrays, and every shared
         counter is accumulated locally and flushed once at the end.
 
+        ``addresses``/``warmup`` are chunk-local (the caller has already
+        subtracted the global offset); ``carry`` is the run-wide loop
+        state ``(now, measuring, acc, data_c, walk_c, walk_count,
+        tlb_l1_base, tlb_l2_base)`` threaded through chunk after chunk
+        and returned updated, so a chunk seam is invisible to the clock,
+        the warmup baselines and every accumulator.
+
         It must remain *byte-equivalent* to the general loop in
         :meth:`run` — same stats, same final structure state.  The
-        golden-parity suite (tests/test_fast_path.py) pins both paths.
+        golden-parity suites (tests/test_fast_path.py,
+        tests/test_traces.py) pin both paths and every chunking.
         """
         tlbs = self.tlbs
         l1t = tlbs.l1
@@ -282,16 +297,13 @@ class NativeSimulation:
         walker_walks = walker.walks
         walker_cycles = walker.total_latency
         c1_mru = 0
-        acc = data_c = walk_c = walk_count = 0
-        now = 0
-        measuring = warmup == 0
-        # Measurement baselines snapshot the *current* counters, not
-        # zero: on shared (multi-tenant) structures a later segment
-        # starts with non-zero cumulative hits, and the measured window
-        # must cover only this run.  Fresh structures start at zero, so
-        # single-tenant results are unchanged.
-        tlb_l1_base = l1h if measuring else 0
-        tlb_l2_base = l2h if measuring else 0
+        # Run-wide loop state, carried across chunks (see docstring).
+        # The measurement baselines were snapshotted by :meth:`run` at
+        # run start (current shared counters, not zero — a multi-tenant
+        # segment must measure only its window) or at the warmup
+        # boundary, whichever came last.
+        (now, measuring, acc, data_c, walk_c, walk_count,
+         tlb_l1_base, tlb_l2_base) = carry
 
         for index, va in enumerate(addresses):
             if not measuring and index >= warmup:
@@ -643,19 +655,13 @@ class NativeSimulation:
         walker.total_latency = walker_cycles
         c1_stats.hits += c1_mru
         served["L1"] += c1_mru
-        stats.accesses = acc
-        stats.base_cycles = acc * base_cycles
-        stats.data_cycles = data_c
-        stats.walk_cycles = walk_c
-        stats.walks = walk_count
-        stats.cycles = acc * base_cycles + data_c + walk_c
-        stats.tlb_l1_hits = l1h - tlb_l1_base
-        stats.tlb_l2_hits = l2h - tlb_l2_base
+        return (now, measuring, acc, data_c, walk_c, walk_count,
+                tlb_l1_base, tlb_l2_base)
 
     # ------------------------------------------------------------------
     def run(
         self,
-        trace: np.ndarray,
+        trace,
         warmup: int = 0,
         populate: bool = True,
         collect_service: bool = True,
@@ -663,19 +669,32 @@ class NativeSimulation:
     ) -> SimStats:
         """Simulate the trace; statistics cover post-warmup records only.
 
-        The trace is consumed as *runs* of records sharing one cache-line
-        block (``va >> 6``), detected up front with one vectorized pass.
-        A run's first record goes through the full scalar pipeline; its
-        repeats are guaranteed L1-TLB + L1-D hits (the first record left
-        both at MRU and nothing else touches them mid-run), so they are
-        costed in bulk — counter increments and ``count * (base + L1)``
-        cycles — with byte-identical statistics.  Any record that can
-        observe or change more state than that takes the scalar path: the
-        first record of every run (and with it every TLB miss, scheme
-        hook and fill), every record of a co-runner simulation (the
-        co-runner perturbs the shared caches between records), and the
-        warmup boundary (a bulk segment is split so the hit counters are
-        snapshotted at exactly the record where measurement starts).
+        ``trace`` is one ndarray (the historical monolithic case — a
+        single execution chunk) or a
+        :class:`~repro.traces.source.TraceSource` streaming execution
+        chunks; peak memory follows the chunk size, never the record
+        count.  All loop state — the clock, warmup baselines, statistics
+        accumulators and the run-detection seam — carries across chunks
+        inside this one call, so SimStats are byte-identical for every
+        chunking of the same records (pinned by tests/test_traces.py).
+
+        Each chunk is consumed as *runs* of records sharing one
+        cache-line block (``va >> 6``), detected with one vectorized
+        pass.  A run's first record goes through the full scalar
+        pipeline; its repeats are guaranteed L1-TLB + L1-D hits (the
+        first record left both at MRU and nothing else touches them
+        mid-run), so they are costed in bulk — counter increments and
+        ``count * (base + L1)`` cycles — with byte-identical statistics.
+        A run that straddles a chunk seam is stitched the same way: the
+        continuation records at the next chunk's head are bulk-costed
+        against the carried vpn, exactly as if the seam were not there.
+        Any record that can observe or change more state takes the
+        scalar path: the first record of every run (and with it every
+        TLB miss, scheme hook and fill), every record of a co-runner
+        simulation (the co-runner perturbs the shared caches between
+        records), and the warmup boundary (a bulk segment is split so
+        the hit counters are snapshotted at exactly the record where
+        measurement starts).
 
         Per-page walk state (step lines/levels, PWC tags, leaf geometry,
         cluster neighbours) is flattened once into ``flat_paths`` on the
@@ -719,8 +738,8 @@ class NativeSimulation:
 
         now = 0
         measuring = warmup == 0
-        # See _fast_native_sweep: baselines snapshot the current shared
-        # counters so a mid-sequence segment measures only its window.
+        # Baselines snapshot the current shared counters so a
+        # mid-sequence segment measures only its window.
         tlb_l1_base = tlbs.l1_hits if measuring else 0
         tlb_l2_base = tlbs.l2_hits if measuring else 0
         #: Local accumulators for the per-record statistics; flushed into
@@ -728,14 +747,19 @@ class NativeSimulation:
         #: every measured record contributes exactly ``base_cycles`` and
         #: its translation stall is exactly what walk_cycles collects).
         acc = data_c = walk_c = walk_count = 0
-        addresses = trace.tolist()
+        #: Chunk cursor: ``addresses`` is rebound per execution chunk and
+        #: ``chunk_base`` is the chunk's global record index, so the closures
+        #: below always see the current chunk through the same cells.
+        addresses: list[int] = []
+        chunk_base = 0
 
         def handle(index: int) -> int:
-            """One record through the scalar pipeline; returns its vpn."""
+            """One record (chunk-local ``index``) through the scalar
+            pipeline; returns its vpn."""
             nonlocal now, measuring, tlb_l1_base, tlb_l2_base
             nonlocal acc, data_c, walk_c, walk_count
             va = addresses[index]
-            if not measuring and index >= warmup:
+            if not measuring and chunk_base + index >= warmup:
                 measuring = True
                 tlb_l1_base = tlbs.l1_hits
                 tlb_l2_base = tlbs.l2_hits
@@ -809,13 +833,14 @@ class NativeSimulation:
         def bulk(vpn, first_index, repeats):
             """Cost a run's repeat records (guaranteed L1-TLB/L1-D hits).
 
-            Unmeasured repeats advance state but not statistics; if the
-            warmup boundary lands inside the run, the hit counters are
-            snapshotted exactly there, like the scalar loop would.
+            ``first_index`` is chunk-local.  Unmeasured repeats advance
+            state but not statistics; if the warmup boundary lands
+            inside the run, the hit counters are snapshotted exactly
+            there, like the scalar loop would.
             """
             nonlocal now, measuring, tlb_l1_base, tlb_l2_base, acc, data_c
             if not measuring:
-                pre = warmup - first_index
+                pre = warmup - chunk_base - first_index
                 if pre >= repeats:
                     bulk_tlb(vpn, repeats)
                     bulk_l1(repeats)
@@ -835,36 +860,72 @@ class NativeSimulation:
             acc += repeats
             data_c += l1_latency * repeats
 
-        n_records = len(addresses)
-        run_starts, run_counts = detect_runs(trace, n_records)
         bulk_ok = corunner is None
         bulk_tlb = tlbs.bulk_hits
         bulk_l1 = hierarchy.bulk_l1_hits
+        #: Static fast-sweep preconditions (per-chunk dispatch adds only
+        #: the no-repeats check); see _fast_native_sweep's docstring.
+        fast_ok = (bulk_ok and probe is None and walk_start is None
+                   and walk_end is None and fill_hook is None
+                   and tlbs.l2_evict_hook is None
+                   and not tlbs.infinite and not clustered
+                   and len(self.pwc.view) == 3)
+        #: Run-detection seam state: the cache-line block and (biased)
+        #: vpn of the previous chunk's last record.  A chunk whose first
+        #: record shares that block continues the carried run, and its
+        #: head records are repeats — bulk-costed exactly as the
+        #: monolithic loop would have costed them.
+        prev_block = -1
+        prev_vpn = 0
         # The loop allocates only short-lived tuples and the per-page
         # flat paths; pausing the cyclic collector for its duration saves
         # pointless generation-0 scans (restored even on error).
         gc_was_enabled = gc.isenabled()
         gc.disable()
         try:
-            if (bulk_ok and len(run_starts) == n_records
-                    and probe is None and walk_start is None
-                    and walk_end is None and fill_hook is None
-                    and tlbs.l2_evict_hook is None
-                    and not tlbs.infinite and not clustered
-                    and len(self.pwc.view) == 3):
-                # The plain-pipeline case: hand the whole trace to the
-                # fully inlined sweep (byte-equivalent; see its docstring).
-                self._fast_native_sweep(addresses, warmup, collect_service,
-                                        stats)
-                scheme.finalize(stats)
-                return stats
-            if bulk_ok and len(run_starts) == n_records:
-                # No same-block repeats anywhere: plain scalar sweep.
-                for index in range(n_records):
-                    handle(index)
-            else:
-                drive_batched(run_starts, run_counts, handle, bulk,
-                              scalar_only=not bulk_ok)
+            for chunk in iter_trace_chunks(trace):
+                n_records = len(chunk)
+                if not n_records:
+                    continue
+                addresses = chunk.tolist()
+                run_starts, run_counts = detect_runs(chunk, n_records)
+                lead = 0
+                if prev_block == addresses[0] >> 6:
+                    lead = run_counts[0]
+                    run_starts = run_starts[1:]
+                    run_counts = run_counts[1:]
+                    if bulk_ok:
+                        bulk(prev_vpn, 0, lead)
+                    else:
+                        # Co-runner present: repeats replay through the
+                        # scalar pipeline, seam or no seam.
+                        for index in range(lead):
+                            handle(index)
+                prev_block = addresses[-1] >> 6
+                prev_vpn = (addresses[-1] >> 12) | vbias
+                if not run_starts:
+                    chunk_base += n_records
+                    continue
+                if fast_ok and len(run_starts) == n_records - lead:
+                    # The plain-pipeline case: hand the chunk's remaining
+                    # records to the fully inlined sweep
+                    # (byte-equivalent; see its docstring).
+                    local = addresses[lead:] if lead else addresses
+                    local_warmup = min(max(warmup - chunk_base - lead, 0),
+                                       len(local))
+                    (now, measuring, acc, data_c, walk_c, walk_count,
+                     tlb_l1_base, tlb_l2_base) = self._fast_native_sweep(
+                        local, local_warmup, collect_service, stats,
+                        (now, measuring, acc, data_c, walk_c, walk_count,
+                         tlb_l1_base, tlb_l2_base))
+                elif bulk_ok and len(run_starts) == n_records - lead:
+                    # No same-block repeats in the chunk: scalar sweep.
+                    for index in range(lead, n_records):
+                        handle(index)
+                else:
+                    drive_batched(run_starts, run_counts, handle, bulk,
+                                  scalar_only=not bulk_ok)
+                chunk_base += n_records
         finally:
             if gc_was_enabled:
                 gc.enable()

@@ -17,8 +17,6 @@ from __future__ import annotations
 
 import gc
 
-import numpy as np
-
 from repro.core.config import AsapConfig, BASELINE
 from repro.core.prefetcher import AsapPrefetcher
 from repro.core.range_registers import VmaDescriptor
@@ -28,9 +26,10 @@ from repro.pagetable.nested import NestedPageWalker
 from repro.pagetable.pwc import SplitPwc
 from repro.params import DEFAULT_MACHINE, MachineParams
 from repro.schemes import SchemeSpec, build_scheme
-from repro.sim.order import first_touch_order
+from repro.sim.order import streaming_first_touch_order
 from repro.sim.simulator import detect_runs, drive_batched
 from repro.sim.stats import SimStats
+from repro.traces.source import iter_trace_chunks
 from repro.tlb.hierarchy import TlbHierarchy
 from repro.tlb.tlb import asid_bias
 from repro.workloads.corunner import Corunner
@@ -136,11 +135,13 @@ class VirtualizedSimulation:
         self.scheme.on_translation_flush()
 
     # ------------------------------------------------------------------
-    def populate(self, trace: np.ndarray, order: str = "sequential") -> int:
+    def populate(self, trace, order: str = "sequential") -> int:
         """Pre-fault guest pages (and their host backing); in infinite-TLB
-        mode the gVA -> host-frame translations are pre-installed too."""
-        vpns = trace >> 12
-        ordered = first_touch_order(vpns, order)
+        mode the gVA -> host-frame translations are pre-installed too.
+        Accepts an ndarray or a chunk-streaming TraceSource (see the
+        native simulator)."""
+        ordered = streaming_first_touch_order(
+            (chunk >> 12 for chunk in iter_trace_chunks(trace)), order)
         faults = 0
         for vpn in ordered.tolist():
             if self.vm.touch(int(vpn) << 12).faulted:
@@ -154,7 +155,7 @@ class VirtualizedSimulation:
     # ------------------------------------------------------------------
     def run(
         self,
-        trace: np.ndarray,
+        trace,
         warmup: int = 0,
         populate: bool = True,
         collect_service: bool = True,
@@ -162,10 +163,14 @@ class VirtualizedSimulation:
     ) -> SimStats:
         """Simulate the trace; statistics cover post-warmup records only.
 
-        Same batched front-end as the native simulator (see
-        :meth:`repro.sim.simulator.NativeSimulation.run`): same-block
-        repeats of a record are guaranteed L1-TLB + L1-D hits and are
-        costed in bulk; the scalar pipeline handles runs' first records,
+        Same batched, chunk-streaming front-end as the native simulator
+        (see :meth:`repro.sim.simulator.NativeSimulation.run`):
+        ``trace`` is one ndarray or a TraceSource of execution chunks;
+        the clock, warmup baselines, accumulators and run-detection seam
+        carry across chunks, so every chunking of the same records is
+        byte-identical.  Same-block repeats of a record are guaranteed
+        L1-TLB + L1-D hits and are costed in bulk (including seam
+        continuations); the scalar pipeline handles runs' first records,
         every co-runner record and the warmup boundary.  Nested walk
         paths are cached per vpn — the guest and host page tables cannot
         change mid-run — so repeat walks skip the Figure 7 schedule
@@ -216,14 +221,18 @@ class VirtualizedSimulation:
         #: Local accumulators, flushed into ``stats`` after the loop
         #: (see the native simulator).
         acc = data_c = walk_c = walk_count = 0
-        addresses = trace.tolist()
+        #: Chunk cursor (see the native simulator): the closures read the
+        #: current chunk and its global offset through these cells.
+        addresses: list[int] = []
+        chunk_base = 0
 
         def handle(index: int) -> int:
-            """One record through the scalar pipeline; returns its vpn."""
+            """One record (chunk-local ``index``) through the scalar
+            pipeline; returns its vpn."""
             nonlocal now, measuring, tlb_l1_base, tlb_l2_base
             nonlocal acc, data_c, walk_c, walk_count
             va = addresses[index]
-            if not measuring and index >= warmup:
+            if not measuring and chunk_base + index >= warmup:
                 measuring = True
                 tlb_l1_base = tlbs.l1_hits
                 tlb_l2_base = tlbs.l2_hits
@@ -285,11 +294,12 @@ class VirtualizedSimulation:
             return vpn
 
         def bulk(vpn, first_index, repeats):
-            """Cost a run's repeat records; see the native simulator's
-            ``bulk`` (same warmup-boundary splitting)."""
+            """Cost a run's repeat records (``first_index`` chunk-local);
+            see the native simulator's ``bulk`` (same warmup-boundary
+            splitting)."""
             nonlocal now, measuring, tlb_l1_base, tlb_l2_base, acc, data_c
             if not measuring:
-                pre = warmup - first_index
+                pre = warmup - chunk_base - first_index
                 if pre >= repeats:
                     bulk_tlb(vpn, repeats)
                     bulk_l1(repeats)
@@ -309,23 +319,47 @@ class VirtualizedSimulation:
             acc += repeats
             data_c += l1_latency * repeats
 
-        n_records = len(addresses)
-        run_starts, run_counts = detect_runs(trace, n_records)
         bulk_ok = corunner is None
         bulk_tlb = tlbs.bulk_hits
         bulk_l1 = hierarchy.bulk_l1_hits
+        #: Run-detection seam state (see the native simulator): block and
+        #: biased vpn of the previous chunk's last record.
+        prev_block = -1
+        prev_vpn = 0
         # See the native simulator: pause the cyclic collector while the
         # loop runs (restored even on error).
         gc_was_enabled = gc.isenabled()
         gc.disable()
         try:
-            if bulk_ok and len(run_starts) == n_records:
-                # No same-block repeats anywhere: plain scalar sweep.
-                for index in range(n_records):
-                    handle(index)
-            else:
-                drive_batched(run_starts, run_counts, handle, bulk,
-                              scalar_only=not bulk_ok)
+            for chunk in iter_trace_chunks(trace):
+                n_records = len(chunk)
+                if not n_records:
+                    continue
+                addresses = chunk.tolist()
+                run_starts, run_counts = detect_runs(chunk, n_records)
+                lead = 0
+                if prev_block == addresses[0] >> 6:
+                    lead = run_counts[0]
+                    run_starts = run_starts[1:]
+                    run_counts = run_counts[1:]
+                    if bulk_ok:
+                        bulk(prev_vpn, 0, lead)
+                    else:
+                        for index in range(lead):
+                            handle(index)
+                prev_block = addresses[-1] >> 6
+                prev_vpn = (addresses[-1] >> 12) | vbias
+                if not run_starts:
+                    chunk_base += n_records
+                    continue
+                if bulk_ok and len(run_starts) == n_records - lead:
+                    # No same-block repeats in the chunk: scalar sweep.
+                    for index in range(lead, n_records):
+                        handle(index)
+                else:
+                    drive_batched(run_starts, run_counts, handle, bulk,
+                                  scalar_only=not bulk_ok)
+                chunk_base += n_records
         finally:
             if gc_was_enabled:
                 gc.enable()

@@ -1,0 +1,73 @@
+"""Streaming trace subsystem: bounded-memory traces at 10M+ records.
+
+The paper's evaluation replays billions of instructions; the original
+repro capped every workload at one in-memory numpy array (~60k records),
+so TLB/PWC reach never approached steady state.  This package opens the
+scale axis in three pieces:
+
+* :mod:`repro.traces.stream` — canonical *chunked generation*: a trace
+  of any length is defined as a sequence of fixed-size generation
+  chunks, each synthesised independently from a per-chunk seed, so
+  producing (or re-producing) any chunk needs memory proportional to
+  the chunk, never the trace.  Traces that fit one chunk are
+  bit-identical to the historical ``WorkloadSpec.generate_trace``
+  output.
+* :mod:`repro.traces.store` — the versioned on-disk format (a
+  ``header.json`` beside a memory-mapped int64 ``payload.npy``) with a
+  content digest, behind the ``repro trace`` CLI; :class:`TraceRef` is
+  the hashable reference the runtime's Job carries (cache identity =
+  content digest, not path).
+* :mod:`repro.traces.source` — :class:`TraceSource`, the chunk-iterator
+  protocol both simulators' batched front ends consume; array-backed
+  (in-memory or mmap) and generator-backed implementations, with
+  ``section()`` slicing for the multi-tenant quantum scheduler.
+
+The execution-side invariant (docs/ARCHITECTURE.md §11): simulating a
+trace through any chunking — one chunk, 4096-record chunks, one record
+at a time — produces byte-identical SimStats, pinned by
+tests/test_traces.py.
+"""
+
+from repro.traces.source import (
+    DEFAULT_CHUNK_RECORDS,
+    ArraySource,
+    GeneratedSource,
+    TraceSource,
+    as_trace_source,
+    iter_trace_chunks,
+    trace_records,
+)
+from repro.traces.store import (
+    TraceRef,
+    materialize_trace,
+    open_trace,
+    read_ref,
+    verify_trace,
+)
+from repro.traces.stream import (
+    GEN_CHUNK_RECORDS,
+    canonical_trace,
+    chunk_seed,
+    generation_chunks,
+    iter_generated_chunks,
+)
+
+__all__ = [
+    "ArraySource",
+    "DEFAULT_CHUNK_RECORDS",
+    "GEN_CHUNK_RECORDS",
+    "GeneratedSource",
+    "TraceRef",
+    "TraceSource",
+    "as_trace_source",
+    "canonical_trace",
+    "chunk_seed",
+    "generation_chunks",
+    "iter_generated_chunks",
+    "iter_trace_chunks",
+    "materialize_trace",
+    "open_trace",
+    "read_ref",
+    "trace_records",
+    "verify_trace",
+]

@@ -1,0 +1,184 @@
+"""Chunk-iterator trace sources for the simulators' batched front ends.
+
+A :class:`TraceSource` is what the simulators consume when a trace is
+too large (or deliberately not materialised) to pass as one ndarray:
+
+* ``records`` — total record count (the scheduler and warmup logic need
+  lengths up front);
+* ``chunks()`` — the records as an ordered iterator of int64 ndarrays;
+* ``section(start, stop)`` — a sub-range as another source, used by the
+  multi-tenant quantum scheduler in place of array slicing.
+
+Implementations:
+
+* :class:`ArraySource` wraps any ndarray — in-memory or a memory-mapped
+  trace payload — and yields views, so a 10M-record mmap trace streams
+  through the simulator touching one execution chunk of pages at a
+  time;
+* :class:`GeneratedSource` yields the canonical generation chunks of
+  ``(spec, records, seed)`` on the fly (nothing on disk, one generation
+  chunk in memory).  Its sections re-slice the canonical chunks, with
+  the most recent chunk cached so the round-robin scheduler's
+  monotonically advancing cursors do not regenerate a 1M-record chunk
+  per quantum.  Note the cost model: every *pass* over a generated
+  source re-synthesises its chunks, and a simulation makes two passes
+  (``populate`` then the record loop), so a generated streamed run pays
+  generation twice — that is the price of O(chunk) memory with nothing
+  on disk.  Generation is vectorised numpy (a few percent of simulation
+  time); when a large trace will be replayed more than once,
+  materialise it (`repro trace materialize`) and mmap-stream instead.
+
+Passing a plain ndarray to ``run()`` remains the single-chunk fast
+case: :func:`iter_trace_chunks` yields it whole, which is exactly the
+historical monolithic execution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.traces.stream import generate_chunk, generation_chunks
+from repro.workloads.base import WorkloadSpec
+
+#: Default execution-chunk size for array-backed sources: large enough
+#: that per-chunk overhead (run re-detection, closure rebinding) is
+#: noise, small enough that the per-chunk ``tolist`` stays ~8MB.
+DEFAULT_CHUNK_RECORDS = 1 << 18
+
+
+class TraceSource:
+    """Protocol base for chunked trace access (see module docstring)."""
+
+    records: int
+
+    def chunks(self) -> Iterator[np.ndarray]:  # pragma: no cover
+        raise NotImplementedError
+
+    def section(self, start: int, stop: int) -> "TraceSource":
+        raise NotImplementedError  # pragma: no cover
+
+    def __len__(self) -> int:
+        return self.records
+
+
+class ArraySource(TraceSource):
+    """A trace held in (or memory-mapped from) one ndarray."""
+
+    def __init__(self, array: np.ndarray,
+                 chunk_records: int = DEFAULT_CHUNK_RECORDS) -> None:
+        if chunk_records < 1:
+            raise ValueError("chunk_records must be >= 1")
+        self.array = array
+        self.records = len(array)
+        self.chunk_records = chunk_records
+
+    def chunks(self) -> Iterator[np.ndarray]:
+        for start in range(0, self.records, self.chunk_records):
+            yield self.array[start:start + self.chunk_records]
+
+    def section(self, start: int, stop: int) -> "ArraySource":
+        return ArraySource(self.array[start:stop], self.chunk_records)
+
+
+class GeneratedSource(TraceSource):
+    """The canonical trace of ``(spec, records, seed)``, generated on
+    demand one generation chunk at a time."""
+
+    def __init__(self, spec: WorkloadSpec, records: int, seed: int,
+                 chunk_records: int | None = None) -> None:
+        if records < 0:
+            raise ValueError("record count cannot be negative")
+        if chunk_records is not None and chunk_records < 1:
+            raise ValueError("chunk_records must be >= 1")
+        self.spec = spec
+        self.records = records
+        self.seed = seed
+        #: Optional re-slicing of the canonical chunks into smaller
+        #: execution chunks (tests sweep this; None = canonical).
+        self.chunk_records = chunk_records
+        #: (index, array) of the most recently generated chunk.
+        self._cached: tuple[int, np.ndarray] | None = None
+
+    def _canonical(self, index: int) -> np.ndarray:
+        if self._cached is not None and self._cached[0] == index:
+            return self._cached[1]
+        chunk = generate_chunk(self.spec, self.records, self.seed, index)
+        self._cached = (index, chunk)
+        return chunk
+
+    def _ranged_chunks(self, start: int,
+                       stop: int) -> Iterator[np.ndarray]:
+        """Canonical-chunk slices covering ``[start, stop)``, re-sliced
+        to ``chunk_records`` when set."""
+        step = self.chunk_records
+        for index, c_start, c_stop in generation_chunks(self.records):
+            if c_stop <= start:
+                continue
+            if c_start >= stop:
+                break
+            lo = max(start, c_start) - c_start
+            hi = min(stop, c_stop) - c_start
+            piece = self._canonical(index)[lo:hi]
+            if step is None:
+                yield piece
+            else:
+                for inner in range(0, len(piece), step):
+                    yield piece[inner:inner + step]
+
+    def chunks(self) -> Iterator[np.ndarray]:
+        return self._ranged_chunks(0, self.records)
+
+    def section(self, start: int, stop: int) -> "TraceSource":
+        return _SectionSource(self, start, stop)
+
+
+class _SectionSource(TraceSource):
+    """A contiguous sub-range of a :class:`GeneratedSource`."""
+
+    def __init__(self, parent: GeneratedSource, start: int,
+                 stop: int) -> None:
+        start = max(0, min(start, parent.records))
+        stop = max(start, min(stop, parent.records))
+        self.parent = parent
+        self.start = start
+        self.records = stop - start
+
+    def chunks(self) -> Iterator[np.ndarray]:
+        return self.parent._ranged_chunks(self.start,
+                                          self.start + self.records)
+
+    def section(self, start: int, stop: int) -> "TraceSource":
+        return _SectionSource(self.parent, self.start + start,
+                              self.start + stop)
+
+
+def as_trace_source(trace, chunk_records: int | None = None) -> TraceSource:
+    """Coerce an ndarray (or pass a source through) to a TraceSource."""
+    if isinstance(trace, TraceSource):
+        return trace
+    if isinstance(trace, np.ndarray):
+        return ArraySource(
+            trace,
+            chunk_records if chunk_records is not None
+            else DEFAULT_CHUNK_RECORDS)
+    raise TypeError(f"not a trace: {type(trace).__name__}")
+
+
+def trace_records(trace) -> int:
+    """Total record count of an ndarray or TraceSource."""
+    return len(trace)
+
+
+def iter_trace_chunks(trace) -> Iterable[np.ndarray]:
+    """The execution-chunk view the simulators consume.
+
+    A plain ndarray is yielded whole — the historical monolithic path,
+    preserved bit for bit; a :class:`TraceSource` streams its chunks.
+    """
+    if isinstance(trace, np.ndarray):
+        return (trace,)
+    if isinstance(trace, TraceSource):
+        return trace.chunks()
+    raise TypeError(f"not a trace: {type(trace).__name__}")

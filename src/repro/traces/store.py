@@ -1,0 +1,198 @@
+"""On-disk trace format and the runtime's trace references.
+
+A materialised trace is a directory::
+
+    <trace>/
+      header.json    versioned metadata + content digest
+      payload.npy    the addresses, one int64 per record (memory-mapped)
+
+The payload is a plain ``.npy`` so it opens with ``np.load(...,
+mmap_mode="r")`` — execution touches only the pages the current
+execution chunk covers, which is what bounds a 10M-record run's memory
+by chunk size rather than trace length.
+
+The **content digest** is sha256 over the records as little-endian
+int64 bytes (not over the file, so the npy header layout can never
+perturb identity), computed chunkwise at materialisation.
+:class:`TraceRef` carries ``(digest, records)`` into
+:meth:`repro.runtime.job.Job.payload`: two jobs replaying the same
+content share one cache entry wherever the file lives, and a job can
+never silently run against a different trace than the one it was cached
+for (``execute_job`` re-checks the header digest at open time).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.stream import (
+    GEN_CHUNK_RECORDS,
+    generation_chunks,
+    iter_generated_chunks,
+)
+from repro.workloads.base import WorkloadSpec
+
+#: Bump together with any change to the payload layout, the digest
+#: definition, or :data:`repro.traces.stream.GEN_CHUNK_RECORDS`.
+FORMAT_VERSION = 1
+
+HEADER_NAME = "header.json"
+PAYLOAD_NAME = "payload.npy"
+
+
+@dataclass(frozen=True)
+class TraceRef:
+    """Hashable reference to a materialised trace (a Job axis).
+
+    ``digest``/``records`` are the cache identity; ``path`` and
+    ``workload``/``seed`` are execution metadata (where to mmap the
+    payload, which process layout to replay it against).
+    """
+
+    path: str
+    workload: str
+    records: int
+    seed: int
+    digest: str
+
+
+def _header_path(path: str | Path) -> Path:
+    return Path(path) / HEADER_NAME
+
+
+def _payload_path(path: str | Path) -> Path:
+    return Path(path) / PAYLOAD_NAME
+
+
+def _record_bytes(chunk: np.ndarray) -> bytes:
+    """The digest encoding of one chunk: little-endian int64 records.
+    The single definition both the writer and the verifier hash."""
+    return np.ascontiguousarray(chunk, dtype="<i8").tobytes()
+
+
+def compute_digest(array: np.ndarray,
+                   chunk_records: int = GEN_CHUNK_RECORDS) -> str:
+    """Chunkwise content digest of an in-memory or mmap array."""
+    digest = hashlib.sha256()
+    for start in range(0, len(array), chunk_records):
+        digest.update(_record_bytes(array[start:start + chunk_records]))
+    return digest.hexdigest()
+
+
+def materialize_trace(
+    spec: WorkloadSpec,
+    records: int,
+    seed: int,
+    path: str | Path,
+    force: bool = False,
+) -> TraceRef:
+    """Write the canonical trace for ``(spec, records, seed)`` to disk.
+
+    Generation, the payload write and the digest all proceed one
+    generation chunk at a time, so peak memory is one chunk regardless
+    of ``records``.  The header is written last: a directory without a
+    readable header is an interrupted materialisation, never a valid
+    trace.
+    """
+    if records < 1:
+        raise ValueError("a trace needs at least one record")
+    directory = Path(path)
+    header_path = _header_path(directory)
+    if header_path.exists():
+        if not force:
+            raise FileExistsError(
+                f"{directory} already holds a trace (pass force=True / "
+                f"--force to overwrite)")
+        # Drop the old header *before* touching the payload: an
+        # interrupted rewrite must leave a header-less directory (an
+        # invalid trace), never a stale header whose digest happens to
+        # validate against half-rewritten payload bytes.
+        header_path.unlink()
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = np.lib.format.open_memmap(
+        _payload_path(directory), mode="w+", dtype=np.int64,
+        shape=(records,))
+    digest = hashlib.sha256()
+    try:
+        for chunk, (_index, start, stop) in zip(
+                iter_generated_chunks(spec, records, seed),
+                generation_chunks(records)):
+            payload[start:stop] = chunk
+            digest.update(_record_bytes(chunk))
+        payload.flush()
+    finally:
+        del payload  # release the writable mapping before the header
+    header = {
+        "format_version": FORMAT_VERSION,
+        "workload": spec.name,
+        "records": records,
+        "seed": seed,
+        "gen_chunk_records": GEN_CHUNK_RECORDS,
+        "dtype": "<i8",
+        "sha256": digest.hexdigest(),
+    }
+    header_path.write_text(json.dumps(header, indent=2, sort_keys=True)
+                           + "\n")
+    return TraceRef(path=str(directory), workload=spec.name,
+                    records=records, seed=seed,
+                    digest=header["sha256"])
+
+
+def read_header(path: str | Path) -> dict:
+    """Load and validate a trace directory's header."""
+    header_path = _header_path(path)
+    try:
+        header = json.loads(header_path.read_text())
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"{path} is not a trace directory (no {HEADER_NAME})") from None
+    except (OSError, json.JSONDecodeError) as error:
+        raise ValueError(f"unreadable trace header {header_path}: {error}")
+    version = header.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"trace {path} has format version {version!r}; this build "
+            f"reads version {FORMAT_VERSION}")
+    for key in ("workload", "records", "seed", "sha256"):
+        if key not in header:
+            raise ValueError(f"trace header {header_path} lacks {key!r}")
+    return header
+
+
+def read_ref(path: str | Path) -> TraceRef:
+    """The :class:`TraceRef` for a trace directory (header only)."""
+    header = read_header(path)
+    return TraceRef(path=str(path), workload=header["workload"],
+                    records=header["records"], seed=header["seed"],
+                    digest=header["sha256"])
+
+
+def open_trace(path: str | Path) -> tuple[dict, np.ndarray]:
+    """Open a trace: validated header plus the memory-mapped payload."""
+    header = read_header(path)
+    payload = np.load(_payload_path(path), mmap_mode="r")
+    if payload.dtype != np.int64 or payload.ndim != 1:
+        raise ValueError(
+            f"trace payload {path} is {payload.dtype}/{payload.ndim}D, "
+            f"expected 1D int64")
+    if len(payload) != header["records"]:
+        raise ValueError(
+            f"trace {path}: header says {header['records']} records, "
+            f"payload holds {len(payload)}")
+    return header, payload
+
+
+def verify_trace(path: str | Path) -> TraceRef:
+    """Recompute the payload digest and check it against the header."""
+    header, payload = open_trace(path)
+    digest = compute_digest(payload)
+    if digest != header["sha256"]:
+        raise ValueError(
+            f"trace {path} digest mismatch: header {header['sha256']}, "
+            f"payload {digest}")
+    return read_ref(path)

@@ -1,0 +1,91 @@
+"""Canonical chunked trace generation.
+
+A trace of ``records`` addresses for ``(spec, seed)`` is *defined* as
+the concatenation of generation chunks of :data:`GEN_CHUNK_RECORDS`
+records (the last one shorter), where chunk ``i`` is synthesised by the
+workload's existing vectorised generators with the derived seed
+:func:`chunk_seed`.  Two properties follow:
+
+* **bounded memory** — producing any chunk allocates one chunk's worth
+  of numpy state, regardless of total trace length, so 10M+-record
+  traces never exist in memory at once;
+* **seed identity for short traces** — ``chunk_seed(seed, 0) == seed``,
+  so any trace that fits a single generation chunk (every historical
+  experiment scale) is bit-identical to
+  ``WorkloadSpec.generate_trace(records, seed)``, and every cached
+  result keyed on those traces stays meaningful.
+
+The chunk size is a *content-defining* constant: changing it changes
+the addresses of every multi-chunk trace.  Bump it only together with
+the on-disk format version (:data:`repro.traces.store.FORMAT_VERSION`).
+
+Generation chunking is independent of *execution* chunking: the
+simulators may consume a trace in slices of any size
+(:mod:`repro.traces.source`); only the content is fixed here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.workloads.base import WorkloadSpec
+
+#: Records per generation chunk (content-defining; see module docstring).
+GEN_CHUNK_RECORDS = 1 << 20
+
+#: 64-bit odd mixing constant (golden-ratio) for per-chunk seeds.
+_SEED_MIX = 0x9E3779B97F4A7C15
+_SEED_MASK = 0x7FFF_FFFF_FFFF_FFFF
+
+
+def chunk_seed(seed: int, index: int) -> int:
+    """The seed generation chunk ``index`` draws from.
+
+    Index 0 returns ``seed`` unchanged (the short-trace identity);
+    later chunks get decorrelated streams via a golden-ratio mix.
+    """
+    if index == 0:
+        return seed
+    return (seed ^ (index * _SEED_MIX)) & _SEED_MASK
+
+
+def generation_chunks(records: int) -> Iterator[tuple[int, int, int]]:
+    """``(index, start, stop)`` bounds of every generation chunk."""
+    if records < 0:
+        raise ValueError("record count cannot be negative")
+    for index in range(-(-records // GEN_CHUNK_RECORDS)):
+        start = index * GEN_CHUNK_RECORDS
+        yield index, start, min(start + GEN_CHUNK_RECORDS, records)
+
+
+def generate_chunk(
+    spec: WorkloadSpec, records: int, seed: int, index: int
+) -> np.ndarray:
+    """Synthesise one generation chunk of the canonical trace."""
+    start = index * GEN_CHUNK_RECORDS
+    if not 0 <= start < records:
+        raise ValueError(
+            f"chunk {index} out of range for a {records}-record trace")
+    length = min(GEN_CHUNK_RECORDS, records - start)
+    return spec.generate_trace(length, seed=chunk_seed(seed, index))
+
+
+def iter_generated_chunks(
+    spec: WorkloadSpec, records: int, seed: int
+) -> Iterator[np.ndarray]:
+    """Yield the canonical chunks of ``(spec, records, seed)`` in order."""
+    for index, _start, _stop in generation_chunks(records):
+        yield generate_chunk(spec, records, seed, index)
+
+
+def canonical_trace(spec: WorkloadSpec, records: int, seed: int) -> np.ndarray:
+    """Materialise the whole canonical trace in memory (tests, small
+    runs); identical to ``generate_trace`` whenever it fits one chunk."""
+    chunks = list(iter_generated_chunks(spec, records, seed))
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    if len(chunks) == 1:
+        return chunks[0]
+    return np.concatenate(chunks)

@@ -116,9 +116,20 @@ class KeyValue:
     value_run: int = 1
     scatter: bool = True
 
+    def __post_init__(self) -> None:
+        if self.value_run < 1:
+            raise ValueError("value_run must be >= 1 (each request touches "
+                             "one bucket page plus value_run value pages)")
+        if not 0.0 < self.hash_fraction < 1.0:
+            raise ValueError("hash_fraction must be in (0, 1)")
+
     def generate(self, rng, space_pages, size):
         hash_pages = max(1, int(space_pages * self.hash_fraction))
         value_pages = max(1, space_pages - hash_pages)
+        # One request = one bucket probe + value_run value pages; sizes
+        # not divisible by per_request round the request count up and
+        # truncate the final request, so the output is always exactly
+        # ``size`` records (no silent mis-sizing; pinned by tests).
         per_request = 1 + self.value_run
         requests = -(-size // per_request)
         # Bucket popularity mirrors key popularity (a hot key lands in the
@@ -249,7 +260,15 @@ class WorkloadSpec:
         Python string hashes are randomised per interpreter invocation
         (PYTHONHASHSEED), which would make traces — and therefore every
         statistic and cached result — differ from run to run.
+
+        Traces longer than one generation chunk should go through
+        :mod:`repro.traces` instead of this monolithic path; a
+        zero/negative length is rejected rather than silently yielding
+        an empty trace whose statistics all read 0.
         """
+        if length < 1:
+            raise ValueError(
+                f"trace length must be >= 1, got {length}")
         rng = np.random.default_rng(
             seed ^ zlib.crc32(self.name.encode()) & 0x7FFFFFFF)
         streams = []

@@ -225,7 +225,10 @@ def get(name: str) -> WorkloadSpec:
     try:
         return WORKLOADS[name]
     except KeyError:
-        raise KeyError(
+        # ValueError, not KeyError: every front end (CLI, Job
+        # validation) treats bad names as invalid input with the choice
+        # list attached, never as a missing-key traceback.
+        raise ValueError(
             f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
         ) from None
 

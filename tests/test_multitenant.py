@@ -217,7 +217,7 @@ class TestTenantNaming:
         assert tenant_names("mcf", 2) == ["mcf", "mcf"]
 
     def test_unknown_name_raises(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="unknown workload"):
             tenant_names("nope", 2)
 
     def test_mixes_reference_real_workloads(self):

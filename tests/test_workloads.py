@@ -41,7 +41,7 @@ class TestSuiteStructure:
             assert process.vmas.count_for_coverage(0.99) == count, name
 
     def test_get_unknown_raises(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="unknown workload"):
             get("nonexistent")
 
 

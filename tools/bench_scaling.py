@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Wall-clock / peak-RSS trajectory for the scaling experiment's cells.
+
+Usage::
+
+    python tools/bench_scaling.py [--trace-length 60000]
+        [--output BENCH_scaling.json] [--label TEXT]
+
+Runs every cell of the `repro scaling` grid (records x {baseline, asap}
+on the convergence workload) and appends one entry to a JSON trajectory
+(same shape as ``BENCH_schemes.json``): per-cell wall seconds, peak RSS
+and the headline statistics.  Each cell executes in a fresh child
+interpreter so ``ru_maxrss`` is a true per-cell high-water mark — the
+number that demonstrates the streaming front end keeps a 10M-record run
+bounded by the execution chunk, not the trace length.
+
+This is deliberately a *tool*, not part of the experiment: the
+experiment's tables must stay deterministic (the sweep-determinism CI
+gate byte-compares them), while wall-clock and RSS are machine facts
+that belong in the BENCH trajectory next to ``bench_schemes``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments import scaling  # noqa: E402
+from repro.sim.runner import Scale  # noqa: E402
+
+_CHILD_FLAG = "--run-cell"
+
+
+def _run_cell_in_child(records: int, scheme: str, scale: Scale) -> dict:
+    """Execute one cell in a fresh interpreter; returns its measurement."""
+    spec = json.dumps({
+        "records": records, "scheme": scheme,
+        "warmup": scale.warmup, "seed": scale.seed,
+    })
+    started = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()), _CHILD_FLAG, spec],
+        capture_output=True, text=True,
+    )
+    elapsed = time.perf_counter() - started
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"cell {scheme}@{records} failed:\n{proc.stderr}")
+    result = json.loads(proc.stdout.splitlines()[-1])
+    result["wall_seconds"] = round(elapsed, 2)
+    return result
+
+
+def _child_main(spec_json: str) -> int:
+    spec = json.loads(spec_json)
+    job = scaling._job(
+        spec["records"], scaling._entry(spec["scheme"]),
+        Scale(trace_length=spec["records"], warmup=spec["warmup"],
+              seed=spec["seed"]))
+    from repro.runtime.job import execute_job
+
+    started = time.perf_counter()
+    stats = execute_job(job)
+    seconds = time.perf_counter() - started
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print(json.dumps({
+        "scheme": spec["scheme"],
+        "records": spec["records"],
+        "seconds": round(seconds, 2),
+        "peak_rss_mb": round(rss_kb / 1024, 1),
+        "walks": stats.walks,
+        "translation_fraction": round(stats.walk_fraction, 4),
+        "avg_walk_latency": round(stats.avg_walk_latency, 1),
+    }))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) >= 2 and argv[0] == _CHILD_FLAG:
+        return _child_main(argv[1])
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace-length", type=int, default=60_000,
+                        help="base of the record ladder (default 60000 "
+                             "-> 60k/1M/10M)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--output",
+                        default=str(REPO_ROOT / "BENCH_scaling.json"))
+    parser.add_argument("--label", default=None)
+    args = parser.parse_args(argv)
+
+    scale = Scale(trace_length=args.trace_length,
+                  warmup=args.trace_length // 5, seed=args.seed)
+    rows = []
+    for records in scaling.record_counts(scale):
+        for scheme in scaling.SCHEME_NAMES:
+            row = _run_cell_in_child(records, scheme, scale)
+            rows.append(row)
+            print(f"  {scheme:8s} {records:>10,d} records  "
+                  f"{row['seconds']:8.2f}s  {row['peak_rss_mb']:8.1f}MB  "
+                  f"walk%={100 * row['translation_fraction']:.2f}")
+
+    path = Path(args.output)
+    document = (json.loads(path.read_text()) if path.exists()
+                else {"benchmark": "scaling", "workload": scaling.WORKLOAD,
+                      "entries": []})
+    document["entries"].append({
+        "generated": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "label": args.label,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "nproc": os.cpu_count(),
+        "base_trace_length": args.trace_length,
+        "results": rows,
+    })
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"appended entry to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
