@@ -177,12 +177,13 @@ def _cmd_scaling(args) -> int:
             # substrate, so the replay matches the generated run the
             # trace was materialised from.
             table = scaling.run_for_trace(read_ref(args.trace), engine,
-                                          seed=args.seed)
+                                          seed=args.seed,
+                                          kernel=args.kernel)
         else:
             scale = Scale(trace_length=args.trace_length,
                           warmup=args.trace_length // 5,
                           seed=42 if args.seed is None else args.seed)
-            table = scaling.run(scale, engine)
+            table = scaling.run(scale, engine, kernel=args.kernel)
     except (ValueError, FileNotFoundError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -316,6 +317,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="seed for the generated ladder (default 42); "
                            "with --trace, overrides the trace's own seed "
                            "for the OS substrate (default: the trace's)")
+    scal.add_argument("--kernel", choices=("scalar", "columnar"),
+                      default="scalar",
+                      help="simulation kernel: the per-record loop or "
+                           "the compiled columnar chunk kernel "
+                           "(byte-identical statistics)")
     _add_engine_options(scal)
 
     trace = sub.add_parser(

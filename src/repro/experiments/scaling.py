@@ -65,7 +65,7 @@ def _entry(name: str) -> SchemeEntry:
 
 
 def _job(records: int, entry: SchemeEntry, scale: Scale,
-         trace: TraceRef | None = None) -> Job:
+         trace: TraceRef | None = None, kernel: str = "scalar") -> Job:
     # Warmup stays at the driving scale's absolute count: the sweep
     # shows the *measured window* converging as it dwarfs the warmup.
     return Job(
@@ -75,22 +75,26 @@ def _job(records: int, entry: SchemeEntry, scale: Scale,
         scale=dataclasses.replace(scale, trace_length=records),
         scheme=entry.spec,
         trace=trace,
+        kernel=kernel,
     )
 
 
-def jobs(scale: Scale | None = None) -> list[Job]:
+def jobs(scale: Scale | None = None,
+         kernel: str = "scalar") -> list[Job]:
     scale = scale or DEFAULT_SCALE
-    return [_job(records, _entry(name), scale)
+    return [_job(records, _entry(name), scale, kernel=kernel)
             for records in record_counts(scale)
             for name in SCHEME_NAMES]
 
 
-def jobs_for_trace(ref: TraceRef, seed: int | None = None) -> list[Job]:
+def jobs_for_trace(ref: TraceRef, seed: int | None = None,
+                   kernel: str = "scalar") -> list[Job]:
     """The baseline/ASAP pair replaying one materialised trace."""
     scale = Scale(trace_length=ref.records,
                   warmup=min(DEFAULT_SCALE.warmup, ref.records // 5),
                   seed=ref.seed if seed is None else seed)
-    return [_job(ref.records, _entry(name), scale, trace=ref)
+    return [_job(ref.records, _entry(name), scale, trace=ref,
+                 kernel=kernel)
             for name in SCHEME_NAMES]
 
 
@@ -130,9 +134,13 @@ def _table_for(job_list: list[Job], results: Mapping[Job, Any],
 
 
 def tables(results: Mapping[Job, Any],
-           scale: Scale | None = None) -> ExperimentTable:
+           scale: Scale | None = None,
+           kernel: str = "scalar") -> ExperimentTable:
+    # The title deliberately omits the kernel: scalar and columnar runs
+    # of the same cells must render byte-identical tables (CI's
+    # sweep-determinism job diffs them).
     scale = scale or DEFAULT_SCALE
-    job_list = jobs(scale)
+    job_list = jobs(scale, kernel=kernel)
     return _table_for(
         job_list, results,
         title=(f"Scaling: translation-cycle fraction convergence "
@@ -141,15 +149,18 @@ def tables(results: Mapping[Job, Any],
 
 
 def run(scale: Scale | None = None,
-        engine: Engine | None = None) -> ExperimentTable:
+        engine: Engine | None = None,
+        kernel: str = "scalar") -> ExperimentTable:
     scale = scale or DEFAULT_SCALE
-    return tables(execute(jobs(scale), engine), scale)
+    return tables(execute(jobs(scale, kernel=kernel), engine), scale,
+                  kernel=kernel)
 
 
 def run_for_trace(ref: TraceRef, engine: Engine | None = None,
-                  seed: int | None = None) -> ExperimentTable:
+                  seed: int | None = None,
+                  kernel: str = "scalar") -> ExperimentTable:
     """``repro scaling --trace``: the pair of cells over one file."""
-    job_list = jobs_for_trace(ref, seed=seed)
+    job_list = jobs_for_trace(ref, seed=seed, kernel=kernel)
     results = execute(job_list, engine)
     return _table_for(
         job_list, results,

@@ -28,6 +28,7 @@ from typing import Any
 from repro.core.config import AsapConfig, BASELINE
 from repro.params import DEFAULT_MACHINE
 from repro.schemes import SchemeSpec
+from repro.sim.columnar import KERNELS
 from repro.sim.multitenant import MultiTenantSpec
 from repro.sim.runner import Scale, run_native, run_virtualized
 from repro.traces.store import TraceRef
@@ -38,7 +39,11 @@ from repro.traces.store import TraceRef
 #: 4: trace references joined the spec (on-disk traces, identified by
 #:    content digest) and streamed generation opened trace lengths past
 #:    one generation chunk.
-SPEC_VERSION = 4
+#: 5: the simulation kernel joined the spec (scalar record loop vs the
+#:    compiled columnar chunk kernel); both produce byte-identical
+#:    statistics, but the engine is part of what a cached result claims
+#:    to have run.
+SPEC_VERSION = 5
 
 #: Scenario kinds understood by :func:`execute_job`.
 NATIVE = "native"
@@ -88,6 +93,12 @@ class Job:
     #: rewritten payload can never serve a stale cached result
     #: (``execute_job`` re-checks the digest at open time).
     trace: TraceRef | None = None
+    #: Simulation kernel (`repro.sim.columnar`): "scalar" is the
+    #: historical per-record loop, "columnar" the compiled chunk kernel.
+    #: Both are byte-identical by construction (the differential suite
+    #: enforces it), but the kernel is still part of the spec — a cached
+    #: result records which engine produced it.
+    kernel: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -129,10 +140,14 @@ class Job:
         if self.kind != VIRTUALIZED and self.host_page_level != 1:
             raise ValueError(
                 f"host_page_level applies to {VIRTUALIZED} jobs only")
+        if self.kernel not in KERNELS:
+            raise ValueError(f"unknown simulation kernel {self.kernel!r}; "
+                             f"one of {KERNELS}")
         if self.kind == PT_INVENTORY and (
                 self.colocated or self.infinite_tlb or self.collect_service
                 or self.pwc_scale != 1 or self.config.enabled
-                or self.scheme.kind != "baseline"):
+                or self.scheme.kind != "baseline"
+                or self.kernel != "scalar"):
             raise ValueError(
                 f"{PT_INVENTORY} jobs use only workload and scale")
         if self.multi_tenant is not None:
@@ -219,6 +234,7 @@ class Job:
             "trace": (None if self.trace is None
                       else {"digest": self.trace.digest,
                             "records": self.trace.records}),
+            "kernel": self.kernel,
         }
 
     def spec_hash(self) -> str:
@@ -244,6 +260,7 @@ class Job:
              self.multi_tenant.label() if self.multi_tenant else ""),
             (self.trace is not None,
              f"trace={self.trace.digest[:8]}" if self.trace else ""),
+            (self.kernel != "scalar", self.kernel),
         ):
             if flag:
                 parts.append(text)
@@ -311,6 +328,7 @@ def execute_job(job: Job) -> Any:
                 scale=job.scale,
                 collect_service=job.collect_service,
                 scheme=job.scheme,
+                kernel=job.kernel,
             )
         return run_virtualized_mt(
             job.workload,
@@ -321,6 +339,7 @@ def execute_job(job: Job) -> Any:
             scale=job.scale,
             collect_service=job.collect_service,
             scheme=job.scheme,
+            kernel=job.kernel,
         )
     if job.kind == NATIVE:
         return run_native(
@@ -336,6 +355,7 @@ def execute_job(job: Job) -> Any:
             hole_rate=job.hole_rate,
             scheme=job.scheme,
             trace_source=trace_source,
+            kernel=job.kernel,
         )
     return run_virtualized(
         job.workload,
@@ -348,4 +368,5 @@ def execute_job(job: Job) -> Any:
         collect_service=job.collect_service,
         scheme=job.scheme,
         trace_source=trace_source,
+        kernel=job.kernel,
     )

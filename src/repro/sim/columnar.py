@@ -1,0 +1,960 @@
+"""Columnar chunk kernel: the scalar fast sweep recast as a C loop.
+
+The scalar simulator already spends almost all of its time in
+``_fast_native_sweep`` — a pure function of the flat-array TLB/PWC/cache
+state plus the page table's translation for each VPN.  This module
+compiles an exact transliteration of that sweep (via cffi's ABI mode and
+the system C compiler) and drives it one TraceSource chunk at a time:
+
+* Python precomputes, per chunk, a *path row* for every distinct VPN —
+  the page-table node cache lines the walker would touch, the three PWC
+  tags, the leaf level and frame — using vectorized numpy over the radix
+  table's node maps.  Rows are cached across chunks in a
+  :class:`_PathTable` (the page table cannot change mid-run).
+* The C kernel then replays the per-record state machine: L1/L2 TLB
+  probe with LRU promotion, PWC probe/insert, per-level cache walk
+  steps, TLB fill, and the data access — mutating images of the same
+  flat arrays the scalar path uses and accumulating the same counters,
+  which are written back once per run.
+
+Byte-identity with the scalar path is a hard invariant (the scalar
+kernel is the differential oracle; see tests/test_columnar_differential
+and ARCHITECTURE.md §12).  The kernel therefore only engages when the
+run has no scheme hooks, no co-runner, plain finite TLBs and idle MSHRs
+— exactly the ``fast_ok`` condition of the scalar fast sweep plus the
+no-prefetch-in-flight precondition — and the simulator falls back to
+the scalar loop otherwise, so every scheme/configuration still runs.
+
+The backend is optional: without a C compiler or cffi the simulator
+silently stays scalar.  Set ``REPRO_REQUIRE_CCORE=1`` to turn backend
+unavailability into an error (CI does this for the columnar jobs).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.tlb.tlb import ASID_SHIFT, asid_bias
+from repro.traces.source import kernel_chunk
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import NativeSimulation
+
+#: Valid values of the simulators' ``kernel=`` selector.
+KERNELS = ("scalar", "columnar")
+
+# --- geometry / counter slot layout (mirrors the C enums) -------------
+
+_G_T = 0          # L1 TLB nsets, stride, ways
+_G_U = 3          # L2 TLB
+_G_P2 = 6         # PWC PL2
+_G_P3 = 9         # PWC PL3
+_G_P4 = 12        # PWC PL4
+_G_C1 = 15        # L1 cache
+_G_C2 = 18        # L2 cache
+_G_C3 = 21        # L3 cache
+_G_LAT1 = 24
+_G_LAT2 = 25
+_G_LAT3 = 26
+_G_LATM = 27
+_G_PWC_LAT = 28
+_G_BASE_CYCLES = 29
+_G_VBIAS = 30
+_G_PROBE_LARGE = 31
+_GEOM_SLOTS = 32
+
+(K_TH, K_TM, K_L1H, K_L2H, K_LS_H, K_LS_M, K_US_H, K_US_M,
+ K_PWC_PROBES, K_PWC_HITS, K_P2_H, K_P2_M, K_P3_H, K_P3_M,
+ K_P4_H, K_P4_M, K_WALKS, K_WALK_CYCLES,
+ K_C1_H, K_C1_M, K_C1_E, K_C2_H, K_C2_M, K_C2_E,
+ K_C3_H, K_C3_M, K_C3_E,
+ K_SRV_L1, K_SRV_L2, K_SRV_L3, K_SRV_MEM) = range(31)
+_COUNTER_SLOTS = 31
+
+# carry slots (the scalar loop's run-wide state tuple)
+_CAR_NOW = 0
+_CAR_MEASURING = 1
+_CAR_ACC = 2
+_CAR_DATA_C = 3
+_CAR_WALK_C = 4
+_CAR_WALK_COUNT = 5
+_CAR_L1_BASE = 6
+_CAR_L2_BASE = 7
+_CARRY_SLOTS = 8
+
+#: Figure-9 service histogram: 4 PT levels x 6 labels; row = level - 1,
+#: column = index into SERVICE_LABELS.
+_SERVICE_SLOTS = 24
+_SERVICE_LABELS = ("PWC", "L1", "MSHR", "L2", "L3", "MEM")
+
+_PATH_COLS = 10  # lines l4 l3 l2 l1, tg2 tg3 tg4, leaf, pframe, large
+
+_C_SOURCE = r"""
+#include <string.h>
+
+typedef long long i64;
+#define EMPTY (-1LL)
+
+/* geometry slots */
+enum {
+    G_T = 0, G_U = 3, G_P2 = 6, G_P3 = 9, G_P4 = 12,
+    G_C1 = 15, G_C2 = 18, G_C3 = 21,
+    G_LAT1 = 24, G_LAT2 = 25, G_LAT3 = 26, G_LATM = 27,
+    G_PWC_LAT = 28, G_BASE_CYCLES = 29, G_VBIAS = 30, G_PROBE_LARGE = 31
+};
+
+/* counter slots */
+enum {
+    K_TH, K_TM, K_L1H, K_L2H, K_LS_H, K_LS_M, K_US_H, K_US_M,
+    K_PWC_PROBES, K_PWC_HITS, K_P2_H, K_P2_M, K_P3_H, K_P3_M,
+    K_P4_H, K_P4_M, K_WALKS, K_WALK_CYCLES,
+    K_C1_H, K_C1_M, K_C1_E, K_C2_H, K_C2_M, K_C2_E,
+    K_C3_H, K_C3_M, K_C3_E,
+    K_SRV_L1, K_SRV_L2, K_SRV_L3, K_SRV_MEM
+};
+
+/* carry slots */
+enum {
+    CAR_NOW, CAR_MEASURING, CAR_ACC, CAR_DATA_C,
+    CAR_WALK_C, CAR_WALK_COUNT, CAR_L1_BASE, CAR_L2_BASE
+};
+
+/* Guard-slot scan for `tag` in the set segment [base, guard).  Writes
+   the tag into the guard slot, scans, restores the EMPTY sentinel (the
+   scalar probes do the same, and writeback byte-identity depends on
+   it) and returns the hit position or -1. */
+static i64 lru_scan(i64 *tags, i64 base, i64 guard, i64 tag)
+{
+    tags[guard] = tag;
+    i64 pos = base;
+    while (tags[pos] != tag)
+        pos++;
+    tags[guard] = EMPTY;
+    return pos == guard ? -1 : pos;
+}
+
+/* Promote the entry at `pos` to MRU (slot `base`). */
+static void lru_promote(i64 *tags, i64 *frames, i64 base, i64 pos)
+{
+    i64 tag = tags[pos], frame = frames[pos];
+    memmove(tags + base + 1, tags + base, (pos - base) * sizeof(i64));
+    memmove(frames + base + 1, frames + base, (pos - base) * sizeof(i64));
+    tags[base] = tag;
+    frames[base] = frame;
+}
+
+/* Install a known-absent entry at MRU, shifting the rest down (the LRU
+   victim falls off the segment end when the set is full — discarded,
+   exactly like the scalar fast path's inlined fills). */
+static void lru_install(i64 *tags, i64 *frames, i64 *sizes,
+                        i64 set_index, i64 base, i64 ways,
+                        i64 tag, i64 frame)
+{
+    i64 size = sizes[set_index];
+    i64 count = size >= ways ? ways - 1 : size;
+    memmove(tags + base + 1, tags + base, count * sizeof(i64));
+    memmove(frames + base + 1, frames + base, count * sizeof(i64));
+    if (size < ways)
+        sizes[set_index] = size + 1;
+    tags[base] = tag;
+    frames[base] = frame;
+}
+
+/* PWC probe: MRU shortcut, guard scan, promote on scan hit. 1 = hit. */
+static int pwc_probe(i64 *tags, i64 *frames, const i64 *sizes,
+                     i64 nsets, i64 stride, i64 tg)
+{
+    i64 set_index = tg & (nsets - 1);
+    i64 base = set_index * stride;
+    if (tags[base] == tg)
+        return 1;
+    i64 pos = lru_scan(tags, base, base + sizes[set_index], tg);
+    if (pos < 0)
+        return 0;
+    lru_promote(tags, frames, base, pos);
+    return 1;
+}
+
+/* PWC insert (the cached value is always 1): present entries are
+   promoted and refreshed, absent ones installed with LRU eviction. */
+static void pwc_insert(i64 *tags, i64 *frames, i64 *sizes,
+                       i64 nsets, i64 stride, i64 ways, i64 tg)
+{
+    i64 set_index = tg & (nsets - 1);
+    i64 base = set_index * stride;
+    if (tags[base] == tg) {
+        frames[base] = 1;
+        return;
+    }
+    i64 size = sizes[set_index];
+    i64 pos = lru_scan(tags, base, base + size, tg);
+    if (pos >= 0) {
+        memmove(tags + base + 1, tags + base, (pos - base) * sizeof(i64));
+        memmove(frames + base + 1, frames + base,
+                (pos - base) * sizeof(i64));
+    } else {
+        i64 count = size >= ways ? ways - 1 : size;
+        memmove(tags + base + 1, tags + base, count * sizeof(i64));
+        memmove(frames + base + 1, frames + base, count * sizeof(i64));
+        if (size < ways)
+            sizes[set_index] = size + 1;
+    }
+    tags[base] = tg;
+    frames[base] = 1;
+}
+
+/* One cache level: MRU shortcut + guard scan + promote.  1 = hit. */
+static int cache_probe(i64 *lines, const i64 *sizes,
+                       i64 nsets, i64 stride, i64 line)
+{
+    i64 set_index = line & (nsets - 1);
+    i64 base = set_index * stride;
+    if (lines[base] == line)
+        return 1;
+    i64 guard = base + sizes[set_index];
+    lines[guard] = line;
+    i64 pos = base;
+    while (lines[pos] != line)
+        pos++;
+    lines[guard] = EMPTY;
+    if (pos == guard)
+        return 0;
+    memmove(lines + base + 1, lines + base, (pos - base) * sizeof(i64));
+    lines[base] = line;
+    return 1;
+}
+
+static void cache_install(i64 *lines, i64 *sizes, i64 nsets, i64 stride,
+                          i64 ways, i64 line, i64 *evictions)
+{
+    i64 set_index = line & (nsets - 1);
+    i64 base = set_index * stride;
+    i64 size = sizes[set_index];
+    i64 count;
+    if (size >= ways) {
+        count = ways - 1;
+        (*evictions)++;
+    } else {
+        count = size;
+        sizes[set_index] = size + 1;
+    }
+    memmove(lines + base + 1, lines + base, count * sizeof(i64));
+    lines[base] = line;
+}
+
+/* CacheHierarchy.access, minus the MSHR merge branch (the dispatch
+   precondition guarantees no prefetch is in flight).  Returns the
+   latency; *level_out = SERVICE_LABELS column (1 L1, 3 L2, 4 L3,
+   5 MEM). */
+static i64 cache_access(i64 *c1_lines, i64 *c1_sizes,
+                        i64 *c2_lines, i64 *c2_sizes,
+                        i64 *c3_lines, i64 *c3_sizes,
+                        const i64 *g, i64 *k, i64 line, i64 *level_out)
+{
+    if (cache_probe(c1_lines, c1_sizes, g[G_C1], g[G_C1 + 1], line)) {
+        k[K_C1_H]++;
+        k[K_SRV_L1]++;
+        *level_out = 1;
+        return g[G_LAT1];
+    }
+    k[K_C1_M]++;
+    i64 latency, level;
+    if (cache_probe(c2_lines, c2_sizes, g[G_C2], g[G_C2 + 1], line)) {
+        k[K_C2_H]++;
+        latency = g[G_LAT2];
+        level = 3;
+        k[K_SRV_L2]++;
+    } else {
+        k[K_C2_M]++;
+        if (cache_probe(c3_lines, c3_sizes, g[G_C3], g[G_C3 + 1], line)) {
+            k[K_C3_H]++;
+            latency = g[G_LAT3];
+            level = 4;
+            k[K_SRV_L3]++;
+        } else {
+            k[K_C3_M]++;
+            latency = g[G_LATM];
+            level = 5;
+            k[K_SRV_MEM]++;
+            cache_install(c3_lines, c3_sizes, g[G_C3], g[G_C3 + 1],
+                          g[G_C3 + 2], line, &k[K_C3_E]);
+        }
+        /* L3 and MEM serves both refill the L2. */
+        cache_install(c2_lines, c2_sizes, g[G_C2], g[G_C2 + 1],
+                      g[G_C2 + 2], line, &k[K_C2_E]);
+    }
+    cache_install(c1_lines, c1_sizes, g[G_C1], g[G_C1 + 1],
+                  g[G_C1 + 2], line, &k[K_C1_E]);
+    *level_out = level;
+    return latency;
+}
+
+i64 col_run_chunk(const i64 *va_arr, i64 n, i64 warmup,
+                  i64 collect_service,
+                  const i64 *rowidx, const i64 *paths,
+                  i64 *carry, i64 *k, const i64 *g, i64 *service,
+                  i64 *t_tags, i64 *t_frames, i64 *t_sizes,
+                  i64 *u_tags, i64 *u_frames, i64 *u_sizes,
+                  i64 *p2_tags, i64 *p2_frames, i64 *p2_sizes,
+                  i64 *p3_tags, i64 *p3_frames, i64 *p3_sizes,
+                  i64 *p4_tags, i64 *p4_frames, i64 *p4_sizes,
+                  i64 *c1_lines, i64 *c1_sizes,
+                  i64 *c2_lines, i64 *c2_sizes,
+                  i64 *c3_lines, i64 *c3_sizes)
+{
+    i64 now = carry[CAR_NOW];
+    i64 measuring = carry[CAR_MEASURING];
+    i64 acc = carry[CAR_ACC];
+    i64 data_c = carry[CAR_DATA_C];
+    i64 walk_c = carry[CAR_WALK_C];
+    i64 walk_count = carry[CAR_WALK_COUNT];
+    const i64 vbias = g[G_VBIAS];
+    const i64 probe_large = g[G_PROBE_LARGE];
+    const i64 base_cycles = g[G_BASE_CYCLES];
+    const i64 pwc_lat = g[G_PWC_LAT];
+
+    for (i64 i = 0; i < n; i++) {
+        if (!measuring && i >= warmup) {
+            measuring = 1;
+            carry[CAR_L1_BASE] = k[K_L1H];
+            carry[CAR_L2_BASE] = k[K_L2H];
+        }
+        const i64 va = va_arr[i];
+        const i64 vpn = (va >> 12) | vbias;
+        i64 frame = EMPTY;
+        i64 translation = 0;
+
+        /* --- L1 D-TLB probe, small then (optional) large tag ------- */
+        {
+            i64 tag = vpn << 1;
+            i64 set_index = tag & (g[G_T] - 1);
+            i64 base = set_index * g[G_T + 1];
+            if (t_tags[base] == tag) {
+                k[K_LS_H]++;
+                frame = t_frames[base];
+            } else {
+                i64 pos = lru_scan(t_tags, base,
+                                   base + t_sizes[set_index], tag);
+                if (pos >= 0) {
+                    k[K_LS_H]++;
+                    frame = t_frames[pos];
+                    lru_promote(t_tags, t_frames, base, pos);
+                } else {
+                    k[K_LS_M]++;
+                    if (probe_large) {
+                        tag = ((vpn >> 9) << 1) | 1;
+                        set_index = tag & (g[G_T] - 1);
+                        base = set_index * g[G_T + 1];
+                        pos = lru_scan(t_tags, base,
+                                       base + t_sizes[set_index], tag);
+                        if (pos >= 0) {
+                            k[K_LS_H]++;
+                            frame = t_frames[pos];
+                            if (pos != base)
+                                lru_promote(t_tags, t_frames, base, pos);
+                        } else {
+                            k[K_LS_M]++;
+                        }
+                    }
+                }
+            }
+        }
+        if (frame != EMPTY) {
+            k[K_TH]++;
+            k[K_L1H]++;
+        } else {
+            /* --- L2 S-TLB probe, small then (optional) large tag --- */
+            i64 tag = vpn << 1;
+            i64 set_index = tag & (g[G_U] - 1);
+            i64 base = set_index * g[G_U + 1];
+            i64 pos = lru_scan(u_tags, base,
+                               base + u_sizes[set_index], tag);
+            if (pos >= 0) {
+                k[K_US_H]++;
+                frame = u_frames[pos];
+                if (pos != base)
+                    lru_promote(u_tags, u_frames, base, pos);
+            } else {
+                k[K_US_M]++;
+                if (probe_large) {
+                    tag = ((vpn >> 9) << 1) | 1;
+                    set_index = tag & (g[G_U] - 1);
+                    base = set_index * g[G_U + 1];
+                    pos = lru_scan(u_tags, base,
+                                   base + u_sizes[set_index], tag);
+                    if (pos >= 0) {
+                        k[K_US_H]++;
+                        frame = u_frames[pos];
+                        if (pos != base)
+                            lru_promote(u_tags, u_frames, base, pos);
+                    } else {
+                        k[K_US_M]++;
+                    }
+                }
+            }
+            if (frame != EMPTY) {
+                k[K_TH]++;
+                k[K_L2H]++;
+                /* refill the L1 with the small tag (L2 hit path) */
+                const i64 stag = vpn << 1;
+                const i64 t_set = stag & (g[G_T] - 1);
+                lru_install(t_tags, t_frames, t_sizes, t_set,
+                            t_set * g[G_T + 1], g[G_T + 2], stag, frame);
+            }
+        }
+
+        if (frame == EMPTY) {
+            /* --- full miss: priced page walk ----------------------- */
+            k[K_TM]++;
+            const i64 *P = paths + rowidx[i] * 10;
+            i64 t_clock = now + pwc_lat;
+            i64 skip_from = 0;
+            k[K_PWC_PROBES]++;
+            if (pwc_probe(p2_tags, p2_frames, p2_sizes,
+                          g[G_P2], g[G_P2 + 1], P[4])) {
+                k[K_PWC_HITS]++;
+                k[K_P2_H]++;
+                skip_from = 2;
+            } else {
+                k[K_P2_M]++;
+                if (pwc_probe(p3_tags, p3_frames, p3_sizes,
+                              g[G_P3], g[G_P3 + 1], P[5])) {
+                    k[K_PWC_HITS]++;
+                    k[K_P3_H]++;
+                    skip_from = 3;
+                } else {
+                    k[K_P3_M]++;
+                    if (pwc_probe(p4_tags, p4_frames, p4_sizes,
+                                  g[G_P4], g[G_P4 + 1], P[6])) {
+                        k[K_PWC_HITS]++;
+                        k[K_P4_H]++;
+                        skip_from = 4;
+                    } else {
+                        k[K_P4_M]++;
+                    }
+                }
+            }
+            const i64 leaf = P[7];
+            const i64 nlines = leaf == 1 ? 4 : 3;
+            const int svc = (measuring && collect_service) ? 1 : 0;
+            const i64 start = skip_from ? 5 - skip_from : 0;
+            if (svc) {
+                /* skipped prefix: level 4-j served by the PWC */
+                for (i64 j = 0; j < start; j++)
+                    service[(4 - j - 1) * 6 + 0]++;
+            }
+            for (i64 j = start; j < nlines; j++) {
+                const i64 line = P[j];
+                i64 level = 1;
+                i64 lat;
+                const i64 c1_set = line & (g[G_C1] - 1);
+                if (c1_lines[c1_set * g[G_C1 + 1]] == line) {
+                    k[K_C1_H]++;
+                    k[K_SRV_L1]++;
+                    lat = g[G_LAT1];
+                } else {
+                    lat = cache_access(c1_lines, c1_sizes, c2_lines,
+                                       c2_sizes, c3_lines, c3_sizes,
+                                       g, k, line, &level);
+                }
+                t_clock += lat;
+                if (svc)
+                    service[(4 - j - 1) * 6 + level]++;
+            }
+            if (leaf == 1)
+                pwc_insert(p2_tags, p2_frames, p2_sizes,
+                           g[G_P2], g[G_P2 + 1], g[G_P2 + 2], P[4]);
+            pwc_insert(p3_tags, p3_frames, p3_sizes,
+                       g[G_P3], g[G_P3 + 1], g[G_P3 + 2], P[5]);
+            pwc_insert(p4_tags, p4_frames, p4_sizes,
+                       g[G_P4], g[G_P4 + 1], g[G_P4 + 2], P[6]);
+            translation = t_clock - now;
+            k[K_WALKS]++;
+            k[K_WALK_CYCLES] += translation;
+            frame = P[8];
+            /* TLB fill — both tags known absent after the full miss. */
+            if (P[9]) {
+                const i64 ltag = ((vpn >> 9) << 1) | 1;
+                const i64 t_set = ltag & (g[G_T] - 1);
+                lru_install(t_tags, t_frames, t_sizes, t_set,
+                            t_set * g[G_T + 1], g[G_T + 2], ltag, frame);
+                const i64 u_set = ltag & (g[G_U] - 1);
+                lru_install(u_tags, u_frames, u_sizes, u_set,
+                            u_set * g[G_U + 1], g[G_U + 2], ltag, frame);
+            } else {
+                const i64 stag = vpn << 1;
+                const i64 t_set = stag & (g[G_T] - 1);
+                lru_install(t_tags, t_frames, t_sizes, t_set,
+                            t_set * g[G_T + 1], g[G_T + 2], stag, frame);
+                const i64 u_set = stag & (g[G_U] - 1);
+                lru_install(u_tags, u_frames, u_sizes, u_set,
+                            u_set * g[G_U + 1], g[G_U + 2], stag, frame);
+            }
+            if (measuring) {
+                walk_c += translation;
+                walk_count++;
+            }
+        }
+
+        /* --- data access ------------------------------------------- */
+        {
+            const i64 line = (frame << 6) | ((va & 0xFFF) >> 6);
+            i64 level;
+            i64 dlat;
+            const i64 c1_set = line & (g[G_C1] - 1);
+            if (c1_lines[c1_set * g[G_C1 + 1]] == line) {
+                k[K_C1_H]++;
+                k[K_SRV_L1]++;
+                dlat = g[G_LAT1];
+            } else {
+                dlat = cache_access(c1_lines, c1_sizes, c2_lines,
+                                    c2_sizes, c3_lines, c3_sizes,
+                                    g, k, line, &level);
+            }
+            now += base_cycles + translation + dlat;
+            if (measuring) {
+                acc++;
+                data_c += dlat;
+            }
+        }
+    }
+
+    carry[CAR_NOW] = now;
+    carry[CAR_MEASURING] = measuring;
+    carry[CAR_ACC] = acc;
+    carry[CAR_DATA_C] = data_c;
+    carry[CAR_WALK_C] = walk_c;
+    carry[CAR_WALK_COUNT] = walk_count;
+    return 0;
+}
+"""
+
+_CDEF = """
+long long col_run_chunk(const long long *va_arr, long long n,
+    long long warmup, long long collect_service,
+    const long long *rowidx, const long long *paths,
+    long long *carry, long long *k, const long long *g,
+    long long *service,
+    long long *t_tags, long long *t_frames, long long *t_sizes,
+    long long *u_tags, long long *u_frames, long long *u_sizes,
+    long long *p2_tags, long long *p2_frames, long long *p2_sizes,
+    long long *p3_tags, long long *p3_frames, long long *p3_sizes,
+    long long *p4_tags, long long *p4_frames, long long *p4_sizes,
+    long long *c1_lines, long long *c1_sizes,
+    long long *c2_lines, long long *c2_sizes,
+    long long *c3_lines, long long *c3_sizes);
+"""
+
+_BACKEND = None
+_BACKEND_ERROR: str | None = None
+_BACKEND_LOCK = threading.Lock()
+_LOADED = False
+
+
+def _find_compiler() -> str | None:
+    import shutil
+
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _build_library():
+    import cffi
+
+    ffi = cffi.FFI()
+    ffi.cdef(_CDEF)
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    cache_dir = os.path.join(tempfile.gettempdir(),
+                             f"repro-columnar-{digest}")
+    suffix = ".dll" if sys.platform == "win32" else ".so"
+    lib_path = os.path.join(cache_dir, f"columnar{suffix}")
+    if not os.path.exists(lib_path):
+        compiler = _find_compiler()
+        if compiler is None:
+            raise RuntimeError("no C compiler on PATH")
+        os.makedirs(cache_dir, exist_ok=True)
+        src_path = os.path.join(cache_dir, "columnar.c")
+        with open(src_path, "w") as fh:
+            fh.write(_C_SOURCE)
+        tmp_path = f"{lib_path}.tmp{os.getpid()}"
+        subprocess.run(
+            [compiler, "-O2", "-shared", "-fPIC", src_path, "-o", tmp_path],
+            check=True, capture_output=True, text=True)
+        os.replace(tmp_path, lib_path)
+    return ffi, ffi.dlopen(lib_path)
+
+
+def _load_backend() -> None:
+    global _BACKEND, _BACKEND_ERROR, _LOADED
+    if _LOADED:
+        return
+    with _BACKEND_LOCK:
+        if _LOADED:
+            return
+        try:
+            _BACKEND = _build_library()
+        except Exception as exc:  # noqa: BLE001 - any failure => scalar
+            _BACKEND_ERROR = f"{type(exc).__name__}: {exc}"
+        _LOADED = True
+
+
+def columnar_available() -> bool:
+    """Whether the compiled chunk kernel can run on this machine.
+
+    With ``REPRO_REQUIRE_CCORE=1`` in the environment an unavailable
+    backend raises instead of returning False, so a broken toolchain
+    cannot silently demote CI's columnar jobs to the scalar kernel.
+    """
+    _load_backend()
+    if _BACKEND is None and os.environ.get("REPRO_REQUIRE_CCORE"):
+        raise RuntimeError(
+            "REPRO_REQUIRE_CCORE is set but the columnar backend is "
+            f"unavailable: {_BACKEND_ERROR}")
+    return _BACKEND is not None
+
+
+def engine_ready(sim: "NativeSimulation", fast_ok: bool) -> bool:
+    """Can this run() hand whole chunks to the C kernel?
+
+    ``fast_ok`` is the scalar fast sweep's static precondition (no
+    scheme hooks, no co-runner, plain finite TLBs, 3-level PWC).  On
+    top of that the MSHRs must be idle — the kernel has no merge branch,
+    and with no hooks nothing can put a line in flight mid-run — and
+    the backend must have compiled.
+    """
+    if not fast_ok:
+        return False
+    if sim.hierarchy.mshrs._inflight:
+        return False
+    # The C kernel maps tags to sets with `tag & (nsets - 1)`; custom
+    # machine geometries with non-power-of-two set counts (valid for
+    # the scalar `tag % nsets`) stay on the scalar loop.
+    units = [sim.tlbs.l1, sim.tlbs.l2_plain,
+             sim.hierarchy.l1, sim.hierarchy.l2, sim.hierarchy.l3]
+    units += [unit for _, unit in sim.pwc.view]
+    if any(unit.num_sets & (unit.num_sets - 1) for unit in units):
+        return False
+    return columnar_available()
+
+
+class _PathTable:
+    """Per-simulation cache of page-walk rows, keyed by biased VPN.
+
+    Each row holds everything the C kernel needs to replay one page
+    walk: the cache line of each page-table node the walker would
+    touch, the three PWC tags, the leaf level, the frame and the
+    large-page flag.  Rows are immutable once built (the page table is
+    static during a run); ``clear()`` drops them on translation flush,
+    coherently with the scalar path caches.
+    """
+
+    def __init__(self) -> None:
+        self.known = np.empty(0, dtype=np.int64)  # sorted biased vpns
+        self.rows = np.empty(0, dtype=np.int64)   # row ids, aligned
+        self.paths = np.empty((0, _PATH_COLS), dtype=np.int64)
+        self.count = 0
+
+    def clear(self) -> None:
+        self.__init__()
+
+    def rows_for(self, vpns: np.ndarray, process, vbias: int) -> np.ndarray:
+        """Row index for every element of ``vpns`` (biased), building
+        rows for VPNs not seen before."""
+        uniq = np.unique(vpns)
+        if self.known.size:
+            slot = np.searchsorted(self.known, uniq)
+            hit = (self.known[np.minimum(slot, self.known.size - 1)]
+                   == uniq)
+            new = uniq[~hit]
+        else:
+            new = uniq
+        if new.size:
+            self._add(new, process, vbias)
+        return self.rows[np.searchsorted(self.known, vpns)]
+
+    def _add(self, new: np.ndarray, process, vbias: int) -> None:
+        pt = process.page_table
+        raw = new & ((1 << ASID_SHIFT) - 1) if vbias else new
+        count = new.size
+        pages, large = pt.leaf_maps()
+        leaf = np.empty(count, dtype=np.int64)
+        pframe = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            vpn = int(raw[i])
+            frame = pages.get(vpn)
+            if frame is not None:
+                leaf[i] = 1
+                pframe[i] = frame
+                continue
+            lframe = large.get(vpn >> 9)
+            if lframe is not None:
+                leaf[i] = 2
+                pframe[i] = lframe + (vpn & 511)
+                continue
+            # Unmapped: raise the PageFault the scalar walk would (at
+            # chunk pre-scan rather than at the faulting record — the
+            # only observable divergence, and only on faulting traces).
+            process.flat_walk(vpn << 12)
+            raise AssertionError("flat_walk did not raise for an "
+                                 "unmapped vpn")
+
+        rows = np.empty((count, _PATH_COLS), dtype=np.int64)
+        rows[:, 0] = self._node_lines(raw, 4, pt)
+        rows[:, 1] = self._node_lines(raw, 3, pt)
+        rows[:, 2] = self._node_lines(raw, 2, pt)
+        rows[:, 3] = 0
+        sel = leaf == 1
+        if sel.any():
+            rows[sel, 3] = self._node_lines(raw[sel], 1, pt)
+        rows[:, 4] = (raw >> 9) | vbias
+        rows[:, 5] = (raw >> 18) | vbias
+        rows[:, 6] = (raw >> 27) | vbias
+        rows[:, 7] = leaf
+        rows[:, 8] = pframe
+        rows[:, 9] = (leaf == 2).astype(np.int64)
+
+        start = self.count
+        needed = start + count
+        if needed > self.paths.shape[0]:
+            capacity = max(needed, 2 * self.paths.shape[0], 1024)
+            grown = np.empty((capacity, _PATH_COLS), dtype=np.int64)
+            grown[:start] = self.paths[:start]
+            self.paths = grown
+        self.paths[start:needed] = rows
+        self.count = needed
+
+        ids = np.arange(start, needed, dtype=np.int64)
+        # `new` is sorted (np.unique output), so one merged insert keeps
+        # `known`/`rows` aligned and sorted.
+        at = np.searchsorted(self.known, new)
+        self.known = np.insert(self.known, at, new)
+        self.rows = np.insert(self.rows, at, ids)
+
+    @staticmethod
+    def _node_lines(raw: np.ndarray, level: int, pt) -> np.ndarray:
+        """Cache line of the level-``level`` node entry per (raw) vpn —
+        ``flat_walk``'s line arithmetic, vectorized over the node map."""
+        node_map = pt.leaf_nodes(level)
+        keys = raw >> (9 * level)
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        bases = np.fromiter((node_map[int(key)] for key in uniq),
+                            dtype=np.int64, count=uniq.size)
+        index = (raw >> (9 * (level - 1))) & 511
+        return (bases[inverse] + index * 8) >> 6
+
+
+def _as_array(lst: list) -> np.ndarray:
+    return np.asarray(lst, dtype=np.int64)
+
+
+def run_columnar(sim: "NativeSimulation", chunks, warmup: int,
+                 collect_service: bool, stats, carry: tuple) -> tuple:
+    """Drive every chunk of ``chunks`` through the C kernel.
+
+    ``carry`` is the scalar loop's run-wide state tuple ``(now,
+    measuring, acc, data_c, walk_c, walk_count, tlb_l1_base,
+    tlb_l2_base)``; the return value is the updated tuple, with all
+    flat-array state and stats owners mutated exactly as the scalar
+    loop would have left them.  ``warmup`` is the run-global warmup
+    index (this function tracks the chunk offset itself).
+    """
+    ffi, lib = _BACKEND
+    tlbs = sim.tlbs
+    pwc = sim.pwc
+    hierarchy = sim.hierarchy
+    l1t = tlbs.l1
+    l2t = tlbs.l2_plain
+    (_, p2), (_, p3), (_, p4) = pwc.view
+    c1, c2, c3 = hierarchy.l1, hierarchy.l2, hierarchy.l3
+    walker = sim.walker
+    vbias = asid_bias(sim.asid)
+
+    geom = np.zeros(_GEOM_SLOTS, dtype=np.int64)
+    for off, unit in ((_G_T, l1t), (_G_U, l2t), (_G_P2, p2),
+                      (_G_P3, p3), (_G_P4, p4),
+                      (_G_C1, c1), (_G_C2, c2), (_G_C3, c3)):
+        geom[off] = unit.num_sets
+        geom[off + 1] = unit.stride
+        geom[off + 2] = unit.ways
+    geom[_G_LAT1] = hierarchy.latency_of("L1")
+    geom[_G_LAT2] = hierarchy.latency_of("L2")
+    geom[_G_LAT3] = hierarchy.latency_of("L3")
+    geom[_G_LATM] = hierarchy.latency_of("MEM")
+    geom[_G_PWC_LAT] = pwc.params.latency
+    geom[_G_BASE_CYCLES] = sim.machine.core.base_cycles
+    geom[_G_VBIAS] = vbias
+    geom[_G_PROBE_LARGE] = 1 if tlbs.probe_large[0] else 0
+
+    k = np.zeros(_COUNTER_SLOTS, dtype=np.int64)
+    k[K_TH] = tlbs.stats.hits
+    k[K_TM] = tlbs.stats.misses
+    k[K_L1H] = tlbs.l1_hits
+    k[K_L2H] = tlbs.l2_hits
+    k[K_LS_H] = l1t.stats.hits
+    k[K_LS_M] = l1t.stats.misses
+    k[K_US_H] = l2t.stats.hits
+    k[K_US_M] = l2t.stats.misses
+    k[K_PWC_PROBES] = pwc.probes
+    k[K_PWC_HITS] = pwc.hits
+    k[K_P2_H] = p2.stats.hits
+    k[K_P2_M] = p2.stats.misses
+    k[K_P3_H] = p3.stats.hits
+    k[K_P3_M] = p3.stats.misses
+    k[K_P4_H] = p4.stats.hits
+    k[K_P4_M] = p4.stats.misses
+    k[K_WALKS] = walker.walks
+    k[K_WALK_CYCLES] = walker.total_latency
+    k[K_C1_H] = c1.stats.hits
+    k[K_C1_M] = c1.stats.misses
+    k[K_C1_E] = c1.stats.evictions
+    k[K_C2_H] = c2.stats.hits
+    k[K_C2_M] = c2.stats.misses
+    k[K_C2_E] = c2.stats.evictions
+    k[K_C3_H] = c3.stats.hits
+    k[K_C3_M] = c3.stats.misses
+    k[K_C3_E] = c3.stats.evictions
+    k[K_SRV_L1] = hierarchy.served["L1"]
+    k[K_SRV_L2] = hierarchy.served["L2"]
+    k[K_SRV_L3] = hierarchy.served["L3"]
+    k[K_SRV_MEM] = hierarchy.served["MEM"]
+
+    carry_arr = np.zeros(_CARRY_SLOTS, dtype=np.int64)
+    (carry_arr[_CAR_NOW], measuring, carry_arr[_CAR_ACC],
+     carry_arr[_CAR_DATA_C], carry_arr[_CAR_WALK_C],
+     carry_arr[_CAR_WALK_COUNT], carry_arr[_CAR_L1_BASE],
+     carry_arr[_CAR_L2_BASE]) = carry
+    carry_arr[_CAR_MEASURING] = 1 if measuring else 0
+    service = np.zeros(_SERVICE_SLOTS, dtype=np.int64)
+
+    state = sim._columnar_paths
+    if state is None:
+        state = sim._columnar_paths = _PathTable()
+
+    arrays = {
+        "t_tags": _as_array(l1t.tags), "t_frames": _as_array(l1t.frames),
+        "t_sizes": _as_array(l1t.sizes),
+        "u_tags": _as_array(l2t.tags), "u_frames": _as_array(l2t.frames),
+        "u_sizes": _as_array(l2t.sizes),
+        "p2_tags": _as_array(p2.tags), "p2_frames": _as_array(p2.frames),
+        "p2_sizes": _as_array(p2.sizes),
+        "p3_tags": _as_array(p3.tags), "p3_frames": _as_array(p3.frames),
+        "p3_sizes": _as_array(p3.sizes),
+        "p4_tags": _as_array(p4.tags), "p4_frames": _as_array(p4.frames),
+        "p4_sizes": _as_array(p4.sizes),
+        "c1_lines": _as_array(c1.lines), "c1_sizes": _as_array(c1.sizes),
+        "c2_lines": _as_array(c2.lines), "c2_sizes": _as_array(c2.sizes),
+        "c3_lines": _as_array(c3.lines), "c3_sizes": _as_array(c3.sizes),
+    }
+
+    def ptr(arr: np.ndarray):
+        return ffi.cast("long long *", arr.ctypes.data)
+
+    struct_ptrs = [ptr(arrays[name]) for name in (
+        "t_tags", "t_frames", "t_sizes", "u_tags", "u_frames", "u_sizes",
+        "p2_tags", "p2_frames", "p2_sizes", "p3_tags", "p3_frames",
+        "p3_sizes", "p4_tags", "p4_frames", "p4_sizes",
+        "c1_lines", "c1_sizes", "c2_lines", "c2_sizes",
+        "c3_lines", "c3_sizes")]
+
+    try:
+        chunk_base = 0
+        for chunk in chunks:
+            addresses = kernel_chunk(chunk)
+            n = addresses.size
+            if n == 0:
+                continue
+            vpns = (addresses >> 12) | vbias
+            rowidx = np.ascontiguousarray(
+                state.rows_for(vpns, sim.process, vbias))
+            local_warmup = min(max(warmup - chunk_base, 0), n)
+            lib.col_run_chunk(
+                ptr(addresses), n, local_warmup,
+                1 if collect_service else 0,
+                ptr(rowidx), ptr(state.paths),
+                ptr(carry_arr), ptr(k), ptr(geom), ptr(service),
+                *struct_ptrs)
+            chunk_base += n
+    finally:
+        # Write every structure image and counter back to its owner, so
+        # post-run state is indistinguishable from a scalar run.
+        l1t.tags[:] = arrays["t_tags"].tolist()
+        l1t.frames[:] = arrays["t_frames"].tolist()
+        l1t.sizes[:] = arrays["t_sizes"].tolist()
+        l2t.tags[:] = arrays["u_tags"].tolist()
+        l2t.frames[:] = arrays["u_frames"].tolist()
+        l2t.sizes[:] = arrays["u_sizes"].tolist()
+        p2.tags[:] = arrays["p2_tags"].tolist()
+        p2.frames[:] = arrays["p2_frames"].tolist()
+        p2.sizes[:] = arrays["p2_sizes"].tolist()
+        p3.tags[:] = arrays["p3_tags"].tolist()
+        p3.frames[:] = arrays["p3_frames"].tolist()
+        p3.sizes[:] = arrays["p3_sizes"].tolist()
+        p4.tags[:] = arrays["p4_tags"].tolist()
+        p4.frames[:] = arrays["p4_frames"].tolist()
+        p4.sizes[:] = arrays["p4_sizes"].tolist()
+        c1.lines[:] = arrays["c1_lines"].tolist()
+        c1.sizes[:] = arrays["c1_sizes"].tolist()
+        c2.lines[:] = arrays["c2_lines"].tolist()
+        c2.sizes[:] = arrays["c2_sizes"].tolist()
+        c3.lines[:] = arrays["c3_lines"].tolist()
+        c3.sizes[:] = arrays["c3_sizes"].tolist()
+
+        tlbs.stats.hits = int(k[K_TH])
+        tlbs.stats.misses = int(k[K_TM])
+        tlbs.l1_hits = int(k[K_L1H])
+        tlbs.l2_hits = int(k[K_L2H])
+        l1t.stats.hits = int(k[K_LS_H])
+        l1t.stats.misses = int(k[K_LS_M])
+        l2t.stats.hits = int(k[K_US_H])
+        l2t.stats.misses = int(k[K_US_M])
+        pwc.probes = int(k[K_PWC_PROBES])
+        pwc.hits = int(k[K_PWC_HITS])
+        p2.stats.hits = int(k[K_P2_H])
+        p2.stats.misses = int(k[K_P2_M])
+        p3.stats.hits = int(k[K_P3_H])
+        p3.stats.misses = int(k[K_P3_M])
+        p4.stats.hits = int(k[K_P4_H])
+        p4.stats.misses = int(k[K_P4_M])
+        walker.walks = int(k[K_WALKS])
+        walker.total_latency = int(k[K_WALK_CYCLES])
+        c1.stats.hits = int(k[K_C1_H])
+        c1.stats.misses = int(k[K_C1_M])
+        c1.stats.evictions = int(k[K_C1_E])
+        c2.stats.hits = int(k[K_C2_H])
+        c2.stats.misses = int(k[K_C2_M])
+        c2.stats.evictions = int(k[K_C2_E])
+        c3.stats.hits = int(k[K_C3_H])
+        c3.stats.misses = int(k[K_C3_M])
+        c3.stats.evictions = int(k[K_C3_E])
+        hierarchy.served["L1"] = int(k[K_SRV_L1])
+        hierarchy.served["L2"] = int(k[K_SRV_L2])
+        hierarchy.served["L3"] = int(k[K_SRV_L3])
+        hierarchy.served["MEM"] = int(k[K_SRV_MEM])
+
+        if collect_service:
+            # Root-first (level 4 down) so dict insertion order matches
+            # the scalar recorder's walk order.
+            counts = stats.service._counts
+            for row in range(3, -1, -1):
+                level = row + 1
+                for col, label in enumerate(_SERVICE_LABELS):
+                    value = int(service[row * 6 + col])
+                    if value:
+                        bucket = counts.setdefault(level, {})
+                        bucket[label] = bucket.get(label, 0) + value
+
+    return (int(carry_arr[_CAR_NOW]), bool(carry_arr[_CAR_MEASURING]),
+            int(carry_arr[_CAR_ACC]), int(carry_arr[_CAR_DATA_C]),
+            int(carry_arr[_CAR_WALK_C]), int(carry_arr[_CAR_WALK_COUNT]),
+            int(carry_arr[_CAR_L1_BASE]), int(carry_arr[_CAR_L2_BASE]))

@@ -274,6 +274,7 @@ def run_native_mt(
     scale: Scale = Scale(),
     collect_service: bool = True,
     scheme: SchemeSpec | None = None,
+    kernel: str = "scalar",
 ) -> SimStats:
     """Run one native multi-tenant scenario; returns aggregate statistics.
 
@@ -281,7 +282,9 @@ def run_native_mt(
     share one physical memory and buddy allocator (per-tenant pools keep
     each workload's fragmentation knobs), one cache hierarchy and one
     TLB/PWC set; each tenant gets its own process, scheme instance and
-    ASID.
+    ASID.  ``kernel`` selects each tenant simulator's record-loop engine;
+    per-quantum sections run through it exactly as single-tenant traces
+    do.
     """
     names = tenant_names(workload, mt.tenants)
     specs = [get_workload(name) for name in names]
@@ -314,6 +317,7 @@ def run_native_mt(
             pwc=pwc,
             walker=walker,
             asid=index,
+            kernel=kernel,
         )
         # Schemes attach their eviction observer at bind time; snapshot
         # it per tenant so the scheduler can install the *active*
@@ -340,12 +344,14 @@ def run_virtualized_mt(
     scale: Scale = Scale(),
     collect_service: bool = True,
     scheme: SchemeSpec | None = None,
+    kernel: str = "scalar",
 ) -> SimStats:
     """Run one virtualized multi-tenant scenario (N VMs on one host).
 
     Each tenant is a guest VM; all VMs share the host's physical memory
     and buddy allocator, and the ASID doubles as the VMID tagging both
-    the shared TLBs and the host-dimension PWC.
+    the shared TLBs and the host-dimension PWC.  ``kernel`` is accepted
+    for interface parity (the 2D walk always runs the scalar engine).
     """
     names = tenant_names(workload, mt.tenants)
     specs = [get_workload(name) for name in names]
@@ -377,6 +383,7 @@ def run_virtualized_mt(
             host_pwc=host_pwc,
             walker=walker,
             asid=index,
+            kernel=kernel,
         )
         evict_hooks.append(tlbs.l2_evict_hook)
         tlbs.l2_evict_hook = None

@@ -45,15 +45,22 @@ def streaming_first_touch_order(
         return unique
     if order not in ("demand", "chunked"):
         raise ValueError(f"unknown init order {order!r}")
-    seen: set[int] = set()
+    seen = np.empty(0, dtype=np.int64)  # kept sorted
     pieces: list[np.ndarray] = []
     for chunk in chunks:
         _, first_index = np.unique(chunk, return_index=True)
         chunk_demand = chunk[np.sort(first_index)]
-        fresh = [vpn for vpn in chunk_demand.tolist() if vpn not in seen]
-        if fresh:
-            seen.update(fresh)
-            pieces.append(np.asarray(fresh, dtype=np.int64))
+        if seen.size:
+            slot = np.searchsorted(seen, chunk_demand)
+            known = seen[np.minimum(slot, seen.size - 1)] == chunk_demand
+            fresh = chunk_demand[~known]
+        else:
+            fresh = chunk_demand
+        if fresh.size:
+            fresh_sorted = np.sort(fresh)
+            seen = np.insert(seen, np.searchsorted(seen, fresh_sorted),
+                             fresh_sorted)
+            pieces.append(fresh.astype(np.int64, copy=False))
     demand = (np.concatenate(pieces) if pieces
               else np.empty(0, dtype=np.int64))
     if order == "demand":
@@ -65,11 +72,12 @@ def _chunk_regroup(demand: np.ndarray) -> np.ndarray:
     """The "chunked" model: 256-page chunks in first-touch order, VA
     order inside each chunk."""
     chunks = demand >> 8
-    _, chunk_first = np.unique(chunks, return_index=True)
-    pieces = []
-    for index in np.sort(chunk_first):
-        chunk = chunks[index]
-        pieces.append(np.sort(demand[chunks == chunk]))
-    if not pieces:  # empty trace: nothing was ever touched
-        return demand
-    return np.concatenate(pieces)
+    uniq, chunk_first, inverse = np.unique(
+        chunks, return_index=True, return_inverse=True)
+    # Rank each 256-page chunk by when it was first touched, then one
+    # stable two-key sort: primary = chunk first-touch rank, secondary =
+    # VA.  Same output as sorting each chunk's pages and concatenating
+    # in first-touch order, without the per-chunk boolean scans.
+    rank = np.empty(uniq.size, dtype=np.int64)
+    rank[np.argsort(chunk_first, kind="stable")] = np.arange(uniq.size)
+    return demand[np.lexsort((demand, rank[inverse]))]

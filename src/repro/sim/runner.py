@@ -157,6 +157,7 @@ def run_native(
     hole_rate: float = 0.0,
     scheme: SchemeSpec | None = None,
     trace_source: TraceSource | None = None,
+    kernel: str = "scalar",
 ) -> SimStats:
     """Run one native scenario and return its statistics.
 
@@ -168,6 +169,9 @@ def run_native(
     ``trace_source`` replays an explicit trace (e.g. a materialised
     ``repro trace`` file) instead of generating one from the spec; its
     record count must match ``scale.trace_length``.
+
+    ``kernel`` selects the simulator's record-loop engine (see
+    :class:`~repro.sim.simulator.NativeSimulation`).
     """
     spec = _resolve(workload)
     trace = _trace_for(spec, scale, trace_source)
@@ -188,6 +192,7 @@ def run_native(
         infinite_tlb=infinite_tlb,
         corunner=_corunner(scale) if colocated else None,
         scheme=scheme,
+        kernel=kernel,
     )
     return simulation.run(trace, warmup=scale.warmup,
                           collect_service=collect_service,
@@ -247,11 +252,14 @@ def run_virtualized(
     collect_service: bool = True,
     scheme: SchemeSpec | None = None,
     trace_source: TraceSource | None = None,
+    kernel: str = "scalar",
 ) -> SimStats:
     """Run one virtualized scenario and return its statistics.
 
     ``trace_source`` replays an explicit trace, as in
-    :func:`run_native`.
+    :func:`run_native`; ``kernel`` is accepted for interface parity (the
+    2D walk always runs the scalar engine — see
+    :class:`~repro.sim.virt.VirtualizedSimulation`).
     """
     spec = _resolve(workload)
     trace = _trace_for(spec, scale, trace_source)
@@ -263,6 +271,7 @@ def run_virtualized(
         infinite_tlb=infinite_tlb,
         corunner=_corunner(scale) if colocated else None,
         scheme=scheme,
+        kernel=kernel,
     )
     return simulation.run(trace, warmup=scale.warmup,
                           collect_service=collect_service,

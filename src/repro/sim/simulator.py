@@ -126,16 +126,24 @@ class NativeSimulation:
         pwc: SplitPwc | None = None,
         walker: PageWalker | None = None,
         asid: int = 0,
+        kernel: str = "scalar",
     ) -> None:
         """``hierarchy``/``tlbs``/``pwc``/``walker`` let the multi-tenant
         driver (`repro.sim.multitenant`) hand several per-process
         simulations one shared set of hardware structures; ``asid`` tags
         this process's translations within them (0 — the single-tenant
-        default — changes nothing, bit for bit)."""
+        default — changes nothing, bit for bit).  ``kernel`` selects the
+        record-loop engine: ``"scalar"`` (the reference loop below) or
+        ``"columnar"`` (the compiled chunk kernel of
+        `repro.sim.columnar`, byte-identical by construction and by the
+        differential suites; falls back to scalar when its
+        preconditions or the C backend are missing)."""
         if asid and (clustered_tlb or infinite_tlb):
             raise ValueError(
                 "ASID-tagged simulations do not compose with "
                 "clustered/infinite TLBs")
+        if kernel not in ("scalar", "columnar"):
+            raise ValueError(f"unknown simulation kernel {kernel!r}")
         self.process = process
         self.machine = machine
         self.asap = asap
@@ -149,12 +157,16 @@ class NativeSimulation:
         self.walker = walker or PageWalker(self.hierarchy, self.pwc)
         self.corunner = corunner
         self.asid = asid
+        self.kernel = kernel
         #: Per-vpn flattened walk paths (general loop / inlined sweep).
         #: Instance state so a run can be split into scheduler quanta
         #: without re-flattening, and so ``flush_translation_state`` can
         #: clear them coherently with the hardware structures.
         self._flat_paths: dict[int, tuple] = {}
         self._fast_paths: dict[int, tuple] = {}
+        #: The columnar kernel's path-row cache (same role as the two
+        #: dicts above, owned by `repro.sim.columnar`); lazily built.
+        self._columnar_paths = None
         #: Set by AsapScheme.bind_native for introspection/back-compat.
         self.prefetcher: AsapPrefetcher | None = None
         self.scheme = build_scheme(scheme, asap)
@@ -187,6 +199,8 @@ class NativeSimulation:
         active one."""
         self._flat_paths.clear()
         self._fast_paths.clear()
+        if self._columnar_paths is not None:
+            self._columnar_paths.clear()
         self.scheme.on_translation_flush()
 
     # ------------------------------------------------------------------
@@ -870,6 +884,29 @@ class NativeSimulation:
                    and tlbs.l2_evict_hook is None
                    and not tlbs.infinite and not clustered
                    and len(self.pwc.view) == 3)
+        if self.kernel == "columnar":
+            from repro.sim import columnar as _columnar
+
+            if _columnar.engine_ready(self, fast_ok):
+                # Whole-chunk C engine (byte-identical to the loop
+                # below; see repro.sim.columnar).  Runs whenever the
+                # fast sweep could, falls back to scalar otherwise.
+                (now, measuring, acc, data_c, walk_c, walk_count,
+                 tlb_l1_base, tlb_l2_base) = _columnar.run_columnar(
+                    self, iter_trace_chunks(trace), warmup,
+                    collect_service, stats,
+                    (now, measuring, acc, data_c, walk_c, walk_count,
+                     tlb_l1_base, tlb_l2_base))
+                stats.accesses = acc
+                stats.base_cycles = acc * base_cycles
+                stats.data_cycles = data_c
+                stats.walk_cycles = walk_c
+                stats.walks = walk_count
+                stats.cycles = acc * base_cycles + data_c + walk_c
+                stats.tlb_l1_hits = tlbs.l1_hits - tlb_l1_base
+                stats.tlb_l2_hits = tlbs.l2_hits - tlb_l2_base
+                scheme.finalize(stats)
+                return stats
         #: Run-detection seam state: the cache-line block and (biased)
         #: vpn of the previous chunk's last record.  A chunk whose first
         #: record shares that block continues the carried run, and its

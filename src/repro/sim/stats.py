@@ -50,6 +50,17 @@ class ServiceDistribution:
     def total(self, pt_level: object) -> int:
         return sum(self._counts.get(pt_level, {}).values())
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality on the counts (dict ``==`` — insertion order
+        is presentation detail, never part of a result's identity), so
+        two SimStats compare equal exactly when every metric agrees —
+        what the scalar/columnar differential suite asserts."""
+        if not isinstance(other, ServiceDistribution):
+            return NotImplemented
+        return self._counts == other._counts
+
+    __hash__ = None  # mutable counts; never a dict key
+
 
 @dataclass
 class SimStats:

@@ -127,6 +127,33 @@ class ClusteredTlb:
             for pos in range(base, base + self.sizes[set_index])
         )
 
+    def probe_batch(self, vpns) -> list[int | None]:
+        """Read-only bulk probe: the frame per vpn, None on a miss.
+
+        Mirrors :meth:`repro.tlb.tlb.Tlb.probe_batch` — no stats, no
+        promotion — so results are permutation-invariant as long as no
+        fills intervene (the batch-probe property suite pins this
+        against scalar ``contains``/``lookup`` semantics).
+        """
+        out: list[int | None] = []
+        vtags, entries = self.vtags, self.entries
+        for vpn in vpns:
+            cluster_tag, slot = self._split(vpn)
+            set_index = cluster_tag % self.num_sets
+            base = set_index * self.stride
+            frame: int | None = None
+            for pos in range(base + self.sizes[set_index] - 1,
+                             base - 1, -1):
+                if vtags[pos] != cluster_tag:
+                    continue
+                entry = entries[pos]
+                sub = entry.get(slot)
+                if sub is not None:
+                    frame = (entry.phys_cluster << _CLUSTER_SHIFT) | sub
+                    break
+            out.append(frame)
+        return out
+
     def fill(
         self,
         vpn: int,

@@ -125,6 +125,31 @@ class Tlb:
         tags[limit] = EMPTY
         return pos != limit
 
+    def probe_batch(self, batch) -> list[int | None]:
+        """Read-only bulk probe: the cached frame per tag, None on miss.
+
+        A batch is a *query*, not a sequence of accesses — no stats, no
+        LRU movement — so probing any permutation of ``batch`` returns
+        the permuted scalar results (pinned by the batch-probe property
+        suite).  Columnar-kernel tooling and tests use this to inspect
+        residency without perturbing replacement state.
+        """
+        tags = self.tags
+        frames = self.frames
+        sizes = self.sizes
+        stride = self.stride
+        num_sets = self.num_sets
+        out: list[int | None] = []
+        for tag in batch:
+            set_index = tag % num_sets
+            base = set_index * stride
+            limit = base + sizes[set_index]
+            tags[limit] = tag
+            pos = tags.index(tag, base)
+            tags[limit] = EMPTY
+            out.append(None if pos == limit else frames[pos])
+        return out
+
     def fill(self, tag: int, frame: int) -> tuple[int, int] | None:
         """Install a translation; returns the evicted (tag, frame), if
         any — eviction-recycling schemes (Victima) consume the victim."""

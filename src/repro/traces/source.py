@@ -171,6 +171,21 @@ def trace_records(trace) -> int:
     return len(trace)
 
 
+def kernel_chunk(chunk: np.ndarray) -> np.ndarray:
+    """A C-contiguous int64 view of ``chunk`` for compiled kernels.
+
+    Chunk iterators yield views into larger int64 arrays (mmap payloads,
+    generation chunks); those are already contiguous and pass through
+    untouched, so the compiled columnar kernel reads the same memory the
+    scalar loop would.  Anything else (strided slices, narrower dtypes
+    from synthetic tests) is copied once here, at chunk granularity.
+    """
+    if (isinstance(chunk, np.ndarray) and chunk.dtype == np.int64
+            and chunk.flags.c_contiguous):
+        return chunk
+    return np.ascontiguousarray(chunk, dtype=np.int64)
+
+
 def iter_trace_chunks(trace) -> Iterable[np.ndarray]:
     """The execution-chunk view the simulators consume.
 

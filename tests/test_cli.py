@@ -111,8 +111,8 @@ def test_scaling_trace_uses_the_traces_own_seed(tmp_path, monkeypatch):
 
     real = scaling.jobs_for_trace
 
-    def spy(ref, seed=None):
-        jobs = real(ref, seed=seed)
+    def spy(ref, seed=None, kernel="scalar"):
+        jobs = real(ref, seed=seed, kernel=kernel)
         captured["seeds"] = {job.scale.seed for job in jobs}
         return jobs
 

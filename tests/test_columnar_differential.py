@@ -1,0 +1,195 @@
+"""Randomized differential tests: columnar chunk kernel vs scalar oracle.
+
+The compiled columnar kernel (`repro.sim.columnar`) re-implements the
+simulators' scalar record loop in C; the scalar loop is the *oracle* and
+every statistic, service distribution and structure image must match it
+byte for byte.  These tests drive both engines through the same cells —
+every scheme of the comparison roster, native and virtualized,
+single- and multi-tenant, chunk sizes down to one record with warmup
+boundaries landing on and around chunk seams — and compare whole
+``SimStats`` values (``ServiceDistribution`` has value equality, so
+``==`` covers the Figure 9 distributions too).
+
+Where the columnar engine's preconditions hold (plain baseline, no
+co-runner, standard TLBs) the suite also asserts the C kernel actually
+*engaged*, with ``REPRO_REQUIRE_CCORE=1`` making a silent fallback an
+error; scheme/corunner cells exercise the documented wholesale fallback
+instead.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.experiments.common import SCHEMES
+from repro.sim import columnar
+from repro.sim.multitenant import MultiTenantSpec, run_native_mt, \
+    run_virtualized_mt
+from repro.sim.runner import Scale, run_native, run_virtualized
+from repro.sim.simulator import NativeSimulation
+from repro.traces.source import ArraySource
+from repro.workloads.suite import get as get_workload
+
+pytestmark = pytest.mark.skipif(
+    not columnar.columnar_available(),
+    reason="no C compiler/cffi for the columnar backend")
+
+SCALE = Scale(trace_length=6_000, warmup=1_200, seed=11)
+
+SCHEME_NAMES = ("baseline", "asap", "victima", "revelator")
+
+
+def _native_pair(name: str, **kwargs):
+    entry = SCHEMES[name]
+    return [
+        run_native("mc80", entry.native_config, scheme=entry.spec,
+                   scale=SCALE, kernel=kernel, **kwargs)
+        for kernel in ("scalar", "columnar")
+    ]
+
+
+def _virt_pair(name: str):
+    entry = SCHEMES[name]
+    return [
+        run_virtualized("mc80", entry.virt_config, scheme=entry.spec,
+                        scale=SCALE, kernel=kernel)
+        for kernel in ("scalar", "columnar")
+    ]
+
+
+# ----------------------------------------------------------------------
+# scheme roster, native and virtualized
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", SCHEME_NAMES)
+def test_native_schemes_differential(name, monkeypatch):
+    # Baseline cells must run the C kernel (the differential point of
+    # the test); scheme cells exercise the wholesale scalar fallback.
+    if name == "baseline":
+        monkeypatch.setenv("REPRO_REQUIRE_CCORE", "1")
+    scalar, col = _native_pair(name)
+    assert scalar == col
+    assert scalar.service._counts == col.service._counts
+
+
+@pytest.mark.parametrize("name", ("baseline", "asap"))
+def test_virtualized_schemes_differential(name):
+    scalar, col = _virt_pair(name)
+    assert scalar == col
+
+
+def test_native_corunner_falls_back_identically():
+    scalar, col = _native_pair("baseline", colocated=True)
+    assert scalar == col
+
+
+def test_native_clustered_tlb_falls_back_identically():
+    scalar, col = _native_pair("baseline", clustered_tlb=True)
+    assert scalar == col
+
+
+# ----------------------------------------------------------------------
+# chunk seams: tiny chunks, warmup on and around the boundaries
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("chunk_records", (1, 7, 4096))
+def test_chunk_size_seams(chunk_records, monkeypatch):
+    monkeypatch.setenv("REPRO_REQUIRE_CCORE", "1")
+    spec = get_workload("mc80")
+    length = 8_192
+    trace = spec.generate_trace(length, seed=23)
+    # Warmup exactly on a seam, just past one, and mid-chunk.
+    for warmup in (chunk_records, chunk_records + 1, length // 3):
+        results = []
+        for kernel in ("scalar", "columnar"):
+            source = ArraySource(trace, chunk_records=chunk_records)
+            scale = Scale(trace_length=length, warmup=warmup, seed=23)
+            results.append(run_native("mc80", scale=scale,
+                                      trace_source=source, kernel=kernel))
+        monolithic = run_native(
+            "mc80", scale=Scale(trace_length=length, warmup=warmup,
+                                seed=23),
+            trace_source=ArraySource(trace, chunk_records=length),
+            kernel="scalar")
+        assert results[0] == results[1], f"warmup={warmup}"
+        assert results[0] == monolithic, f"warmup={warmup}"
+
+
+# ----------------------------------------------------------------------
+# randomized fuzz over (workload, length, warmup, seed)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", (0, 1, 2, 3))
+def test_randomized_differential(seed, monkeypatch):
+    monkeypatch.setenv("REPRO_REQUIRE_CCORE", "1")
+    rng = random.Random(seed)
+    workload = rng.choice(("mc80", "mcf"))
+    length = rng.randrange(1_500, 9_000)
+    warmup = rng.randrange(0, length)
+    chunk = rng.choice((1, 7, 256, 4096))
+    spec = get_workload(workload)
+    trace = spec.generate_trace(length, seed=seed + 100)
+    scale = Scale(trace_length=length, warmup=warmup, seed=seed + 100)
+    context = (f"seed={seed} workload={workload} length={length} "
+               f"warmup={warmup} chunk={chunk}")
+    scalar, col = [
+        run_native(workload, scale=scale,
+                   trace_source=ArraySource(trace, chunk_records=chunk),
+                   kernel=kernel)
+        for kernel in ("scalar", "columnar")
+    ]
+    assert scalar == col, context
+
+
+# ----------------------------------------------------------------------
+# multi-tenant: per-quantum sections through the chunk kernel
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", ("flush", "asid"))
+def test_multitenant_native_differential(policy):
+    mt = MultiTenantSpec(tenants=2, quantum=700, switch_policy=policy)
+    scalar, col = [
+        run_native_mt("mc80", mt=mt, scale=SCALE, kernel=kernel)
+        for kernel in ("scalar", "columnar")
+    ]
+    assert scalar == col
+
+
+def test_multitenant_virtualized_differential():
+    mt = MultiTenantSpec(tenants=2, quantum=900, switch_policy="asid")
+    scalar, col = [
+        run_virtualized_mt("mc80", mt=mt, scale=SCALE, kernel=kernel)
+        for kernel in ("scalar", "columnar")
+    ]
+    assert scalar == col
+
+
+# ----------------------------------------------------------------------
+# engagement: the C kernel must actually run where its preconditions hold
+# ----------------------------------------------------------------------
+def test_columnar_engine_engages(monkeypatch):
+    monkeypatch.setenv("REPRO_REQUIRE_CCORE", "1")
+    spec = get_workload("mc80")
+    trace = spec.generate_trace(4_000, seed=5)
+    process = spec.build_process(seed=5)
+    sim = NativeSimulation(process, kernel="columnar")
+    sim.populate(trace, order=spec.init_order)
+    sim.run(trace, warmup=500)
+    # The path-row cache is built lazily by the C dispatch: present
+    # exactly when the compiled kernel ran.
+    assert sim._columnar_paths is not None
+
+
+def test_scalar_kernel_never_builds_columnar_state():
+    spec = get_workload("mc80")
+    trace = spec.generate_trace(4_000, seed=5)
+    process = spec.build_process(seed=5)
+    sim = NativeSimulation(process, kernel="scalar")
+    sim.populate(trace, order=spec.init_order)
+    sim.run(trace, warmup=500)
+    assert sim._columnar_paths is None
+
+
+def test_unknown_kernel_rejected():
+    spec = get_workload("mc80")
+    process = spec.build_process(seed=5)
+    with pytest.raises(ValueError, match="unknown simulation kernel"):
+        NativeSimulation(process, kernel="simd")

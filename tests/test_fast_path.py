@@ -11,10 +11,13 @@ run loop, scalar fallback) it lands on.  Any drift here means the hot
 path changed behaviour, not just speed.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.core import config as cfg
+from repro.params import DEFAULT_MACHINE, TlbHierarchyParams, TlbParams
 from repro.schemes import SchemeSpec
 from repro.sim.runner import (
     Scale,
@@ -237,11 +240,13 @@ SPEC = get("mc80")
 
 
 def native_sim(*, config=cfg.BASELINE, scheme=None, clustered=False,
-               infinite=False, coloc=False):
+               infinite=False, coloc=False, kernel="scalar", machine=None):
     process = SPEC.build_process(asap_levels=config.native_levels, seed=7)
+    extra = {} if machine is None else {"machine": machine}
     return NativeSimulation(
         process, asap=config, clustered_tlb=clustered, infinite_tlb=infinite,
-        corunner=_corunner(NSCALE) if coloc else None, scheme=scheme)
+        corunner=_corunner(NSCALE) if coloc else None, scheme=scheme,
+        kernel=kernel, **extra)
 
 
 def run_native_trace(trace, warmup, *, collect=True, **sim_kwargs):
@@ -250,11 +255,12 @@ def run_native_trace(trace, warmup, *, collect=True, **sim_kwargs):
                    init_order=SPEC.init_order)
 
 
-def virt_sim(*, config=cfg.BASELINE, scheme=None, coloc=False):
+def virt_sim(*, config=cfg.BASELINE, scheme=None, coloc=False,
+             kernel="scalar"):
     vm = build_vm(SPEC, config, VSCALE)
     return VirtualizedSimulation(
         vm, asap=config, corunner=_corunner(VSCALE) if coloc else None,
-        scheme=scheme)
+        scheme=scheme, kernel=kernel)
 
 
 def run_virt_trace(trace, warmup, **sim_kwargs):
@@ -512,17 +518,189 @@ class TestServiceParity:
         return {str(level): dict(sorted(stats.service._counts[level].items()))
                 for level in stats.service._counts}
 
-    def test_native_baseline(self):
-        stats = run_native("mc80", cfg.BASELINE, scale=NSCALE)
+    @pytest.mark.parametrize("kernel", ("scalar", "columnar"))
+    def test_native_baseline(self, kernel):
+        stats = run_native("mc80", cfg.BASELINE, scale=NSCALE,
+                           kernel=kernel)
         assert self._distribution(stats) == SERVICE_GOLDEN[
             "service-native-baseline"]
 
-    def test_native_asap(self):
-        stats = run_native("mc80", cfg.P1_P2, scale=NSCALE)
+    @pytest.mark.parametrize("kernel", ("scalar", "columnar"))
+    def test_native_asap(self, kernel):
+        stats = run_native("mc80", cfg.P1_P2, scale=NSCALE, kernel=kernel)
         assert self._distribution(stats) == SERVICE_GOLDEN[
             "service-native-asap"]
 
-    def test_virtualized_asap(self):
-        stats = run_virtualized("mc80", cfg.FULL_2D, scale=VSCALE)
+    @pytest.mark.parametrize("kernel", ("scalar", "columnar"))
+    def test_virtualized_asap(self, kernel):
+        stats = run_virtualized("mc80", cfg.FULL_2D, scale=VSCALE,
+                                kernel=kernel)
         assert self._distribution(stats) == SERVICE_GOLDEN[
             "service-virt-asap"]
+
+
+# ----------------------------------------------------------------------
+# columnar kernel parity: every golden scenario, other engine
+# ----------------------------------------------------------------------
+def _streaky(nt):
+    return np.repeat(nt[:1500], 4)
+
+
+def _vstreaky(vt):
+    return np.repeat(vt[:1000], 4)
+
+
+#: tag -> callable(ntrace, vtrace, kernel) reproducing the golden cell.
+COLUMNAR_SCENARIOS = {
+    "allsame-native": lambda nt, vt, k: run_native_trace(
+        np.full(500, int(nt[0]), dtype=nt.dtype), 100, kernel=k),
+    "native-5level-baseline": lambda nt, vt, k: run_native(
+        "mc80", cfg.BASELINE, pt_levels=5, scale=NSCALE, kernel=k),
+    "native-asap": lambda nt, vt, k: run_native(
+        "mc80", cfg.P1_P2, scale=NSCALE, kernel=k),
+    "native-baseline": lambda nt, vt, k: run_native(
+        "mc80", cfg.BASELINE, scale=NSCALE, kernel=k),
+    "native-bfs-asap": lambda nt, vt, k: run_native(
+        "bfs", cfg.P1_P2, scale=NSCALE, kernel=k),
+    "native-clustered-asap": lambda nt, vt, k: run_native(
+        "mc80", cfg.P1_P2, clustered_tlb=True, scale=NSCALE, kernel=k),
+    "native-clustered-baseline": lambda nt, vt, k: run_native(
+        "mc80", cfg.BASELINE, clustered_tlb=True, scale=NSCALE, kernel=k),
+    "native-coloc-asap": lambda nt, vt, k: run_native(
+        "mc80", cfg.P1_P2, colocated=True, scale=NSCALE, kernel=k),
+    "native-coloc-baseline": lambda nt, vt, k: run_native(
+        "mc80", cfg.BASELINE, colocated=True, scale=NSCALE, kernel=k),
+    "native-coloc-victima": lambda nt, vt, k: run_native(
+        "mc80", colocated=True, scale=NSCALE,
+        scheme=SchemeSpec.victima(), kernel=k),
+    "native-infinite-baseline": lambda nt, vt, k: run_native(
+        "mc80", cfg.BASELINE, infinite_tlb=True, scale=NSCALE, kernel=k),
+    "native-mcf-baseline": lambda nt, vt, k: run_native(
+        "mcf", cfg.BASELINE, scale=NSCALE, kernel=k),
+    "native-revelator": lambda nt, vt, k: run_native(
+        "mc80", scale=NSCALE, scheme=SchemeSpec.revelator(), kernel=k),
+    "native-victima": lambda nt, vt, k: run_native(
+        "mc80", scale=NSCALE, scheme=SchemeSpec.victima(), kernel=k),
+    "native-warmup0-baseline": lambda nt, vt, k: run_native(
+        "mc80", cfg.BASELINE, scale=Scale(6_000, 0, 7), kernel=k),
+    "streak-native-asap": lambda nt, vt, k: run_native_trace(
+        _streaky(nt), 1000, config=cfg.P1_P2, kernel=k),
+    "streak-native-baseline": lambda nt, vt, k: run_native_trace(
+        _streaky(nt), 1000, kernel=k),
+    "streak-native-clustered": lambda nt, vt, k: run_native_trace(
+        _streaky(nt), 1000, clustered=True, kernel=k),
+    "streak-native-coloc": lambda nt, vt, k: run_native_trace(
+        _streaky(nt), 1000, coloc=True, kernel=k),
+    "streak-native-infinite": lambda nt, vt, k: run_native_trace(
+        _streaky(nt), 1000, infinite=True, kernel=k),
+    "streak-native-nocollect": lambda nt, vt, k: run_native_trace(
+        _streaky(nt), 1000, collect=False, kernel=k),
+    "streak-native-revelator": lambda nt, vt, k: run_native_trace(
+        _streaky(nt), 1000, scheme=SchemeSpec.revelator(), kernel=k),
+    "streak-native-victima": lambda nt, vt, k: run_native_trace(
+        _streaky(nt), 1000, scheme=SchemeSpec.victima(), kernel=k),
+    "streak-native-warmup-mid": lambda nt, vt, k: run_native_trace(
+        _streaky(nt), 1001, kernel=k),
+    "streak-native-warmup-mid2": lambda nt, vt, k: run_native_trace(
+        _streaky(nt), 1003, kernel=k),
+    "streak-native-warmup0": lambda nt, vt, k: run_native_trace(
+        _streaky(nt), 0, kernel=k),
+    "streak-virt-asap": lambda nt, vt, k: run_virt_trace(
+        _vstreaky(vt), 800, config=cfg.FULL_2D, kernel=k),
+    "streak-virt-baseline": lambda nt, vt, k: run_virt_trace(
+        _vstreaky(vt), 800, kernel=k),
+    "streak-virt-coloc": lambda nt, vt, k: run_virt_trace(
+        _vstreaky(vt), 800, coloc=True, kernel=k),
+    "streak-virt-revelator": lambda nt, vt, k: run_virt_trace(
+        _vstreaky(vt), 800, scheme=SchemeSpec.revelator(), kernel=k),
+    "streak-virt-warmup-mid": lambda nt, vt, k: run_virt_trace(
+        _vstreaky(vt), 801, kernel=k),
+    "tiny-native-1rec": lambda nt, vt, k: run_native_trace(
+        nt[:1], 0, kernel=k),
+    "tiny-native-3rec-samepage": lambda nt, vt, k: run_native_trace(
+        np.repeat(nt[:1], 3), 0, kernel=k),
+    "tiny-native-run-to-end": lambda nt, vt, k: run_native_trace(
+        np.repeat(nt[:10], 600), 1000, kernel=k),
+    "virt-asap": lambda nt, vt, k: run_virtualized(
+        "mc80", cfg.FULL_2D, scale=VSCALE, kernel=k),
+    "virt-baseline": lambda nt, vt, k: run_virtualized(
+        "mc80", cfg.BASELINE, scale=VSCALE, kernel=k),
+    "virt-coloc-baseline": lambda nt, vt, k: run_virtualized(
+        "mc80", cfg.BASELINE, colocated=True, scale=VSCALE, kernel=k),
+    "virt-infinite-baseline": lambda nt, vt, k: run_virtualized(
+        "mc80", cfg.BASELINE, infinite_tlb=True, scale=VSCALE, kernel=k),
+    "virt-revelator": lambda nt, vt, k: run_virtualized(
+        "mc80", scale=VSCALE, scheme=SchemeSpec.revelator(), kernel=k),
+    "virt-victima": lambda nt, vt, k: run_virtualized(
+        "mc80", scale=VSCALE, scheme=SchemeSpec.victima(), kernel=k),
+}
+
+
+class TestColumnarGoldenParity:
+    """The columnar chunk kernel against the same pinned goldens.
+
+    The goldens above are the scalar oracle; every scenario — engaged
+    C kernel and documented scalar fallbacks alike — must land on the
+    identical numbers under ``kernel="columnar"``."""
+
+    def test_covers_every_golden(self):
+        assert set(COLUMNAR_SCENARIOS) == set(GOLDEN)
+
+    @pytest.mark.parametrize("tag", sorted(GOLDEN))
+    def test_matches_golden(self, tag, ntrace, vtrace, monkeypatch):
+        monkeypatch.setenv("REPRO_REQUIRE_CCORE", "1")
+        _assert_golden(tag,
+                       COLUMNAR_SCENARIOS[tag](ntrace, vtrace, "columnar"))
+
+
+# ----------------------------------------------------------------------
+# degenerate geometries, pinned for both kernels
+# ----------------------------------------------------------------------
+DEGENERATE_GOLDEN = {
+    "degenerate-native-allmiss": (
+        (3678, 1446170, 7356, 702498, 736316, 3678, 0, 0, 0, 0, 0),
+        (),
+    ),
+    "degenerate-native-1set-tlb": (
+        (2000, 550201, 4000, 259515, 286686, 1963, 7, 30, 0, 0, 0),
+        (),
+    ),
+}
+
+
+class TestDegenerateGoldens:
+    """Length-1 traces, all-miss traces and single-set TLBs: the edge
+    geometries where off-by-ones in set masking, warmup handling or LRU
+    guard slots would surface first.  Pinned for both kernels."""
+
+    def _assert_degenerate(self, tag, stats):
+        got = (tuple(int(getattr(stats, field)) for field in FIELDS),
+               tuple(sorted(stats.scheme_stats.items())))
+        assert got == DEGENERATE_GOLDEN[tag], (
+            f"{tag}: {dict(zip(FIELDS, got[0]))}")
+
+    @pytest.mark.parametrize("kernel", ("scalar", "columnar"))
+    def test_length_one_trace(self, ntrace, kernel):
+        _assert_golden("tiny-native-1rec",
+                       run_native_trace(ntrace[:1], 0, kernel=kernel))
+
+    @pytest.mark.parametrize("kernel", ("scalar", "columnar"))
+    def test_all_miss_trace(self, ntrace, kernel):
+        # Every record touches a distinct page exactly once: no run
+        # batching, no TLB reuse — every access walks.
+        pages = np.unique(ntrace >> 12)
+        trace = (pages << 12).astype(np.int64)
+        self._assert_degenerate(
+            "degenerate-native-allmiss",
+            run_native_trace(trace, 0, kernel=kernel))
+
+    @pytest.mark.parametrize("kernel", ("scalar", "columnar"))
+    def test_single_set_tlb(self, ntrace, kernel):
+        machine = dataclasses.replace(
+            DEFAULT_MACHINE,
+            tlb=TlbHierarchyParams(l1=TlbParams(entries=4, ways=4),
+                                   l2=TlbParams(entries=16, ways=16)))
+        self._assert_degenerate(
+            "degenerate-native-1set-tlb",
+            run_native_trace(ntrace[:2500], 500, kernel=kernel,
+                             machine=machine))

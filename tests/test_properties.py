@@ -8,6 +8,8 @@ never-hurts overlap rule of the walker.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -91,6 +93,88 @@ class TestTlbProperties:
             hit = tlb.lookup(vpn)
             if hit is not None:
                 assert hit == mapping[vpn]
+
+
+class TestBatchProbeProperties:
+    """``probe_batch`` is a pure read: it must agree with the scalar
+    probes, leave every byte of structure state untouched, and therefore
+    commute with any permutation of the batch (no fills intervene)."""
+
+    fills = st.lists(st.tuples(st.integers(0, 2047),
+                               st.integers(0, 1 << 30)),
+                     min_size=1, max_size=150)
+    batch = st.lists(st.integers(0, 2047), min_size=1, max_size=60)
+
+    @staticmethod
+    def _tlb(pairs):
+        tlb = Tlb(TlbParams(entries=32, ways=4))
+        for tag, frame in pairs:
+            tlb.fill(tag, frame)
+        return tlb
+
+    @staticmethod
+    def _clustered(pairs):
+        tlb = ClusteredTlb(TlbParams(entries=32, ways=4))
+        for vpn, frame in pairs:
+            tlb.fill(vpn, frame)
+        return tlb
+
+    @given(fills, batch)
+    def test_tlb_batch_matches_scalar_lookup(self, pairs, tags):
+        tlb = self._tlb(pairs)
+        results = tlb.probe_batch(tags)
+        for tag, result in zip(tags, results):
+            assert (result is not None) == tlb.contains(tag)
+            # lookup() promotes, so ask a throwaway copy for the frame.
+            assert copy.deepcopy(tlb).lookup(tag) == result
+
+    @given(fills, batch)
+    def test_tlb_batch_leaves_state_untouched(self, pairs, tags):
+        tlb = self._tlb(pairs)
+        before = (list(tlb.tags), list(tlb.frames), list(tlb.sizes),
+                  tlb.stats.hits, tlb.stats.misses)
+        tlb.probe_batch(tags)
+        after = (list(tlb.tags), list(tlb.frames), list(tlb.sizes),
+                 tlb.stats.hits, tlb.stats.misses)
+        assert before == after
+
+    @given(fills, batch, st.randoms(use_true_random=False))
+    def test_tlb_batch_commutes_with_permutation(self, pairs, tags, rnd):
+        tlb = self._tlb(pairs)
+        order = list(range(len(tags)))
+        rnd.shuffle(order)
+        straight = tlb.probe_batch(tags)
+        shuffled = tlb.probe_batch([tags[i] for i in order])
+        assert shuffled == [straight[i] for i in order]
+        # A bulk probe equals the fold of single-element probes.
+        assert straight == [tlb.probe_batch([tag])[0] for tag in tags]
+
+    @given(fills, batch)
+    def test_clustered_batch_matches_scalar_lookup(self, pairs, vpns):
+        tlb = self._clustered(pairs)
+        results = tlb.probe_batch(vpns)
+        for vpn, result in zip(vpns, results):
+            assert (result is not None) == tlb.contains(vpn)
+            assert copy.deepcopy(tlb).lookup(vpn) == result
+
+    @given(fills, batch, st.randoms(use_true_random=False))
+    def test_clustered_batch_pure_and_permutation_invariant(
+            self, pairs, vpns, rnd):
+        tlb = self._clustered(pairs)
+        before = (list(tlb.vtags), list(tlb.ptags), list(tlb.sizes),
+                  [(e.phys_cluster, e.valid_mask, list(e.sub_indices))
+                   if e is not None else None for e in tlb.entries],
+                  tlb.stats.hits, tlb.stats.misses)
+        order = list(range(len(vpns)))
+        rnd.shuffle(order)
+        straight = tlb.probe_batch(vpns)
+        shuffled = tlb.probe_batch([vpns[i] for i in order])
+        assert shuffled == [straight[i] for i in order]
+        after = (list(tlb.vtags), list(tlb.ptags), list(tlb.sizes),
+                 [(e.phys_cluster, e.valid_mask, list(e.sub_indices))
+                  if e is not None else None for e in tlb.entries],
+                 tlb.stats.hits, tlb.stats.misses)
+        assert before == after
 
 
 class TestPermutationProperties:

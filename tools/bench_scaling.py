@@ -4,7 +4,9 @@
 Usage::
 
     python tools/bench_scaling.py [--trace-length 60000]
+        [--kernel scalar|columnar]
         [--output BENCH_scaling.json] [--label TEXT]
+        [--check-against BENCH_scaling.json [--threshold 1.25]]
 
 Runs every cell of the `repro scaling` grid (records x {baseline, asap}
 on the convergence workload) and appends one entry to a JSON trajectory
@@ -13,6 +15,14 @@ and the headline statistics.  Each cell executes in a fresh child
 interpreter so ``ru_maxrss`` is a true per-cell high-water mark — the
 number that demonstrates the streaming front end keeps a 10M-record run
 bounded by the execution chunk, not the trace length.
+
+``--kernel`` selects the simulation engine (the scalar record loop or
+the compiled columnar chunk kernel); it is recorded per entry and per
+row, so the trajectory can hold both engines' histories side by side.
+``--check-against`` mirrors ``bench_schemes.py``'s CI perf gate: rerun
+(CI uses a reduced ``--trace-length``), normalise both sides to seconds
+per record, and fail if any cell of the ladder is slower than the
+reference entry's matching cell by more than ``--threshold``.
 
 This is deliberately a *tool*, not part of the experiment: the
 experiment's tables must stay deterministic (the sweep-determinism CI
@@ -42,11 +52,12 @@ from repro.sim.runner import Scale  # noqa: E402
 _CHILD_FLAG = "--run-cell"
 
 
-def _run_cell_in_child(records: int, scheme: str, scale: Scale) -> dict:
+def _run_cell_in_child(records: int, scheme: str, scale: Scale,
+                       kernel: str) -> dict:
     """Execute one cell in a fresh interpreter; returns its measurement."""
     spec = json.dumps({
         "records": records, "scheme": scheme,
-        "warmup": scale.warmup, "seed": scale.seed,
+        "warmup": scale.warmup, "seed": scale.seed, "kernel": kernel,
     })
     started = time.perf_counter()
     proc = subprocess.run(
@@ -67,7 +78,8 @@ def _child_main(spec_json: str) -> int:
     job = scaling._job(
         spec["records"], scaling._entry(spec["scheme"]),
         Scale(trace_length=spec["records"], warmup=spec["warmup"],
-              seed=spec["seed"]))
+              seed=spec["seed"]),
+        kernel=spec.get("kernel", "scalar"))
     from repro.runtime.job import execute_job
 
     started = time.perf_counter()
@@ -77,12 +89,71 @@ def _child_main(spec_json: str) -> int:
     print(json.dumps({
         "scheme": spec["scheme"],
         "records": spec["records"],
+        "kernel": job.kernel,
         "seconds": round(seconds, 2),
         "peak_rss_mb": round(rss_kb / 1024, 1),
         "walks": stats.walks,
         "translation_fraction": round(stats.walk_fraction, 4),
         "avg_walk_latency": round(stats.avg_walk_latency, 1),
     }))
+    return 0
+
+
+def _rung_index(rows: list[dict]) -> dict[tuple[str, int], dict]:
+    """Rows keyed by (scheme, ladder position).
+
+    Record counts scale with ``--trace-length``, so cells from runs at
+    different base lengths are matched by their *rung* — the rank of the
+    row's record count within its own entry — which is what makes CI's
+    reduced ladder comparable against the checked-in full-scale one.
+    """
+    counts = sorted({row["records"] for row in rows})
+    return {(row["scheme"], counts.index(row["records"])): row
+            for row in rows}
+
+
+def _reference_entry(path: Path) -> dict:
+    if not path.exists():
+        raise SystemExit(f"reference file {path} does not exist")
+    document = json.loads(path.read_text())
+    entries = document.get("entries")
+    if not entries:
+        raise SystemExit(f"reference file {path} has no entries")
+    return entries[-1]
+
+
+def check_against(rows: list[dict], reference: Path, threshold: float,
+                  entry: dict) -> int:
+    """Per-record perf gate against the reference entry's latest ladder.
+
+    ``entry`` was snapshotted *before* this run appended anything (the
+    reference and the output may be the same file).  A cell missing from
+    the reference is reported, not failed — new rungs/schemes start
+    their own history.
+    """
+    ref_index = _rung_index(entry["results"])
+    run_index = _rung_index(rows)
+    failures = []
+    print(f"\nperf check vs {reference} "
+          f"(entry {entry.get('generated')}, threshold {threshold:.2f}x)")
+    for (scheme, rung), row in sorted(run_index.items()):
+        ref = ref_index.get((scheme, rung))
+        if ref is None:
+            print(f"  {scheme:8s} rung {rung}  no reference cell — "
+                  "skipped")
+            continue
+        measured = row["seconds"] / row["records"]
+        baseline = ref["seconds"] / ref["records"]
+        ratio = measured / baseline if baseline else float("inf")
+        verdict = "ok" if measured <= threshold * baseline else "FAIL"
+        print(f"  {scheme:8s} rung {rung}  {1e6 * measured:8.3f} us/rec "
+              f"(ref {1e6 * baseline:8.3f}, {ratio:5.2f}x) {verdict}")
+        if measured > threshold * baseline:
+            failures.append(f"{scheme}@rung{rung}")
+    if failures:
+        print(f"perf check FAILED for: {', '.join(failures)}")
+        return 1
+    print("perf check passed")
     return 0
 
 
@@ -95,17 +166,33 @@ def main(argv: list[str] | None = None) -> int:
                         help="base of the record ladder (default 60000 "
                              "-> 60k/1M/10M)")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--kernel", choices=("scalar", "columnar"),
+                        default="scalar",
+                        help="simulation engine for every cell")
     parser.add_argument("--output",
                         default=str(REPO_ROOT / "BENCH_scaling.json"))
     parser.add_argument("--label", default=None)
+    parser.add_argument("--check-against", default=None, metavar="FILE",
+                        help="compare against FILE's latest entry and "
+                             "exit non-zero on regression (the CI perf "
+                             "gate)")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="allowed slowdown factor for --check-against")
     args = parser.parse_args(argv)
+
+    # Snapshot the reference before anything is written: the reference
+    # and --output may be the same file, and a run must never be gated
+    # against the entry it just appended.
+    reference = None
+    if args.check_against:
+        reference = _reference_entry(Path(args.check_against))
 
     scale = Scale(trace_length=args.trace_length,
                   warmup=args.trace_length // 5, seed=args.seed)
     rows = []
     for records in scaling.record_counts(scale):
         for scheme in scaling.SCHEME_NAMES:
-            row = _run_cell_in_child(records, scheme, scale)
+            row = _run_cell_in_child(records, scheme, scale, args.kernel)
             rows.append(row)
             print(f"  {scheme:8s} {records:>10,d} records  "
                   f"{row['seconds']:8.2f}s  {row['peak_rss_mb']:8.1f}MB  "
@@ -123,10 +210,15 @@ def main(argv: list[str] | None = None) -> int:
         "machine": platform.machine(),
         "nproc": os.cpu_count(),
         "base_trace_length": args.trace_length,
+        "kernel": args.kernel,
         "results": rows,
     })
     path.write_text(json.dumps(document, indent=2) + "\n")
     print(f"appended entry to {path}")
+
+    if reference is not None:
+        return check_against(rows, Path(args.check_against),
+                             args.threshold, reference)
     return 0
 
 

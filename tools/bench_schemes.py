@@ -5,6 +5,7 @@ Usage::
 
     PYTHONPATH=src python tools/bench_schemes.py [--output BENCH_schemes.json]
         [--workload mc80] [--trace-length 60000] [--virtualized] [--repeats 3]
+        [--kernel scalar|columnar]
         [--check-against BENCH_schemes.json [--threshold 1.25]]
 
 Times every registered scheme (`repro.experiments.common.SCHEMES`) on
@@ -90,7 +91,7 @@ def environment_metadata() -> dict:
 
 
 def bench_one(name: str, workload: str, scale: Scale, virtualized: bool,
-              repeats: int) -> dict:
+              repeats: int, kernel: str) -> dict:
     entry = SCHEMES[name]
     config = entry.virt_config if virtualized else entry.native_config
     runner = run_virtualized if virtualized else run_native
@@ -99,13 +100,14 @@ def bench_one(name: str, workload: str, scale: Scale, virtualized: bool,
     for _ in range(repeats):
         started = time.perf_counter()
         stats = runner(workload, config, scale=scale, scheme=entry.spec,
-                       collect_service=False)
+                       collect_service=False, kernel=kernel)
         elapsed = time.perf_counter() - started
         best = elapsed if best is None else min(best, elapsed)
     assert stats is not None
     return {
         "scheme": name,
         "config": config.name,
+        "kernel": kernel,
         "seconds": round(best, 3),
         "walks": stats.walks,
         "walk_cycles": stats.walk_cycles,
@@ -123,7 +125,8 @@ MT_TENANTS = 2
 MT_QUANTUM_DIVISOR = 8
 
 
-def bench_mt(workload: str, scale: Scale, repeats: int) -> dict:
+def bench_mt(workload: str, scale: Scale, repeats: int,
+             kernel: str) -> dict:
     """Time the multi-tenant scheduler path (baseline scheme)."""
     mt = MultiTenantSpec(
         tenants=MT_TENANTS,
@@ -135,13 +138,14 @@ def bench_mt(workload: str, scale: Scale, repeats: int) -> dict:
     for _ in range(repeats):
         started = time.perf_counter()
         stats = run_native_mt(workload, mt=mt, scale=scale,
-                              collect_service=False)
+                              collect_service=False, kernel=kernel)
         elapsed = time.perf_counter() - started
         best = elapsed if best is None else min(best, elapsed)
     assert stats is not None and best is not None
     return {
         "scheme": MT_ROW,
         "config": mt.label(),
+        "kernel": kernel,
         "seconds": round(best, 3),
         "walks": stats.walks,
         "walk_cycles": stats.walk_cycles,
@@ -229,6 +233,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--virtualized", action="store_true")
     parser.add_argument("--repeats", type=int, default=3,
                         help="runs per scheme; the best time is kept")
+    parser.add_argument("--kernel", choices=("scalar", "columnar"),
+                        default="scalar",
+                        help="simulation engine: the per-record loop or "
+                             "the compiled columnar chunk kernel "
+                             "(byte-identical statistics)")
     parser.add_argument("--output", default=str(REPO_ROOT
                                                 / "BENCH_schemes.json"))
     parser.add_argument("--label", default=None,
@@ -257,7 +266,7 @@ def main(argv: list[str] | None = None) -> int:
     rows = []
     for name in SCHEMES:
         row = bench_one(name, args.workload, scale, args.virtualized,
-                        args.repeats)
+                        args.repeats, args.kernel)
         rows.append(row)
         print(f"{name:10s} {row['seconds']:7.3f}s  "
               f"walks={row['walks']}  "
@@ -265,7 +274,7 @@ def main(argv: list[str] | None = None) -> int:
     if not args.virtualized:
         # The multi-tenant scheduler row (native only: the 2D mt path is
         # too slow for the CI gate's wall-clock budget).
-        row = bench_mt(args.workload, scale, args.repeats)
+        row = bench_mt(args.workload, scale, args.repeats, args.kernel)
         rows.append(row)
         print(f"{row['scheme']:10s} {row['seconds']:7.3f}s  "
               f"walks={row['walks']}  "
@@ -283,6 +292,10 @@ def main(argv: list[str] | None = None) -> int:
         "machine": env["machine"],
         "env": env,
         "repeats": args.repeats,
+        # Per entry, not in the header: scalar and columnar histories
+        # share one trajectory (the statistics are byte-identical; only
+        # wall time differs).
+        "kernel": args.kernel,
         "results": rows,
     }
     if args.label:
