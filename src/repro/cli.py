@@ -11,6 +11,7 @@ Commands
 * ``trace materialize|info|hash`` — on-disk streaming traces
 * ``sweep [--only NAME ...]``  — every experiment as one parallel batch
 * ``report [--fast]``          — regenerate everything, section by section
+* ``obs summary|timeline|export|dashboard|validate`` — run telemetry
 * ``validate``                 — check the paper's qualitative shapes
 
 Parallelism and caching
@@ -43,6 +44,8 @@ def _engine_from(args) -> Engine:
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
         progress=getattr(args, "progress", False),
+        obs=getattr(args, "obs", False),
+        obs_dir=getattr(args, "obs_dir", None),
     )
 
 
@@ -56,6 +59,12 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                         help="disable the on-disk result cache")
     parser.add_argument("--progress", action="store_true",
                         help="stream per-job progress to stderr")
+    parser.add_argument("--obs", action="store_true",
+                        help="record a structured event log for the run "
+                             "(or set REPRO_OBS=1)")
+    parser.add_argument("--obs-dir", default=None, metavar="DIR",
+                        help="where event logs land "
+                             "(default: <cache-dir>/obs)")
 
 
 def _cmd_list(_args) -> int:
@@ -251,7 +260,112 @@ def _cmd_report(args) -> int:
         argv.append("--no-cache")
     if args.progress:
         argv.append("--progress")
+    if args.obs:
+        argv.append("--obs")
+    if args.obs_dir:
+        argv += ["--obs-dir", args.obs_dir]
     return report.main(argv)
+
+
+def _find_obs_log(args) -> str:
+    """Resolve the log to operate on: explicit path, or the newest
+    ``sweep-*.jsonl`` under the obs directory."""
+    from pathlib import Path
+
+    log = getattr(args, "log", None)
+    if log:
+        if not Path(log).exists():
+            raise FileNotFoundError(f"no such event log: {log}")
+        return log
+    directory = Path(args.obs_dir or Path(args.cache_dir) / "obs")
+    candidates = sorted(directory.glob("*.jsonl"),
+                        key=lambda p: p.stat().st_mtime)
+    if not candidates:
+        raise FileNotFoundError(
+            f"no event logs under {directory}; run a sweep with --obs "
+            f"first, or pass a log path")
+    return str(candidates[-1])
+
+
+def _cmd_obs(args) -> int:
+    import json
+
+    from repro.obs import export as obs_export
+    from repro.obs import reader as obs_reader
+    from repro.obs import summary as obs_summary
+    from repro.obs import timeline as obs_timeline
+
+    try:
+        if args.obs_command == "dashboard":
+            return _cmd_obs_dashboard(args)
+        path = _find_obs_log(args)
+        header, events = obs_reader.read_log(path)
+    except (FileNotFoundError, obs_reader.ObsLogError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.obs_command == "summary":
+        print(f"[obs] {path}", file=sys.stderr)
+        print(obs_summary.render_summary(
+            obs_summary.summarize(header, events)))
+    elif args.obs_command == "timeline":
+        print(f"[obs] {path}", file=sys.stderr)
+        print(obs_timeline.render_timeline(header, events,
+                                           width=args.width))
+    elif args.obs_command == "export":
+        out = args.out or (path[: -len(".jsonl")] + ".trace.json"
+                           if path.endswith(".jsonl")
+                           else path + ".trace.json")
+        obs_export.write_chrome_trace(out, header, events)
+        print(f"wrote {out} ({len(events)} events); open in "
+              f"chrome://tracing or ui.perfetto.dev")
+    elif args.obs_command == "validate":
+        problems = obs_reader.validate(header, events)
+        if args.json:
+            print(json.dumps({"path": path, "events": len(events),
+                              "problems": problems}, indent=2))
+        else:
+            for problem in problems:
+                print(f"  {problem}")
+            print(f"{'FAIL' if problems else 'ok'}: {path} "
+                  f"({len(events)} events, {len(problems)} problem(s))")
+        return 1 if problems else 0
+    return 0
+
+
+def _cmd_obs_dashboard(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import reader as obs_reader
+    from repro.obs.dashboard import build_dashboard
+
+    logs = []
+    paths = args.logs or []
+    if not paths:
+        try:
+            paths = [_find_obs_log(args)]
+        except FileNotFoundError:
+            paths = []  # BENCH-only dashboards are fine
+    for path in paths:
+        logs.append(obs_reader.read_log(path))
+
+    def load(path: str | None):
+        if path is None:
+            return None
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+
+    html = build_dashboard(
+        logs,
+        bench_schemes=load(args.bench_schemes),
+        bench_scaling=load(args.bench_scaling),
+    )
+    Path(args.out).write_text(html, encoding="utf-8")
+    print(f"wrote {args.out} ({len(logs)} run(s)"
+          + (", schemes trajectory" if args.bench_schemes else "")
+          + (", scaling trajectory" if args.bench_scaling else "") + ")")
+    return 0
 
 
 def _cmd_validate(args) -> int:
@@ -357,6 +471,56 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--fast", action="store_true")
     _add_engine_options(rep)
 
+    obs = sub.add_parser(
+        "obs", help="inspect run-telemetry event logs (repro.obs)")
+    osub = obs.add_subparsers(dest="obs_command", required=True)
+
+    def _obs_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("log", nargs="?", default=None,
+                       help="event log path (default: newest under "
+                            "the obs directory)")
+        p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       help=argparse.SUPPRESS)
+        p.add_argument("--obs-dir", default=None, metavar="DIR",
+                       help="where event logs live "
+                            "(default: <cache-dir>/obs)")
+
+    osum = osub.add_parser(
+        "summary", help="phase/component time table per job")
+    _obs_common(osum)
+    otl = osub.add_parser(
+        "timeline", help="terminal Gantt of workers x jobs")
+    _obs_common(otl)
+    otl.add_argument("--width", type=positive_int, default=72,
+                     help="chart columns (default: 72)")
+    oexp = osub.add_parser(
+        "export", help="convert to Chrome-trace / Perfetto JSON")
+    _obs_common(oexp)
+    oexp.add_argument("--out", default=None, metavar="FILE",
+                      help="output path (default: <log>.trace.json)")
+    oval = osub.add_parser(
+        "validate", help="check a log against the event schema")
+    _obs_common(oval)
+    oval.add_argument("--json", action="store_true",
+                      help="machine-readable verdict")
+    odash = osub.add_parser(
+        "dashboard", help="build the static HTML dashboard")
+    odash.add_argument("logs", nargs="*", default=None,
+                       help="event log path(s) (default: newest under "
+                            "the obs directory)")
+    odash.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       help=argparse.SUPPRESS)
+    odash.add_argument("--obs-dir", default=None, metavar="DIR",
+                       help="where event logs live "
+                            "(default: <cache-dir>/obs)")
+    odash.add_argument("--out", default="dashboard.html", metavar="FILE",
+                       help="output HTML path (default: dashboard.html)")
+    odash.add_argument("--bench-schemes", default=None, metavar="JSON",
+                       help="BENCH_schemes.json for the perf trajectory")
+    odash.add_argument("--bench-scaling", default=None, metavar="JSON",
+                       help="BENCH_scaling.json for the scaling "
+                            "trajectory")
+
     val = sub.add_parser("validate", help="check paper-shape invariants")
     val.add_argument("--trace-length", type=positive_int, default=20_000)
     val.add_argument("--seed", type=int, default=42)
@@ -375,6 +539,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "sweep": _cmd_sweep,
         "report": _cmd_report,
+        "obs": _cmd_obs,
         "validate": _cmd_validate,
     }[args.command]
     return handler(args)

@@ -154,6 +154,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="disable the on-disk result cache")
     parser.add_argument("--progress", action="store_true",
                         help="stream per-job progress to stderr")
+    parser.add_argument("--obs", action="store_true",
+                        help="record a structured event log (repro.obs)")
+    parser.add_argument("--obs-dir", default=None, metavar="DIR",
+                        help="event log directory (default: "
+                             "<cache-dir>/obs)")
     args = parser.parse_args(argv)
     scale = DEFAULT_SCALE
     if args.fast:
@@ -171,7 +176,8 @@ def main(argv: list[str] | None = None) -> int:
         scale = dataclasses.replace(scale, seed=args.seed)
     engine = Engine.from_options(jobs=args.jobs, cache_dir=args.cache_dir,
                                  no_cache=args.no_cache,
-                                 progress=args.progress)
+                                 progress=args.progress,
+                                 obs=args.obs, obs_dir=args.obs_dir)
     generate(scale, engine=engine)
     return 0
 

@@ -1,0 +1,25 @@
+"""Run telemetry: structured event log, aggregation, and dashboards.
+
+`repro.obs` is opt-in observability for the whole pipeline.  The engine
+activates a :class:`~repro.obs.events.Recorder` when a run asks for it
+(``--obs`` or ``REPRO_OBS=1``); the instrumentation seams in the sweep
+engine, the simulators, and the multi-tenant scheduler emit spans and
+counter samples into whatever :func:`~repro.obs.events.active` returns,
+and do nothing (one ``is None`` test, at chunk/job granularity) when it
+returns ``None``.  Event logs are JSONL files under
+``<cache-dir>/obs/``; ``repro obs summary|timeline|export|dashboard``
+aggregate them after the fact.
+"""
+
+from repro.obs.events import (  # noqa: F401
+    OBS_ENV,
+    OBS_SAMPLE_ENV,
+    SCHEMA_VERSION,
+    Recorder,
+    activate,
+    active,
+    capture,
+    deactivate,
+    env_enabled,
+)
+from repro.obs.probe import SimProbe  # noqa: F401

@@ -1,0 +1,64 @@
+"""Chrome-trace export: ``repro obs export`` -> chrome://tracing JSON.
+
+The event model maps one-to-one: our ``B``/``E``/``C``/``I`` are Chrome
+trace-event phases ``B``/``E``/``C``/``i``; timestamps convert from
+seconds to microseconds.  The resulting file loads in chrome://tracing
+and in Perfetto's legacy-JSON importer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+_PHASES = {"B": "B", "E": "E", "C": "C", "I": "i"}
+
+
+def to_chrome_trace(header: dict[str, Any],
+                    events: list[dict[str, Any]]) -> dict[str, Any]:
+    """The chrome://tracing JSON object for one event log."""
+    trace_events: list[dict[str, Any]] = []
+    pids = sorted({event.get("pid", header.get("pid"))
+                   for event in events} | {header.get("pid")})
+    for pid in pids:
+        label = ("engine" if pid == header.get("pid")
+                 else f"worker {pid}")
+        trace_events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+    for event in events:
+        phase = _PHASES.get(event.get("type"))
+        if phase is None:
+            continue
+        pid = event.get("pid", header.get("pid"))
+        out: dict[str, Any] = {
+            "name": event.get("name", ""),
+            "cat": event.get("cat", "") or "event",
+            "ph": phase,
+            "ts": round(event["ts"] * 1e6, 1),
+            "pid": pid,
+            "tid": 0,
+        }
+        if phase == "i":
+            out["s"] = "p"
+        args = event.get("args")
+        if args:
+            out["args"] = args
+        trace_events.append(out)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "run_id": header.get("run_id"),
+            "schema": header.get("schema"),
+            "host": header.get("host", {}),
+            "meta": header.get("meta", {}),
+        },
+    }
+
+
+def write_chrome_trace(path: str, header: dict[str, Any],
+                       events: list[dict[str, Any]]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(header, events), fh, indent=1)

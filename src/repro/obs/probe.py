@@ -1,0 +1,118 @@
+"""The simulators' observation seam: phase spans + chunk sampling.
+
+A :class:`SimProbe` is created at the top of a simulator ``run()`` —
+:meth:`SimProbe.create` returns ``None`` unless a recorder is active,
+so the off cost is one ``is None`` test.  When on, the probe
+
+* wraps ``populate`` and the simulate loop in spans, with ``warmup`` /
+  ``measure`` sub-spans flipped exactly at the warmup record;
+* re-splits the execution-chunk stream at the warmup boundary (and at
+  every ``sample_records`` interval when the recorder carries one), so
+  phase flips and samples land exactly on chunk seams.  Every chunking
+  of a trace yields byte-identical SimStats (pinned by
+  tests/test_traces.py), which is what makes this free of observable
+  effect: the hot loop is untouched, only the seam positions move;
+* emits one ``C`` (counter) event per chunk with the cumulative record
+  index, simulated clock, and TLB/walk/cache counters — the reader
+  differentiates consecutive samples into records/s and counter deltas.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.obs.events import Recorder, active
+
+
+class SimProbe:
+    """Per-``run()`` observation state; see the module docstring."""
+
+    __slots__ = ("recorder", "kind", "warmup", "phase", "_open")
+
+    def __init__(self, recorder: Recorder, kind: str, warmup: int) -> None:
+        self.recorder = recorder
+        self.kind = kind
+        self.warmup = warmup
+        self.phase = ""
+        self._open = False
+
+    @classmethod
+    def create(cls, kind: str, warmup: int) -> "SimProbe | None":
+        """The probe for this run, or ``None`` when observation is off."""
+        recorder = active()
+        if recorder is None:
+            return None
+        return cls(recorder, kind, warmup)
+
+    # -- phase spans ---------------------------------------------------
+    def phase_begin(self, name: str, **args: Any) -> None:
+        self.recorder.begin(name, "sim", **args)
+
+    def phase_end(self, name: str, **args: Any) -> None:
+        self.recorder.end(name, **args)
+
+    def run_begin(self, **args: Any) -> None:
+        """Open the ``simulate`` span and its first phase sub-span."""
+        self.recorder.begin("simulate", "sim", kind=self.kind,
+                            warmup=self.warmup, **args)
+        self._open = True
+        self.phase = "warmup" if self.warmup > 0 else "measure"
+        self.recorder.begin(self.phase, "sim")
+
+    def run_end(self, stats: Any = None) -> None:
+        if not self._open:
+            return
+        self._open = False
+        self.recorder.end(self.phase)
+        args: dict[str, Any] = {}
+        if stats is not None:
+            args = {"accesses": stats.accesses, "cycles": stats.cycles,
+                    "walks": stats.walks}
+        self.recorder.end("simulate", **args)
+
+    # -- chunk seams ---------------------------------------------------
+    def _next_cut(self, after: int) -> int | None:
+        """The next global record index a chunk must start at."""
+        interval = self.recorder.sample_records
+        cuts = []
+        if self.warmup > after:
+            cuts.append(self.warmup)
+        if interval:
+            cuts.append((after // interval + 1) * interval)
+        return min(cuts) if cuts else None
+
+    def chunks(self, source: Iterable) -> Iterator:
+        """Re-chunk an execution-chunk stream at the probe's cut points.
+
+        Slices are ndarray views — no copies; statistics are invariant
+        to the re-chunking (see the module docstring).
+        """
+        position = 0
+        cut = self._next_cut(0)
+        for chunk in source:
+            n = len(chunk)
+            start = 0
+            while cut is not None and cut < position + n:
+                split = cut - position
+                if split > start:
+                    yield chunk[start:split]
+                start = split
+                cut = self._next_cut(cut)
+            if start < n:
+                yield chunk[start:] if start else chunk
+            position += n
+
+    # -- per-chunk counter snapshot ------------------------------------
+    def sample(self, records: int, **counters: Any) -> None:
+        """Record a cumulative counter snapshot at a chunk boundary.
+
+        Also flips ``warmup`` → ``measure`` the first time ``records``
+        reaches the warmup boundary (the chunk stream was cut exactly
+        there, so the flip is record-exact).  Counters arrive cumulative;
+        readers differentiate.
+        """
+        if self.phase == "warmup" and records >= self.warmup:
+            self.recorder.end("warmup")
+            self.phase = "measure"
+            self.recorder.begin("measure", "sim", at_record=records)
+        self.recorder.counter("chunk", "sim", records=records, **counters)

@@ -1,0 +1,163 @@
+"""Reading and validating event logs written by :mod:`repro.obs.events`.
+
+:func:`read_log` parses one JSONL file into ``(header, events)`` and
+rejects unknown schema versions.  :func:`validate` enforces the
+structural invariants consumers rely on (and the obs CI job asserts):
+monotone non-decreasing timestamps per pid, strict LIFO span nesting
+per pid (every ``E`` closes the innermost open ``B`` of the same name),
+and no span left open at end of file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.events import EVENT_TYPES, SCHEMA_VERSION
+
+
+class ObsLogError(ValueError):
+    """A malformed or incompatible event log."""
+
+
+def read_log(path: str | Path) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Parse one event log into ``(header, events)``.
+
+    Raises :class:`ObsLogError` for a missing/foreign header, an
+    unsupported schema version, or an unparseable line.
+    """
+    path = Path(path)
+    header: dict[str, Any] | None = None
+    events: list[dict[str, Any]] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ObsLogError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            if lineno == 1:
+                if not isinstance(obj, dict) or obj.get("type") != "header":
+                    raise ObsLogError(f"{path}: first line is not a header")
+                if obj.get("schema") != SCHEMA_VERSION:
+                    raise ObsLogError(
+                        f"{path}: schema {obj.get('schema')!r} "
+                        f"(reader supports {SCHEMA_VERSION})")
+                header = obj
+            else:
+                events.append(obj)
+    if header is None:
+        raise ObsLogError(f"{path}: empty event log")
+    return header, events
+
+
+def validate(header: dict[str, Any],
+             events: list[dict[str, Any]]) -> list[str]:
+    """Check the structural invariants; returns a list of problems.
+
+    An empty list means the log is well-formed.  Timestamps must be
+    non-decreasing *per pid* (cross-pid order is only as good as the
+    wall-clock rebase); spans must nest LIFO per pid and all close.
+    """
+    problems: list[str] = []
+    last_ts: dict[int, float] = {}
+    stacks: dict[int, list[str]] = {}
+    for index, event in enumerate(events):
+        where = f"event {index}"
+        type_ = event.get("type")
+        if type_ not in EVENT_TYPES:
+            problems.append(f"{where}: unknown type {type_!r}")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing name")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: missing ts")
+            continue
+        pid = event.get("pid", header.get("pid"))
+        if pid in last_ts and ts < last_ts[pid]:
+            problems.append(
+                f"{where}: ts {ts} < previous {last_ts[pid]} for pid {pid}")
+        last_ts[pid] = ts
+        stack = stacks.setdefault(pid, [])
+        if type_ == "B":
+            stack.append(name)
+        elif type_ == "E":
+            if not stack:
+                problems.append(f"{where}: E {name!r} with no open span "
+                                f"in pid {pid}")
+            elif stack[-1] != name:
+                problems.append(
+                    f"{where}: E {name!r} does not close innermost span "
+                    f"{stack[-1]!r} in pid {pid}")
+                # Recover so one interleave does not cascade.
+                if name in stack:
+                    del stack[stack.index(name):]
+            else:
+                stack.pop()
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"{where}: args is not an object")
+    for pid, stack in stacks.items():
+        if stack:
+            problems.append(f"pid {pid}: unclosed spans {stack!r}")
+    return problems
+
+
+def spans(header: dict[str, Any],
+          events: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Pair B/E events into closed spans.
+
+    Each span dict has ``name``, ``cat``, ``pid``, ``t0``, ``t1``,
+    ``dur``, ``depth`` (nesting depth within its pid), ``args`` (begin
+    args merged with end args), and ``children`` indices are implicit
+    via depth/order.  Unclosed spans are dropped.
+    """
+    out: list[dict[str, Any]] = []
+    stacks: dict[int, list[dict[str, Any]]] = {}
+    for event in events:
+        type_ = event.get("type")
+        if type_ not in ("B", "E"):
+            continue
+        pid = event.get("pid", header.get("pid"))
+        stack = stacks.setdefault(pid, [])
+        if type_ == "B":
+            stack.append({
+                "name": event["name"],
+                "cat": event.get("cat", ""),
+                "pid": pid,
+                "t0": event["ts"],
+                "depth": len(stack),
+                "args": dict(event.get("args") or {}),
+            })
+        else:
+            if not stack or stack[-1]["name"] != event["name"]:
+                continue
+            span = stack.pop()
+            span["t1"] = event["ts"]
+            span["dur"] = round(event["ts"] - span["t0"], 6)
+            span["args"].update(event.get("args") or {})
+            out.append(span)
+    out.sort(key=lambda span: (span["t0"], -span["depth"]))
+    return out
+
+
+def counters(header: dict[str, Any], events: list[dict[str, Any]],
+             name: str | None = None) -> list[dict[str, Any]]:
+    """The ``C`` events (optionally filtered by name), in file order."""
+    return [event for event in events
+            if event.get("type") == "C"
+            and (name is None or event.get("name") == name)]
+
+
+def instants(header: dict[str, Any], events: list[dict[str, Any]],
+             name: str | None = None) -> list[dict[str, Any]]:
+    """The ``I`` events (optionally filtered by name), in file order."""
+    return [event for event in events
+            if event.get("type") == "I"
+            and (name is None or event.get("name") == name)]

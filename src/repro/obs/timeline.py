@@ -1,0 +1,62 @@
+"""``repro obs timeline``: a terminal Gantt of workers x jobs.
+
+One lane per process, one letter per job, scaled to the sweep's wall
+time.  Cache hits land before the first execution (the engine satisfies
+them synchronously), so they appear in the legend, not as bars.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.reader import instants, spans
+
+#: Job bar letters, cycled when a sweep has more jobs than symbols.
+_LETTERS = ("ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+            "abcdefghijklmnopqrstuvwxyz0123456789")
+
+
+def render_timeline(header: dict[str, Any],
+                    events: list[dict[str, Any]],
+                    width: int = 72) -> str:
+    """Render the Gantt; ``width`` is the number of time columns."""
+    all_spans = spans(header, events)
+    sweep = next((s for s in all_spans if s["name"] == "sweep"), None)
+    bars = [s for s in all_spans if s["name"] == "job"]
+    if not bars:
+        # Not an engine log (e.g. a bench capture): chart the top-level
+        # spans instead so the command still shows something useful.
+        bars = [s for s in all_spans if s["depth"] == 0]
+    if not bars:
+        return "no spans to draw"
+    t0 = sweep["t0"] if sweep else min(s["t0"] for s in bars)
+    t1 = sweep["t1"] if sweep else max(s["t1"] for s in bars)
+    wall = max(t1 - t0, 1e-9)
+
+    def column(ts: float) -> int:
+        return min(int((ts - t0) / wall * width), width - 1)
+
+    lanes: dict[int, list[tuple[dict[str, Any], str]]] = {}
+    legend: list[str] = []
+    for index, bar in enumerate(sorted(bars, key=lambda s: s["t0"])):
+        letter = _LETTERS[index % len(_LETTERS)]
+        lanes.setdefault(bar["pid"], []).append((bar, letter))
+        label = bar["args"].get("job", bar["name"])
+        legend.append(f"  {letter} = {label} ({bar['dur']:.2f}s)")
+
+    lines = [f"wall {wall:.2f}s over {len(lanes)} worker(s), "
+             f"{len(bars)} bar(s); one column = {wall / width:.3f}s"]
+    for pid in sorted(lanes):
+        row = [" "] * width
+        for bar, letter in lanes[pid]:
+            start, stop = column(bar["t0"]), column(bar["t1"])
+            for col in range(start, max(stop, start) + 1):
+                row[col] = letter
+        lines.append(f"pid {pid:>8} |{''.join(row)}|")
+    hits = instants(header, events, "cache_hit")
+    if hits:
+        lines.append(f"(+ {len(hits)} cache hit(s) served before "
+                     f"execution started)")
+    lines.append("")
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -31,6 +31,11 @@ from repro.runtime.job import Job
 #: Default cache location, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Cache-root subdirectory for ``repro.obs`` event logs.  Telemetry
+#: lives beside the result entries but is not keyed by code version —
+#: the pruner must leave it alone.
+OBS_SUBDIR = "obs"
+
 _MISS = object()
 
 
@@ -63,13 +68,16 @@ class ResultCache:
 
         Any source edit changes the version directory, so without pruning
         the cache root accumulates unreachable pickles forever.  Entries
-        for the *current* version are never touched.
+        for the *current* version are never touched, and neither is the
+        ``obs/`` event-log directory — telemetry outlives the code
+        version that recorded it.
         """
         import shutil
 
         try:
             for entry in self.root.iterdir():
-                if entry.is_dir() and entry.name != self.version[:16]:
+                if (entry.is_dir() and entry.name != self.version[:16]
+                        and entry.name != OBS_SUBDIR):
                     shutil.rmtree(entry, ignore_errors=True)
             # Orphaned temp files from interrupted writes in the live dir.
             for leftover in self._dir.glob("*.tmp.*"):

@@ -65,17 +65,43 @@ class SweepReport:
 
 
 class ProgressPrinter:
-    """Streams one status line per completed job to ``stream``."""
+    """Streams one status line per completed job to ``stream``.
 
-    def __init__(self, total: int, stream: IO[str] | None = None) -> None:
+    Each line carries the running cache-hit/recompute split and an ETA.
+    The engine satisfies every cache hit before the first execution
+    starts, so once jobs are executing, everything remaining is an
+    execution — the ETA is simply ``remaining x mean execution time /
+    workers`` and sharpens as the mean accumulates.
+    """
+
+    def __init__(self, total: int, stream: IO[str] | None = None,
+                 workers: int = 1) -> None:
         self.total = total
         self.done = 0
+        self.workers = max(workers, 1)
+        self.hits = 0
+        self.ran = 0
+        self.exec_seconds = 0.0
         self.stream = stream if stream is not None else sys.stderr
+
+    def _eta(self) -> str:
+        remaining = self.total - self.done
+        if not remaining or not self.ran:
+            return ""
+        per_job = self.exec_seconds / self.ran
+        return f" eta {remaining * per_job / self.workers:5.1f}s"
 
     def job_done(self, record: JobRecord) -> None:
         self.done += 1
-        how = "cache" if record.cached else f"{record.seconds:6.1f}s"
+        if record.cached:
+            self.hits += 1
+            how = "cache"
+        else:
+            self.ran += 1
+            self.exec_seconds += record.seconds
+            how = f"{record.seconds:6.1f}s"
         print(f"[runtime] {self.done:4d}/{self.total} {how:>8s}  "
+              f"[hit {self.hits} run {self.ran}{self._eta()}]  "
               f"{record.job.label()}", file=self.stream)
         self.stream.flush()
 

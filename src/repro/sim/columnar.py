@@ -759,7 +759,8 @@ def _as_array(lst: list) -> np.ndarray:
 
 
 def run_columnar(sim: "NativeSimulation", chunks, warmup: int,
-                 collect_service: bool, stats, carry: tuple) -> tuple:
+                 collect_service: bool, stats, carry: tuple,
+                 obs_probe=None) -> tuple:
     """Drive every chunk of ``chunks`` through the C kernel.
 
     ``carry`` is the scalar loop's run-wide state tuple ``(now,
@@ -768,6 +769,12 @@ def run_columnar(sim: "NativeSimulation", chunks, warmup: int,
     flat-array state and stats owners mutated exactly as the scalar
     loop would have left them.  ``warmup`` is the run-global warmup
     index (this function tracks the chunk offset itself).
+
+    ``obs_probe`` (a :class:`repro.obs.probe.SimProbe`, or ``None``)
+    snapshots counters at each chunk boundary.  The snapshot reads the
+    live ``k``/``carry_arr`` arrays, not the stats owners — those are
+    only written back in the finally block below, so they are stale for
+    the whole loop.
     """
     ffi, lib = _BACKEND
     tlbs = sim.tlbs
@@ -885,6 +892,17 @@ def run_columnar(sim: "NativeSimulation", chunks, warmup: int,
                 ptr(carry_arr), ptr(k), ptr(geom), ptr(service),
                 *struct_ptrs)
             chunk_base += n
+            if obs_probe is not None:
+                obs_probe.sample(
+                    chunk_base,
+                    now=int(carry_arr[_CAR_NOW]),
+                    accesses=int(carry_arr[_CAR_ACC]),
+                    data_cycles=int(carry_arr[_CAR_DATA_C]),
+                    walk_cycles=int(carry_arr[_CAR_WALK_C]),
+                    walks=int(carry_arr[_CAR_WALK_COUNT]),
+                    tlb_l1_hits=int(k[K_L1H]),
+                    tlb_l2_hits=int(k[K_L2H]),
+                    tlb_misses=int(k[K_TM]))
     finally:
         # Write every structure image and counter back to its owner, so
         # post-run state is indistinguishable from a scalar run.

@@ -45,6 +45,7 @@ from repro.core.config import AsapConfig, BASELINE
 from repro.kernelsim.buddy import BuddyAllocator
 from repro.kernelsim.phys import PhysicalMemory
 from repro.mem.hierarchy import CacheHierarchy
+from repro.obs.events import active as obs_active
 from repro.pagetable.nested import NestedPageWalker
 from repro.pagetable.pwc import SplitPwc
 from repro.pagetable.walker import PageWalker
@@ -217,6 +218,9 @@ def _drive(sims, traces, evict_hooks, mt: MultiTenantSpec, warmup: int,
     consumed = 0
     active: int | None = None
     switches = flushes = 0
+    #: Observation seam: quantum spans plus switch/flush instants when a
+    #: recorder is active (``--obs``); ``None`` costs one test per run.
+    recorder = obs_active()
     for tenant, start, stop in schedule:
         if active is not None:
             # A quantum boundary: whatever prefetches were in flight are
@@ -224,6 +228,9 @@ def _drive(sims, traces, evict_hooks, mt: MultiTenantSpec, warmup: int,
             hierarchy.mshrs.drain()
             if tenant != active:
                 switches += 1
+                if recorder is not None:
+                    recorder.instant("switch", "mt", src=active, dst=tenant,
+                                     policy=mt.switch_policy)
                 if mt.switch_policy == "flush":
                     # The hardware structures are shared: flush them once
                     # through the incoming tenant, then clear only the
@@ -234,17 +241,28 @@ def _drive(sims, traces, evict_hooks, mt: MultiTenantSpec, warmup: int,
                         if index != tenant:
                             sim.flush_private_translation_state()
                     flushes += 1
+                    if recorder is not None:
+                        recorder.instant("flush", "mt", tenant=tenant)
         segment_warmup = min(max(warmup - consumed, 0), stop - start)
+        if recorder is not None:
+            recorder.begin("quantum", "mt", tenant=tenant, start=start,
+                           stop=stop)
         seg = sims[tenant].run(
             sources[tenant].section(start, stop),
             warmup=segment_warmup,
             populate=False,
             collect_service=collect_service,
         )
+        if recorder is not None:
+            recorder.end("quantum")
         consumed += stop - start
         _merge_segment(agg, seg)
         final_stats[tenant] = seg
         active = tenant
+    if recorder is not None:
+        recorder.counter("mt_schedule", "mt", tenants=len(sims),
+                         quanta=len(schedule), switches=switches,
+                         flushes=flushes)
     for seg in final_stats:
         if seg is not None:
             _merge_tenant_totals(agg, seg)

@@ -16,6 +16,7 @@ identical address streams.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,6 +25,7 @@ from repro.core.config import AsapConfig, BASELINE
 from repro.kernelsim.buddy import BuddyAllocator
 from repro.kernelsim.hypervisor import VirtualMachine
 from repro.kernelsim.phys import PhysicalMemory
+from repro.obs.events import active as obs_active
 from repro.params import DEFAULT_MACHINE, MachineParams
 from repro.schemes import SchemeSpec
 from repro.sim.simulator import NativeSimulation
@@ -141,6 +143,15 @@ def _trace_for(spec: WorkloadSpec, scale: Scale,
     return trace_source
 
 
+def _setup_span(mode: str, spec: WorkloadSpec):
+    """A ``setup`` span around OS-substrate + simulator construction
+    when observation is on; a no-op context otherwise."""
+    recorder = obs_active()
+    if recorder is None:
+        return nullcontext()
+    return recorder.span("setup", "sim", mode=mode, workload=spec.name)
+
+
 # ----------------------------------------------------------------------
 # native scenarios
 # ----------------------------------------------------------------------
@@ -175,25 +186,26 @@ def run_native(
     """
     spec = _resolve(workload)
     trace = _trace_for(spec, scale, trace_source)
-    process = spec.build_process(
-        asap_levels=config.native_levels,
-        seed=scale.seed,
-        pt_levels=pt_levels,
-    )
-    if hole_rate:
-        if process.asap_layout is None:
-            raise ValueError("hole_rate needs an ASAP-enabled config")
-        process.asap_layout.pinned_failure_prob = hole_rate
-    simulation = NativeSimulation(
-        process,
-        machine=machine,
-        asap=config,
-        clustered_tlb=clustered_tlb,
-        infinite_tlb=infinite_tlb,
-        corunner=_corunner(scale) if colocated else None,
-        scheme=scheme,
-        kernel=kernel,
-    )
+    with _setup_span("native", spec):
+        process = spec.build_process(
+            asap_levels=config.native_levels,
+            seed=scale.seed,
+            pt_levels=pt_levels,
+        )
+        if hole_rate:
+            if process.asap_layout is None:
+                raise ValueError("hole_rate needs an ASAP-enabled config")
+            process.asap_layout.pinned_failure_prob = hole_rate
+        simulation = NativeSimulation(
+            process,
+            machine=machine,
+            asap=config,
+            clustered_tlb=clustered_tlb,
+            infinite_tlb=infinite_tlb,
+            corunner=_corunner(scale) if colocated else None,
+            scheme=scheme,
+            kernel=kernel,
+        )
     return simulation.run(trace, warmup=scale.warmup,
                           collect_service=collect_service,
                           init_order=spec.init_order)
@@ -263,16 +275,17 @@ def run_virtualized(
     """
     spec = _resolve(workload)
     trace = _trace_for(spec, scale, trace_source)
-    vm = build_vm(spec, config, scale, host_page_level=host_page_level)
-    simulation = VirtualizedSimulation(
-        vm,
-        machine=machine,
-        asap=config,
-        infinite_tlb=infinite_tlb,
-        corunner=_corunner(scale) if colocated else None,
-        scheme=scheme,
-        kernel=kernel,
-    )
+    with _setup_span("virtualized", spec):
+        vm = build_vm(spec, config, scale, host_page_level=host_page_level)
+        simulation = VirtualizedSimulation(
+            vm,
+            machine=machine,
+            asap=config,
+            infinite_tlb=infinite_tlb,
+            corunner=_corunner(scale) if colocated else None,
+            scheme=scheme,
+            kernel=kernel,
+        )
     return simulation.run(trace, warmup=scale.warmup,
                           collect_service=collect_service,
                           init_order=spec.init_order)

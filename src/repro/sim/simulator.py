@@ -34,6 +34,7 @@ from repro.core.prefetcher import AsapPrefetcher
 from repro.core.range_registers import VmaDescriptor
 from repro.kernelsim.process import ProcessAddressSpace
 from repro.mem.hierarchy import CacheHierarchy
+from repro.obs.probe import SimProbe
 from repro.pagetable.constants import level_shift
 from repro.pagetable.pwc import SplitPwc
 from repro.pagetable.walker import PWC_LABEL, PageWalker, WalkOutcome
@@ -716,8 +717,17 @@ class NativeSimulation:
         table cannot change mid-run, so the path is invariant; only the
         cache/PWC state it is priced against evolves.
         """
+        #: Observation seam: ``None`` unless a recorder is active
+        #: (``--obs``), in which case the run gets phase spans and one
+        #: counter snapshot per chunk — all at chunk granularity, so
+        #: statistics stay byte-identical (see repro.obs.probe).
+        obs = SimProbe.create("native", warmup)
         if populate:
+            if obs is not None:
+                obs.phase_begin("populate")
             self.populate(trace, order=init_order)
+            if obs is not None:
+                obs.phase_end("populate")
         if self.corunner is not None:
             self.corunner.prefill(self.hierarchy)
         stats = SimStats()
@@ -884,6 +894,14 @@ class NativeSimulation:
                    and tlbs.l2_evict_hook is None
                    and not tlbs.infinite and not clustered
                    and len(self.pwc.view) == 3)
+        #: The execution-chunk stream; under observation it is re-cut at
+        #: the warmup boundary and sample intervals (chunking-invariant,
+        #: so statistics are unchanged — pinned by tests/test_traces.py).
+        if obs is not None:
+            obs.run_begin(kernel=self.kernel)
+            chunk_stream = obs.chunks(iter_trace_chunks(trace))
+        else:
+            chunk_stream = iter_trace_chunks(trace)
         if self.kernel == "columnar":
             from repro.sim import columnar as _columnar
 
@@ -893,10 +911,10 @@ class NativeSimulation:
                 # fast sweep could, falls back to scalar otherwise.
                 (now, measuring, acc, data_c, walk_c, walk_count,
                  tlb_l1_base, tlb_l2_base) = _columnar.run_columnar(
-                    self, iter_trace_chunks(trace), warmup,
+                    self, chunk_stream, warmup,
                     collect_service, stats,
                     (now, measuring, acc, data_c, walk_c, walk_count,
-                     tlb_l1_base, tlb_l2_base))
+                     tlb_l1_base, tlb_l2_base), obs_probe=obs)
                 stats.accesses = acc
                 stats.base_cycles = acc * base_cycles
                 stats.data_cycles = data_c
@@ -906,6 +924,8 @@ class NativeSimulation:
                 stats.tlb_l1_hits = tlbs.l1_hits - tlb_l1_base
                 stats.tlb_l2_hits = tlbs.l2_hits - tlb_l2_base
                 scheme.finalize(stats)
+                if obs is not None:
+                    obs.run_end(stats)
                 return stats
         #: Run-detection seam state: the cache-line block and (biased)
         #: vpn of the previous chunk's last record.  A chunk whose first
@@ -920,7 +940,7 @@ class NativeSimulation:
         gc_was_enabled = gc.isenabled()
         gc.disable()
         try:
-            for chunk in iter_trace_chunks(trace):
+            for chunk in chunk_stream:
                 n_records = len(chunk)
                 if not n_records:
                     continue
@@ -942,6 +962,13 @@ class NativeSimulation:
                 prev_vpn = (addresses[-1] >> 12) | vbias
                 if not run_starts:
                     chunk_base += n_records
+                    if obs is not None:
+                        obs.sample(chunk_base, now=now, accesses=acc,
+                                   data_cycles=data_c, walk_cycles=walk_c,
+                                   walks=walk_count,
+                                   tlb_l1_hits=tlbs.l1_hits,
+                                   tlb_l2_hits=tlbs.l2_hits,
+                                   tlb_misses=tlbs.stats.misses)
                     continue
                 if fast_ok and len(run_starts) == n_records - lead:
                     # The plain-pipeline case: hand the chunk's remaining
@@ -963,6 +990,16 @@ class NativeSimulation:
                     drive_batched(run_starts, run_counts, handle, bulk,
                                   scalar_only=not bulk_ok)
                 chunk_base += n_records
+                # Counter owners are current here: the scalar paths
+                # update them per record and the fast sweep flushes its
+                # mirrors before returning.
+                if obs is not None:
+                    obs.sample(chunk_base, now=now, accesses=acc,
+                               data_cycles=data_c, walk_cycles=walk_c,
+                               walks=walk_count,
+                               tlb_l1_hits=tlbs.l1_hits,
+                               tlb_l2_hits=tlbs.l2_hits,
+                               tlb_misses=tlbs.stats.misses)
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -975,4 +1012,6 @@ class NativeSimulation:
         stats.tlb_l1_hits = tlbs.l1_hits - tlb_l1_base
         stats.tlb_l2_hits = tlbs.l2_hits - tlb_l2_base
         scheme.finalize(stats)
+        if obs is not None:
+            obs.run_end(stats)
         return stats

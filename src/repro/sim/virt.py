@@ -22,6 +22,7 @@ from repro.core.prefetcher import AsapPrefetcher
 from repro.core.range_registers import VmaDescriptor
 from repro.kernelsim.hypervisor import VirtualMachine
 from repro.mem.hierarchy import CacheHierarchy
+from repro.obs.probe import SimProbe
 from repro.pagetable.nested import NestedPageWalker
 from repro.pagetable.pwc import SplitPwc
 from repro.params import DEFAULT_MACHINE, MachineParams
@@ -189,8 +190,15 @@ class VirtualizedSimulation:
         change mid-run — so repeat walks skip the Figure 7 schedule
         reconstruction.
         """
+        #: Observation seam (see the native simulator): phase spans and
+        #: per-chunk counter snapshots when a recorder is active.
+        obs = SimProbe.create("virt", warmup)
         if populate:
+            if obs is not None:
+                obs.phase_begin("populate")
             self.populate(trace, order=init_order)
+            if obs is not None:
+                obs.phase_end("populate")
         if self.corunner is not None:
             self.corunner.prefill(self.hierarchy)
         stats = SimStats()
@@ -341,10 +349,18 @@ class VirtualizedSimulation:
         prev_vpn = 0
         # See the native simulator: pause the cyclic collector while the
         # loop runs (restored even on error).
+        #: Chunk stream, re-cut at the warmup/sample seams under
+        #: observation (statistics chunking-invariant — see the native
+        #: simulator).
+        if obs is not None:
+            obs.run_begin(kernel="scalar")
+            chunk_stream = obs.chunks(iter_trace_chunks(trace))
+        else:
+            chunk_stream = iter_trace_chunks(trace)
         gc_was_enabled = gc.isenabled()
         gc.disable()
         try:
-            for chunk in iter_trace_chunks(trace):
+            for chunk in chunk_stream:
                 n_records = len(chunk)
                 if not n_records:
                     continue
@@ -364,6 +380,13 @@ class VirtualizedSimulation:
                 prev_vpn = (addresses[-1] >> 12) | vbias
                 if not run_starts:
                     chunk_base += n_records
+                    if obs is not None:
+                        obs.sample(chunk_base, now=now, accesses=acc,
+                                   data_cycles=data_c, walk_cycles=walk_c,
+                                   walks=walk_count,
+                                   tlb_l1_hits=tlbs.l1_hits,
+                                   tlb_l2_hits=tlbs.l2_hits,
+                                   tlb_misses=tlbs.stats.misses)
                     continue
                 if bulk_ok and len(run_starts) == n_records - lead:
                     # No same-block repeats in the chunk: scalar sweep.
@@ -373,6 +396,13 @@ class VirtualizedSimulation:
                     drive_batched(run_starts, run_counts, handle, bulk,
                                   scalar_only=not bulk_ok)
                 chunk_base += n_records
+                if obs is not None:
+                    obs.sample(chunk_base, now=now, accesses=acc,
+                               data_cycles=data_c, walk_cycles=walk_c,
+                               walks=walk_count,
+                               tlb_l1_hits=tlbs.l1_hits,
+                               tlb_l2_hits=tlbs.l2_hits,
+                               tlb_misses=tlbs.stats.misses)
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -385,4 +415,6 @@ class VirtualizedSimulation:
         stats.tlb_l1_hits = tlbs.l1_hits - tlb_l1_base
         stats.tlb_l2_hits = tlbs.l2_hits - tlb_l2_base
         scheme.finalize(stats)
+        if obs is not None:
+            obs.run_end(stats)
         return stats

@@ -10,11 +10,13 @@ Usage::
 
 Runs every cell of the `repro scaling` grid (records x {baseline, asap}
 on the convergence workload) and appends one entry to a JSON trajectory
-(same shape as ``BENCH_schemes.json``): per-cell wall seconds, peak RSS
-and the headline statistics.  Each cell executes in a fresh child
-interpreter so ``ru_maxrss`` is a true per-cell high-water mark — the
-number that demonstrates the streaming front end keeps a 10M-record run
-bounded by the execution chunk, not the trace length.
+(same shape as ``BENCH_schemes.json``): per-cell wall seconds, peak RSS,
+an observability phase breakdown (setup/populate/warmup/measure seconds,
+captured via ``repro.obs``) and the headline statistics.  Each cell
+executes in a fresh child interpreter so ``ru_maxrss`` is a true
+per-cell high-water mark — the number that demonstrates the streaming
+front end keeps a 10M-record run bounded by the execution chunk, not the
+trace length.
 
 ``--kernel`` selects the simulation engine (the scalar record loop or
 the compiled columnar chunk kernel); it is recorded per entry and per
@@ -46,6 +48,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from bench_schemes import environment_metadata  # noqa: E402
 from repro.experiments import scaling  # noqa: E402
 from repro.sim.runner import Scale  # noqa: E402
 
@@ -80,11 +83,21 @@ def _child_main(spec_json: str) -> int:
         Scale(trace_length=spec["records"], warmup=spec["warmup"],
               seed=spec["seed"]),
         kernel=spec.get("kernel", "scalar"))
+    from repro.obs.events import capture
+    from repro.obs.summary import phase_totals
     from repro.runtime.job import execute_job
 
+    # The cell runs under an in-memory obs capture: the simulator's
+    # phase spans (setup/populate/warmup/measure) become the per-cell
+    # breakdown next to peak RSS.  Sampling happens only at chunk
+    # boundaries, so its cost is noise at these scales and the timing
+    # stays an honest cell measurement.
     started = time.perf_counter()
-    stats = execute_job(job)
+    with capture() as recorder:
+        stats = execute_job(job)
     seconds = time.perf_counter() - started
+    batch = recorder.export_batch()
+    phases = phase_totals({"pid": batch["pid"]}, batch["events"])
     rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     print(json.dumps({
         "scheme": spec["scheme"],
@@ -92,6 +105,8 @@ def _child_main(spec_json: str) -> int:
         "kernel": job.kernel,
         "seconds": round(seconds, 2),
         "peak_rss_mb": round(rss_kb / 1024, 1),
+        "phases": {name: round(value, 3)
+                   for name, value in phases.items()},
         "walks": stats.walks,
         "translation_fraction": round(stats.walk_fraction, 4),
         "avg_walk_latency": round(stats.avg_walk_latency, 1),
@@ -202,6 +217,7 @@ def main(argv: list[str] | None = None) -> int:
     document = (json.loads(path.read_text()) if path.exists()
                 else {"benchmark": "scaling", "workload": scaling.WORKLOAD,
                       "entries": []})
+    env = environment_metadata()
     document["entries"].append({
         "generated": datetime.now(timezone.utc).isoformat(
             timespec="seconds"),
@@ -209,6 +225,9 @@ def main(argv: list[str] | None = None) -> int:
         "python": platform.python_version(),
         "machine": platform.machine(),
         "nproc": os.cpu_count(),
+        # Full environment block, same shape as bench_schemes.py entries,
+        # so the two trajectories stay cross-interpretable.
+        "env": env,
         "base_trace_length": args.trace_length,
         "kernel": args.kernel,
         "results": rows,

@@ -90,8 +90,25 @@ def environment_metadata() -> dict:
     }
 
 
+def _captured_phases(run) -> dict:
+    """Phase breakdown (seconds) for one instrumented run of ``run()``.
+
+    Runs once *outside* the timed repeats, so the recorded ``seconds``
+    stay a clean hot-path measurement; the breakdown is attribution,
+    not timing.
+    """
+    from repro.obs.events import capture
+    from repro.obs.summary import phase_totals
+
+    with capture() as recorder:
+        run()
+    batch = recorder.export_batch()
+    phases = phase_totals({"pid": batch["pid"]}, batch["events"])
+    return {name: round(value, 3) for name, value in phases.items()}
+
+
 def bench_one(name: str, workload: str, scale: Scale, virtualized: bool,
-              repeats: int, kernel: str) -> dict:
+              repeats: int, kernel: str, obs: bool = False) -> dict:
     entry = SCHEMES[name]
     config = entry.virt_config if virtualized else entry.native_config
     runner = run_virtualized if virtualized else run_native
@@ -104,7 +121,12 @@ def bench_one(name: str, workload: str, scale: Scale, virtualized: bool,
         elapsed = time.perf_counter() - started
         best = elapsed if best is None else min(best, elapsed)
     assert stats is not None
+    phases = (_captured_phases(
+        lambda: runner(workload, config, scale=scale, scheme=entry.spec,
+                       collect_service=False, kernel=kernel))
+        if obs else None)
     return {
+        **({"phases": phases} if phases is not None else {}),
         "scheme": name,
         "config": config.name,
         "kernel": kernel,
@@ -126,7 +148,7 @@ MT_QUANTUM_DIVISOR = 8
 
 
 def bench_mt(workload: str, scale: Scale, repeats: int,
-             kernel: str) -> dict:
+             kernel: str, obs: bool = False) -> dict:
     """Time the multi-tenant scheduler path (baseline scheme)."""
     mt = MultiTenantSpec(
         tenants=MT_TENANTS,
@@ -142,7 +164,12 @@ def bench_mt(workload: str, scale: Scale, repeats: int,
         elapsed = time.perf_counter() - started
         best = elapsed if best is None else min(best, elapsed)
     assert stats is not None and best is not None
+    phases = (_captured_phases(
+        lambda: run_native_mt(workload, mt=mt, scale=scale,
+                              collect_service=False, kernel=kernel))
+        if obs else None)
     return {
+        **({"phases": phases} if phases is not None else {}),
         "scheme": MT_ROW,
         "config": mt.label(),
         "kernel": kernel,
@@ -238,6 +265,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="simulation engine: the per-record loop or "
                              "the compiled columnar chunk kernel "
                              "(byte-identical statistics)")
+    parser.add_argument("--obs", action="store_true",
+                        help="attach a per-scheme phase breakdown "
+                             "(setup/populate/warmup/measure seconds) "
+                             "from one extra instrumented run; timings "
+                             "stay uninstrumented")
     parser.add_argument("--output", default=str(REPO_ROOT
                                                 / "BENCH_schemes.json"))
     parser.add_argument("--label", default=None,
@@ -266,7 +298,7 @@ def main(argv: list[str] | None = None) -> int:
     rows = []
     for name in SCHEMES:
         row = bench_one(name, args.workload, scale, args.virtualized,
-                        args.repeats, args.kernel)
+                        args.repeats, args.kernel, obs=args.obs)
         rows.append(row)
         print(f"{name:10s} {row['seconds']:7.3f}s  "
               f"walks={row['walks']}  "
@@ -274,7 +306,8 @@ def main(argv: list[str] | None = None) -> int:
     if not args.virtualized:
         # The multi-tenant scheduler row (native only: the 2D mt path is
         # too slow for the CI gate's wall-clock budget).
-        row = bench_mt(args.workload, scale, args.repeats, args.kernel)
+        row = bench_mt(args.workload, scale, args.repeats, args.kernel,
+                       obs=args.obs)
         rows.append(row)
         print(f"{row['scheme']:10s} {row['seconds']:7.3f}s  "
               f"walks={row['walks']}  "
