@@ -153,7 +153,8 @@ def _cmd_compare(args) -> int:
                   warmup=args.trace_length // 5, seed=args.seed)
     engine = _engine_from(args)
     try:
-        tables = compare.run(scale, engine, schemes=schemes)
+        tables = compare.run(scale, engine, schemes=schemes,
+                             kernel=args.kernel)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -409,6 +410,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "baseline,asap,victima,revelator)")
     comp.add_argument("--trace-length", type=positive_int, default=30_000)
     comp.add_argument("--seed", type=int, default=42)
+    comp.add_argument("--kernel", choices=("scalar", "columnar"),
+                      default="scalar",
+                      help="simulation kernel per cell (byte-identical "
+                           "tables; scheme cells without a compiled "
+                           "fast path fall back per run)")
     _add_engine_options(comp)
 
     mt = sub.add_parser(

@@ -47,21 +47,23 @@ def _roster(schemes: list[str] | None) -> list[str]:
 
 
 def jobs(scale: Scale,
-         schemes: list[str] | None = None) -> list[Job]:
-    return [scheme_job(kind, workload, SCHEMES[name], scale)
+         schemes: list[str] | None = None,
+         kernel: str = "scalar") -> list[Job]:
+    return [scheme_job(kind, workload, SCHEMES[name], scale, kernel)
             for kind in MODES
             for name in _roster(schemes)
             for workload in ALL_NAMES]
 
 
 def _fraction(results: Mapping[Job, Any], kind: str, name: str,
-              workload: str, scale: Scale) -> float:
-    stats = results[scheme_job(kind, workload, SCHEMES[name], scale)]
+              workload: str, scale: Scale, kernel: str) -> float:
+    stats = results[scheme_job(kind, workload, SCHEMES[name], scale,
+                               kernel)]
     return 100.0 * stats.walk_fraction
 
 
 def _detail(results: Mapping[Job, Any], kind: str, roster: list[str],
-            scale: Scale) -> ExperimentTable:
+            scale: Scale, kernel: str) -> ExperimentTable:
     table = ExperimentTable(
         title=f"Compare ({kind}): translation-cycle fraction per "
               "workload (%; lower is better)",
@@ -69,7 +71,7 @@ def _detail(results: Mapping[Job, Any], kind: str, roster: list[str],
     )
     for workload in ALL_NAMES:
         table.add_row(workload=workload, **{
-            name: _fraction(results, kind, name, workload, scale)
+            name: _fraction(results, kind, name, workload, scale, kernel)
             for name in roster
         })
     table.add_row(workload="Average", **{
@@ -105,19 +107,25 @@ def _ranking(native: ExperimentTable,
 
 def tables(results: Mapping[Job, Any], scale: Scale,
            schemes: list[str] | None = None,
+           kernel: str = "scalar",
            ) -> tuple[ExperimentTable, ExperimentTable, ExperimentTable]:
     roster = _roster(schemes)
-    native = _detail(results, NATIVE, roster, scale)
-    virtualized = _detail(results, VIRTUALIZED, roster, scale)
+    native = _detail(results, NATIVE, roster, scale, kernel)
+    virtualized = _detail(results, VIRTUALIZED, roster, scale, kernel)
     return (_ranking(native, virtualized, roster), native, virtualized)
 
 
 def run(scale: Scale | None = None,
         engine: Engine | None = None,
         schemes: list[str] | None = None,
+        kernel: str = "scalar",
         ) -> tuple[ExperimentTable, ExperimentTable, ExperimentTable]:
+    """``kernel`` selects the simulation engine per cell; the tables are
+    byte-identical across kernels (the determinism CI gate compares
+    them), so it never appears in a title."""
     scale = scale or DEFAULT_SCALE
-    return tables(execute(jobs(scale, schemes), engine), scale, schemes)
+    return tables(execute(jobs(scale, schemes, kernel), engine), scale,
+                  schemes, kernel)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -231,10 +231,21 @@ class Engine:
         A worker failure is re-raised as :class:`JobExecutionError`
         naming the job and spec hash — a pool traceback alone cannot
         say which of the in-flight jobs died.
+
+        Streamed generated-trace axes shared by the batch are
+        materialised once up front (``repro.traces.share``) and opened
+        zero-copy (mmap) inside each worker, instead of every worker
+        regenerating its own in-memory copy of the same records.
         """
+        from repro.traces import share
+
         workers = min(self.jobs, len(pending))
         entry = _timed_execute if recorder is None else _timed_execute_obs
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        overlay = share.prepare(
+            pending, self.cache.root if self.cache is not None else None)
+        pool_kwargs = ({"initializer": share.activate,
+                        "initargs": (overlay,)} if overlay else {})
+        with ProcessPoolExecutor(max_workers=workers, **pool_kwargs) as pool:
             futures = {pool.submit(entry, job): job for job in pending}
             remaining = set(futures)
             while remaining:

@@ -19,11 +19,19 @@ the system C compiler) and drives it one TraceSource chunk at a time:
 
 Byte-identity with the scalar path is a hard invariant (the scalar
 kernel is the differential oracle; see tests/test_columnar_differential
-and ARCHITECTURE.md §12).  The kernel therefore only engages when the
-run has no scheme hooks, no co-runner, plain finite TLBs and idle MSHRs
-— exactly the ``fast_ok`` condition of the scalar fast sweep plus the
-no-prefetch-in-flight precondition — and the simulator falls back to
-the scalar loop otherwise, so every scheme/configuration still runs.
+and ARCHITECTURE.md §12).  The kernel engages in one of three modes —
+``plain`` (no scheme hooks; the original fast-sweep configuration),
+``asap`` (the only hook is an AsapPrefetcher's walk-start: the
+prefetch issue/completion state machine is compiled into the chunk
+loop, with the range-register outcome, per-level target lines and hole
+flags precomputed per page into the path rows) and ``victima`` (the
+hooks are exactly a Victima scheme's probe + L2-TLB-eviction pair: the
+parked-entry map is carried as a C hash + FIFO pool and the TLB-fill
+victim filter runs inline).  All other configurations (Revelator,
+co-runners, custom hooks, non-power-of-two geometries) fall back to
+the scalar loop, so every scheme still runs.  MSHR state is
+round-tripped in every mode and the C ``cache_access`` has the merge
+branch, so in-flight prefetches straddle chunk seams byte-identically.
 
 The backend is optional: without a C compiler or cffi the simulator
 silently stays scalar.  Set ``REPRO_REQUIRE_CCORE=1`` to turn backend
@@ -69,15 +77,27 @@ _G_PWC_LAT = 28
 _G_BASE_CYCLES = 29
 _G_VBIAS = 30
 _G_PROBE_LARGE = 31
-_GEOM_SLOTS = 32
+_G_MODE = 32        # 0 plain, 1 asap, 2 victima
+_G_REQ_MSHR = 33    # asap: require a free MSHR per prefetch
+_G_MSHR_CAP = 34
+_G_PF_N = 35        # asap: number of prefetch-target levels
+_G_PF_L = 36        # asap: the levels themselves (4 slots, 36-39)
+_G_PROBE_LAT = 40   # victima: probe latency (L2 by construction)
+_G_PARK_MAX = 41    # victima: parked-entry bookkeeping bound
+_G_PARK_HCAP = 42   # victima: park hash capacity (power of two)
+_GEOM_SLOTS = 43
 
 (K_TH, K_TM, K_L1H, K_L2H, K_LS_H, K_LS_M, K_US_H, K_US_M,
  K_PWC_PROBES, K_PWC_HITS, K_P2_H, K_P2_M, K_P3_H, K_P3_M,
  K_P4_H, K_P4_M, K_WALKS, K_WALK_CYCLES,
  K_C1_H, K_C1_M, K_C1_E, K_C2_H, K_C2_M, K_C2_E,
  K_C3_H, K_C3_M, K_C3_E,
- K_SRV_L1, K_SRV_L2, K_SRV_L3, K_SRV_MEM) = range(31)
-_COUNTER_SLOTS = 31
+ K_SRV_L1, K_SRV_L2, K_SRV_L3, K_SRV_MEM,
+ K_RR_H, K_RR_M, K_PF_ISSUED, K_PF_USEFUL, K_PF_DROPNM,
+ K_PF_NODESC, K_PF_HOLE, K_H_PF_ISSUED, K_H_PF_DROP,
+ K_MSHR_ALLOC, K_MSHR_REJ, K_MSHR_MERGE,
+ K_V_PARKED, K_V_PROBE_H, K_V_PROBE_M, K_V_LOST) = range(47)
+_COUNTER_SLOTS = 47
 
 # carry slots (the scalar loop's run-wide state tuple)
 _CAR_NOW = 0
@@ -95,7 +115,12 @@ _CARRY_SLOTS = 8
 _SERVICE_SLOTS = 24
 _SERVICE_LABELS = ("PWC", "L1", "MSHR", "L2", "L3", "MEM")
 
-_PATH_COLS = 10  # lines l4 l3 l2 l1, tg2 tg3 tg4, leaf, pframe, large
+#: Path-row layout: lines l4 l3 l2 l1, tg2 tg3 tg4, leaf, pframe, large
+#: (cols 0-9, the plain walk) plus the ASAP replay columns — descriptor
+#: flag (10), per-slot prefetch target lines or -1 (11-14) and per-slot
+#: hole flags (15-18).  The ASAP columns are page-constant because the
+#: dispatch precondition requires page-aligned descriptors and VMAs.
+_PATH_COLS = 19
 
 _C_SOURCE = r"""
 #include <string.h>
@@ -108,7 +133,10 @@ enum {
     G_T = 0, G_U = 3, G_P2 = 6, G_P3 = 9, G_P4 = 12,
     G_C1 = 15, G_C2 = 18, G_C3 = 21,
     G_LAT1 = 24, G_LAT2 = 25, G_LAT3 = 26, G_LATM = 27,
-    G_PWC_LAT = 28, G_BASE_CYCLES = 29, G_VBIAS = 30, G_PROBE_LARGE = 31
+    G_PWC_LAT = 28, G_BASE_CYCLES = 29, G_VBIAS = 30, G_PROBE_LARGE = 31,
+    G_MODE = 32, G_REQ_MSHR = 33, G_MSHR_CAP = 34,
+    G_PF_N = 35, G_PF_L = 36,
+    G_PROBE_LAT = 40, G_PARK_MAX = 41, G_PARK_HCAP = 42
 };
 
 /* counter slots */
@@ -118,8 +146,15 @@ enum {
     K_P4_H, K_P4_M, K_WALKS, K_WALK_CYCLES,
     K_C1_H, K_C1_M, K_C1_E, K_C2_H, K_C2_M, K_C2_E,
     K_C3_H, K_C3_M, K_C3_E,
-    K_SRV_L1, K_SRV_L2, K_SRV_L3, K_SRV_MEM
+    K_SRV_L1, K_SRV_L2, K_SRV_L3, K_SRV_MEM,
+    K_RR_H, K_RR_M, K_PF_ISSUED, K_PF_USEFUL, K_PF_DROPNM,
+    K_PF_NODESC, K_PF_HOLE, K_H_PF_ISSUED, K_H_PF_DROP,
+    K_MSHR_ALLOC, K_MSHR_REJ, K_MSHR_MERGE,
+    K_V_PARKED, K_V_PROBE_H, K_V_PROBE_M, K_V_LOST
 };
+
+#define PATH_COLS 19
+#define PARK_BASE (1LL << 50)
 
 /* carry slots */
 enum {
@@ -250,14 +285,126 @@ static void cache_install(i64 *lines, i64 *sizes, i64 nsets, i64 stride,
     lines[base] = line;
 }
 
-/* CacheHierarchy.access, minus the MSHR merge branch (the dispatch
-   precondition guarantees no prefetch is in flight).  Returns the
-   latency; *level_out = SERVICE_LABELS column (1 L1, 3 L2, 4 L3,
-   5 MEM). */
+/* Cache.install for a line that may already be present (Victima's park
+   path uses the generic Cache.install): promote if found, LRU-evict
+   otherwise. */
+static void cache_install_scan(i64 *lines, i64 *sizes, i64 nsets,
+                               i64 stride, i64 ways, i64 line,
+                               i64 *evictions)
+{
+    i64 set_index = line & (nsets - 1);
+    i64 base = set_index * stride;
+    i64 size = sizes[set_index];
+    i64 limit = base + size;
+    lines[limit] = line;
+    i64 pos = base;
+    while (lines[pos] != line)
+        pos++;
+    lines[limit] = EMPTY;
+    if (pos != limit) {
+        memmove(lines + base + 1, lines + base, (pos - base) * sizeof(i64));
+    } else if (size >= ways) {
+        memmove(lines + base + 1, lines + base, (ways - 1) * sizeof(i64));
+        (*evictions)++;
+    } else {
+        memmove(lines + base + 1, lines + base, size * sizeof(i64));
+        sizes[set_index] = size + 1;
+    }
+    lines[base] = line;
+}
+
+/* Cache.invalidate: shift the tail down over the (known-present) line.
+   No stats, exactly like the scalar method. */
+static void cache_invalidate(i64 *lines, i64 *sizes, i64 nsets,
+                             i64 stride, i64 line)
+{
+    i64 set_index = line & (nsets - 1);
+    i64 base = set_index * stride;
+    i64 size = sizes[set_index];
+    i64 limit = base + size;
+    lines[limit] = line;
+    i64 pos = base;
+    while (lines[pos] != line)
+        pos++;
+    lines[limit] = EMPTY;
+    if (pos == limit)
+        return;
+    memmove(lines + pos, lines + pos + 1, (limit - 1 - pos) * sizeof(i64));
+    lines[limit - 1] = EMPTY;
+    sizes[set_index] = size - 1;
+}
+
+/* --- MSHR file: mshr[0] = live count, lines at mshr+1, completion
+   times at mshr+1+cap, insertion order preserved (mirrors the ordered
+   dict in repro.mem.mshr). ---------------------------------------- */
+
+static void mshr_retire(i64 *mshr, i64 cap, i64 now)
+{
+    i64 count = mshr[0];
+    i64 *lines = mshr + 1;
+    i64 *times = mshr + 1 + cap;
+    i64 out = 0;
+    for (i64 i = 0; i < count; i++) {
+        if (times[i] > now) {
+            lines[out] = lines[i];
+            times[out] = times[i];
+            out++;
+        }
+    }
+    mshr[0] = out;
+}
+
+static i64 mshr_find(const i64 *mshr, i64 line)
+{
+    i64 count = mshr[0];
+    const i64 *lines = mshr + 1;
+    for (i64 i = 0; i < count; i++)
+        if (lines[i] == line)
+            return i;
+    return -1;
+}
+
+/* MSHRFile.try_allocate: 1 on merge or allocation, 0 on rejection. */
+static int mshr_try_allocate(i64 *mshr, i64 cap, i64 line, i64 now,
+                             i64 completion, i64 *k)
+{
+    mshr_retire(mshr, cap, now);
+    if (mshr_find(mshr, line) >= 0) {
+        k[K_MSHR_MERGE]++;
+        return 1;
+    }
+    i64 count = mshr[0];
+    if (count >= cap) {
+        k[K_MSHR_REJ]++;
+        return 0;
+    }
+    mshr[1 + count] = line;
+    mshr[1 + cap + count] = completion;
+    mshr[0] = count + 1;
+    k[K_MSHR_ALLOC]++;
+    return 1;
+}
+
+/* MSHRFile.inflight_completion: completion time or -1. */
+static i64 mshr_inflight(i64 *mshr, i64 cap, i64 line, i64 now, i64 *k)
+{
+    mshr_retire(mshr, cap, now);
+    i64 idx = mshr_find(mshr, line);
+    if (idx < 0)
+        return -1;
+    k[K_MSHR_MERGE]++;
+    return mshr[1 + cap + idx];
+}
+
+/* CacheHierarchy.access, including the MSHR merge branch (a prefetch
+   issued by an earlier record can still be in flight).  Returns the
+   latency; *level_out = SERVICE_LABELS column (1 L1, 2 MSHR, 3 L2,
+   4 L3, 5 MEM). */
 static i64 cache_access(i64 *c1_lines, i64 *c1_sizes,
                         i64 *c2_lines, i64 *c2_sizes,
                         i64 *c3_lines, i64 *c3_sizes,
-                        const i64 *g, i64 *k, i64 line, i64 *level_out)
+                        const i64 *g, i64 *k, i64 line, i64 *level_out,
+                        i64 now, i64 *mshr)
 {
     if (cache_probe(c1_lines, c1_sizes, g[G_C1], g[G_C1 + 1], line)) {
         k[K_C1_H]++;
@@ -266,6 +413,16 @@ static i64 cache_access(i64 *c1_lines, i64 *c1_sizes,
         return g[G_LAT1];
     }
     k[K_C1_M]++;
+    if (mshr[0] > 0) {
+        i64 merged = mshr_inflight(mshr, g[G_MSHR_CAP], line, now, k);
+        if (merged >= 0 && merged > now) {
+            /* the in-flight fill lands in the L1; no served[] credit */
+            cache_install(c1_lines, c1_sizes, g[G_C1], g[G_C1 + 1],
+                          g[G_C1 + 2], line, &k[K_C1_E]);
+            *level_out = 2;
+            return merged - now;
+        }
+    }
     i64 latency, level;
     if (cache_probe(c2_lines, c2_sizes, g[G_C2], g[G_C2 + 1], line)) {
         k[K_C2_H]++;
@@ -297,6 +454,143 @@ static i64 cache_access(i64 *c1_lines, i64 *c1_sizes,
     return latency;
 }
 
+/* --- Victima parked-entry pool: an insertion-ordered map, mirroring
+   the scheme's `_parked` dict.  pool: cap slots of (vpn, frame, prev,
+   next); meta: [count, head, tail, free_head, tombstones]; hash: open
+   addressing (value = pool index, -1 empty, -2 tombstone). -------- */
+
+#define SLOT_FREE (-1LL)
+#define SLOT_TOMB (-2LL)
+
+static i64 mix64(i64 x)
+{
+    unsigned long long z = (unsigned long long)x;
+    z ^= z >> 30; z *= 0xBF58476D1CE4B9B9ULL;
+    z ^= z >> 27; z *= 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    return (i64)z;
+}
+
+/* Hash slot holding `vpn`, or -1. */
+static i64 park_find(const i64 *pool, const i64 *hash, i64 hcap, i64 vpn)
+{
+    i64 mask = hcap - 1;
+    i64 s = mix64(vpn) & mask;
+    for (;;) {
+        i64 v = hash[s];
+        if (v == SLOT_FREE)
+            return -1;
+        if (v >= 0 && pool[v * 4] == vpn)
+            return s;
+        s = (s + 1) & mask;
+    }
+}
+
+/* Insert a known-absent pool index (first free or tombstone slot). */
+static void park_hash_insert(const i64 *pool, i64 *hash, i64 hcap,
+                             i64 *meta, i64 idx)
+{
+    i64 mask = hcap - 1;
+    i64 s = mix64(pool[idx * 4]) & mask;
+    while (hash[s] >= 0)
+        s = (s + 1) & mask;
+    if (hash[s] == SLOT_TOMB)
+        meta[4]--;
+    hash[s] = idx;
+}
+
+static void park_rehash(const i64 *pool, i64 *hash, i64 hcap, i64 *meta)
+{
+    for (i64 i = 0; i < hcap; i++)
+        hash[i] = SLOT_FREE;
+    meta[4] = 0;
+    for (i64 idx = meta[1]; idx >= 0; idx = pool[idx * 4 + 3])
+        park_hash_insert(pool, hash, hcap, meta, idx);
+}
+
+/* Remove pool index `idx` (at hash slot `slot`) from map and FIFO. */
+static void park_unlink(i64 *pool, i64 *hash, i64 *meta, i64 slot,
+                        i64 idx)
+{
+    hash[slot] = SLOT_TOMB;
+    meta[4]++;
+    i64 prev = pool[idx * 4 + 2];
+    i64 next = pool[idx * 4 + 3];
+    if (prev >= 0) pool[prev * 4 + 3] = next; else meta[1] = next;
+    if (next >= 0) pool[next * 4 + 2] = prev; else meta[2] = prev;
+    pool[idx * 4 + 3] = meta[3];   /* push onto the free list */
+    meta[3] = idx;
+    meta[0]--;
+}
+
+/* VictimaScheme._park: bound-evict the oldest, insert (or update in
+   place, keeping FIFO position), install the parked line in the L2
+   data cache, count it. */
+static void park_entry(i64 *pool, i64 *hash, i64 *meta, const i64 *g,
+                       i64 *k, i64 vpn, i64 frame,
+                       i64 *c2_lines, i64 *c2_sizes)
+{
+    const i64 hcap = g[G_PARK_HCAP];
+    i64 slot = park_find(pool, hash, hcap, vpn);
+    if (slot >= 0) {
+        pool[hash[slot] * 4 + 1] = frame;
+    } else {
+        if (meta[0] >= g[G_PARK_MAX]) {
+            i64 old = meta[1];
+            i64 oslot = park_find(pool, hash, hcap, pool[old * 4]);
+            park_unlink(pool, hash, meta, oslot, old);
+        }
+        i64 idx = meta[3];
+        meta[3] = pool[idx * 4 + 3];
+        pool[idx * 4] = vpn;
+        pool[idx * 4 + 1] = frame;
+        pool[idx * 4 + 2] = meta[2];
+        pool[idx * 4 + 3] = -1;
+        if (meta[2] >= 0) pool[meta[2] * 4 + 3] = idx; else meta[1] = idx;
+        meta[2] = idx;
+        meta[0]++;
+        park_hash_insert(pool, hash, hcap, meta, idx);
+        if ((meta[0] + meta[4]) * 2 >= hcap)
+            park_rehash(pool, hash, hcap, meta);
+    }
+    cache_install_scan(c2_lines, c2_sizes, g[G_C2], g[G_C2 + 1],
+                       g[G_C2 + 2], PARK_BASE | vpn, &k[K_C2_E]);
+    k[K_V_PARKED]++;
+}
+
+/* Rebuild the hash from the FIFO chain (the Python side seeds the pool
+   arrays from the scheme's dict and calls this once per run). */
+void col_park_seed(i64 *meta, i64 *hash, const i64 *pool, i64 hcap)
+{
+    park_rehash(pool, hash, hcap, meta);
+}
+
+/* TlbHierarchy.fill_fast for a small page: install both levels; in
+   victima mode a small-tag L2 victim is handed to the park hook. */
+static void tlb_fill_small(i64 vpn, i64 frame, const i64 *g, i64 *k,
+                           i64 *t_tags, i64 *t_frames, i64 *t_sizes,
+                           i64 *u_tags, i64 *u_frames, i64 *u_sizes,
+                           int vmode, i64 *pool, i64 *hash, i64 *meta,
+                           i64 *c2_lines, i64 *c2_sizes)
+{
+    const i64 stag = vpn << 1;
+    const i64 t_set = stag & (g[G_T] - 1);
+    lru_install(t_tags, t_frames, t_sizes, t_set,
+                t_set * g[G_T + 1], g[G_T + 2], stag, frame);
+    const i64 u_set = stag & (g[G_U] - 1);
+    const i64 base = u_set * g[G_U + 1];
+    const i64 ways = g[G_U + 2];
+    i64 vt = EMPTY, vf = 0;
+    if (u_sizes[u_set] >= ways) {
+        vt = u_tags[base + ways - 1];
+        vf = u_frames[base + ways - 1];
+    }
+    lru_install(u_tags, u_frames, u_sizes, u_set, base, ways, stag, frame);
+    if (vmode && vt != EMPTY && !(vt & 1))
+        park_entry(pool, hash, meta, g, k, vt >> 1, vf,
+                   c2_lines, c2_sizes);
+}
+
 i64 col_run_chunk(const i64 *va_arr, i64 n, i64 warmup,
                   i64 collect_service,
                   const i64 *rowidx, const i64 *paths,
@@ -308,7 +602,9 @@ i64 col_run_chunk(const i64 *va_arr, i64 n, i64 warmup,
                   i64 *p4_tags, i64 *p4_frames, i64 *p4_sizes,
                   i64 *c1_lines, i64 *c1_sizes,
                   i64 *c2_lines, i64 *c2_sizes,
-                  i64 *c3_lines, i64 *c3_sizes)
+                  i64 *c3_lines, i64 *c3_sizes,
+                  i64 *mshr, i64 *park_meta, i64 *park_hash,
+                  i64 *park_pool)
 {
     i64 now = carry[CAR_NOW];
     i64 measuring = carry[CAR_MEASURING];
@@ -320,6 +616,7 @@ i64 col_run_chunk(const i64 *va_arr, i64 n, i64 warmup,
     const i64 probe_large = g[G_PROBE_LARGE];
     const i64 base_cycles = g[G_BASE_CYCLES];
     const i64 pwc_lat = g[G_PWC_LAT];
+    const i64 mode = g[G_MODE];
 
     for (i64 i = 0; i < n; i++) {
         if (!measuring && i >= warmup) {
@@ -412,9 +709,129 @@ i64 col_run_chunk(const i64 *va_arr, i64 n, i64 warmup,
         }
 
         if (frame == EMPTY) {
-            /* --- full miss: priced page walk ----------------------- */
             k[K_TM]++;
-            const i64 *P = paths + rowidx[i] * 10;
+            int walked = 1;
+            if (mode == 2) {
+                /* --- Victima probe before the walk ----------------- */
+                i64 slot = park_find(park_pool, park_hash,
+                                     g[G_PARK_HCAP], vpn);
+                if (slot >= 0) {
+                    const i64 idx = park_hash[slot];
+                    const i64 pline = PARK_BASE | vpn;
+                    if (cache_probe(c2_lines, c2_sizes,
+                                    g[G_C2], g[G_C2 + 1], pline)) {
+                        k[K_C2_H]++;
+                        cache_invalidate(c2_lines, c2_sizes,
+                                         g[G_C2], g[G_C2 + 1], pline);
+                        frame = park_pool[idx * 4 + 1];
+                        park_unlink(park_pool, park_hash, park_meta,
+                                    slot, idx);
+                        k[K_V_PROBE_H]++;
+                        translation = g[G_PROBE_LAT];
+                        tlb_fill_small(vpn, frame, g, k,
+                                       t_tags, t_frames, t_sizes,
+                                       u_tags, u_frames, u_sizes,
+                                       1, park_pool, park_hash,
+                                       park_meta, c2_lines, c2_sizes);
+                        if (measuring)
+                            walk_c += translation;
+                        walked = 0;
+                    } else {
+                        /* parked entry lost to data-cache pressure */
+                        k[K_C2_M]++;
+                        park_unlink(park_pool, park_hash, park_meta,
+                                    slot, idx);
+                        k[K_V_LOST]++;
+                        k[K_V_PROBE_M]++;
+                    }
+                } else {
+                    k[K_V_PROBE_M]++;
+                }
+            }
+            if (walked) {
+            /* --- full miss: priced page walk ----------------------- */
+            const i64 *P = paths + rowidx[i] * PATH_COLS;
+            i64 comp[5] = {-1, -1, -1, -1, -1};
+            if (mode == 1) {
+                /* --- ASAP prefetch replay (at `now`, before the PWC
+                   probes, exactly where the scalar walk_start hook
+                   fires) -------------------------------------------- */
+                if (!P[10]) {
+                    k[K_RR_M]++;
+                    k[K_PF_NODESC]++;
+                } else {
+                    k[K_RR_H]++;
+                    const i64 pf_n = g[G_PF_N];
+                    for (i64 s = 0; s < pf_n; s++) {
+                        const i64 pline = P[11 + s];
+                        if (pline < 0)
+                            continue;
+                        i64 completion;
+                        if (cache_probe(c1_lines, c1_sizes,
+                                        g[G_C1], g[G_C1 + 1], pline)) {
+                            k[K_C1_H]++;
+                            k[K_SRV_L1]++;
+                            completion = now + g[G_LAT1];
+                        } else {
+                            k[K_C1_M]++;
+                            i64 lvl, lat;
+                            if (cache_probe(c2_lines, c2_sizes,
+                                            g[G_C2], g[G_C2 + 1],
+                                            pline)) {
+                                k[K_C2_H]++;
+                                lvl = 3;
+                                lat = g[G_LAT2];
+                            } else {
+                                k[K_C2_M]++;
+                                if (cache_probe(c3_lines, c3_sizes,
+                                                g[G_C3], g[G_C3 + 1],
+                                                pline)) {
+                                    k[K_C3_H]++;
+                                    lvl = 4;
+                                    lat = g[G_LAT3];
+                                } else {
+                                    k[K_C3_M]++;
+                                    lvl = 5;
+                                    lat = g[G_LATM];
+                                }
+                            }
+                            completion = now + lat;
+                            if (g[G_REQ_MSHR] &&
+                                !mshr_try_allocate(mshr, g[G_MSHR_CAP],
+                                                   pline, now,
+                                                   completion, k)) {
+                                k[K_H_PF_DROP]++;
+                                k[K_PF_DROPNM]++;
+                                continue;
+                            }
+                            cache_install(c1_lines, c1_sizes, g[G_C1],
+                                          g[G_C1 + 1], g[G_C1 + 2],
+                                          pline, &k[K_C1_E]);
+                            if (lvl >= 4)
+                                cache_install(c2_lines, c2_sizes,
+                                              g[G_C2], g[G_C2 + 1],
+                                              g[G_C2 + 2], pline,
+                                              &k[K_C2_E]);
+                            if (lvl == 5)
+                                cache_install(c3_lines, c3_sizes,
+                                              g[G_C3], g[G_C3 + 1],
+                                              g[G_C3 + 2], pline,
+                                              &k[K_C3_E]);
+                            if (lvl == 3) k[K_SRV_L2]++;
+                            else if (lvl == 4) k[K_SRV_L3]++;
+                            else k[K_SRV_MEM]++;
+                            k[K_H_PF_ISSUED]++;
+                        }
+                        k[K_PF_ISSUED]++;
+                        if (P[15 + s]) {
+                            k[K_PF_HOLE]++;
+                            continue;
+                        }
+                        k[K_PF_USEFUL]++;
+                        comp[g[G_PF_L + s]] = completion;
+                    }
+                }
+            }
             i64 t_clock = now + pwc_lat;
             i64 skip_from = 0;
             k[K_PWC_PROBES]++;
@@ -463,9 +880,12 @@ i64 col_run_chunk(const i64 *va_arr, i64 n, i64 warmup,
                 } else {
                     lat = cache_access(c1_lines, c1_sizes, c2_lines,
                                        c2_sizes, c3_lines, c3_sizes,
-                                       g, k, line, &level);
+                                       g, k, line, &level,
+                                       t_clock, mshr);
                 }
                 t_clock += lat;
+                if (mode == 1 && comp[4 - j] > t_clock)
+                    t_clock = comp[4 - j];  /* overlap with prefetch */
                 if (svc)
                     service[(4 - j - 1) * 6 + level]++;
             }
@@ -480,7 +900,10 @@ i64 col_run_chunk(const i64 *va_arr, i64 n, i64 warmup,
             k[K_WALKS]++;
             k[K_WALK_CYCLES] += translation;
             frame = P[8];
-            /* TLB fill — both tags known absent after the full miss. */
+            /* TLB fill — both tags known absent after the full miss.
+               Large fills never hand a victim to the park hook (the
+               generic fill path has no hook); small fills do when in
+               victima mode. */
             if (P[9]) {
                 const i64 ltag = ((vpn >> 9) << 1) | 1;
                 const i64 t_set = ltag & (g[G_T] - 1);
@@ -490,17 +913,16 @@ i64 col_run_chunk(const i64 *va_arr, i64 n, i64 warmup,
                 lru_install(u_tags, u_frames, u_sizes, u_set,
                             u_set * g[G_U + 1], g[G_U + 2], ltag, frame);
             } else {
-                const i64 stag = vpn << 1;
-                const i64 t_set = stag & (g[G_T] - 1);
-                lru_install(t_tags, t_frames, t_sizes, t_set,
-                            t_set * g[G_T + 1], g[G_T + 2], stag, frame);
-                const i64 u_set = stag & (g[G_U] - 1);
-                lru_install(u_tags, u_frames, u_sizes, u_set,
-                            u_set * g[G_U + 1], g[G_U + 2], stag, frame);
+                tlb_fill_small(vpn, frame, g, k,
+                               t_tags, t_frames, t_sizes,
+                               u_tags, u_frames, u_sizes,
+                               mode == 2, park_pool, park_hash,
+                               park_meta, c2_lines, c2_sizes);
             }
             if (measuring) {
                 walk_c += translation;
                 walk_count++;
+            }
             }
         }
 
@@ -517,7 +939,8 @@ i64 col_run_chunk(const i64 *va_arr, i64 n, i64 warmup,
             } else {
                 dlat = cache_access(c1_lines, c1_sizes, c2_lines,
                                     c2_sizes, c3_lines, c3_sizes,
-                                    g, k, line, &level);
+                                    g, k, line, &level,
+                                    now + translation, mshr);
             }
             now += base_cycles + translation + dlat;
             if (measuring) {
@@ -550,7 +973,11 @@ long long col_run_chunk(const long long *va_arr, long long n,
     long long *p4_tags, long long *p4_frames, long long *p4_sizes,
     long long *c1_lines, long long *c1_sizes,
     long long *c2_lines, long long *c2_sizes,
-    long long *c3_lines, long long *c3_sizes);
+    long long *c3_lines, long long *c3_sizes,
+    long long *mshr, long long *park_meta, long long *park_hash,
+    long long *park_pool);
+void col_park_seed(long long *meta, long long *hash,
+    const long long *pool, long long hcap);
 """
 
 _BACKEND = None
@@ -624,28 +1051,89 @@ def columnar_available() -> bool:
     return _BACKEND is not None
 
 
-def engine_ready(sim: "NativeSimulation", fast_ok: bool) -> bool:
-    """Can this run() hand whole chunks to the C kernel?
-
-    ``fast_ok`` is the scalar fast sweep's static precondition (no
-    scheme hooks, no co-runner, plain finite TLBs, 3-level PWC).  On
-    top of that the MSHRs must be idle — the kernel has no merge branch,
-    and with no hooks nothing can put a line in flight mid-run — and
-    the backend must have compiled.
-    """
-    if not fast_ok:
-        return False
-    if sim.hierarchy.mshrs._inflight:
-        return False
+def _pow2_geometry(sim: "NativeSimulation") -> bool:
     # The C kernel maps tags to sets with `tag & (nsets - 1)`; custom
     # machine geometries with non-power-of-two set counts (valid for
     # the scalar `tag % nsets`) stay on the scalar loop.
     units = [sim.tlbs.l1, sim.tlbs.l2_plain,
              sim.hierarchy.l1, sim.hierarchy.l2, sim.hierarchy.l3]
     units += [unit for _, unit in sim.pwc.view]
-    if any(unit.num_sets & (unit.num_sets - 1) for unit in units):
-        return False
-    return columnar_available()
+    return not any(unit.num_sets & (unit.num_sets - 1) for unit in units)
+
+
+def _asap_pages_aligned(sim: "NativeSimulation", prefetcher) -> bool:
+    """The ASAP path-row columns are computed once per page, so every
+    boundary the replay consults (descriptor cover, VMA find for the
+    hole check) must be page-aligned — true for every workload the
+    layout builder produces, checked here so a hand-built misaligned
+    region falls back to the scalar oracle."""
+    for descriptor in prefetcher.registers._descriptors:
+        if (descriptor.start | descriptor.end) & 0xFFF:
+            return False
+    for vma in sim.process.vmas:
+        if (vma.start | vma.end) & 0xFFF:
+            return False
+    return True
+
+
+def engine_mode(sim: "NativeSimulation", fast_ok: bool) -> str | None:
+    """Which compiled kernel mode (if any) can replay this run().
+
+    Returns ``"plain"`` for the hook-free fast-sweep configuration
+    (``fast_ok``), ``"asap"`` when the only hook is an AsapPrefetcher's
+    ``on_tlb_miss`` walk-start, ``"victima"`` when the hooks are exactly
+    a Victima scheme's probe + L2-TLB-eviction park pair, and ``None``
+    otherwise (Revelator, co-runner and custom-hook cells stay on the
+    scalar loop).  All modes additionally need power-of-two set counts
+    and a compiled backend.  In-flight MSHRs are fine — the kernel
+    carries the MSHR file and has the merge branch.
+    """
+    mode = None
+    if fast_ok:
+        mode = "plain"
+    else:
+        # Structural preconditions shared with fast_ok, minus the hooks.
+        tlbs = sim.tlbs
+        if (sim.corunner is not None or tlbs.infinite
+                or sim.clustered_tlb or len(sim.pwc.view) != 3):
+            return None
+        scheme = sim.scheme
+        probe = scheme.probe_hook()
+        walk_start = scheme.walk_start_hook()
+        if (scheme.walk_end_hook() is not None
+                or scheme.fill_hook() is not None):
+            return None
+        if (walk_start is not None and probe is None
+                and tlbs.l2_evict_hook is None):
+            from repro.core.prefetcher import AsapPrefetcher
+
+            prefetcher = getattr(walk_start, "__self__", None)
+            if (type(prefetcher) is AsapPrefetcher
+                    and getattr(walk_start, "__func__", None)
+                    is AsapPrefetcher.on_tlb_miss
+                    and prefetcher.hierarchy is sim.hierarchy
+                    and prefetcher.levels
+                    and len(prefetcher.levels) <= 4
+                    and all(1 <= lv <= 4 for lv in prefetcher.levels)
+                    and _asap_pages_aligned(sim, prefetcher)):
+                mode = "asap"
+        elif probe is not None and walk_start is None:
+            from repro.schemes.victima import VictimaLike
+
+            park = tlbs.l2_evict_hook
+            if (type(scheme) is VictimaLike
+                    and getattr(probe, "__self__", None) is scheme
+                    and getattr(probe, "__func__", None)
+                    is VictimaLike._probe
+                    and getattr(park, "__self__", None) is scheme
+                    and getattr(park, "__func__", None)
+                    is VictimaLike._park
+                    and scheme._hierarchy is sim.hierarchy
+                    and scheme.max_parked >= 1):
+                mode = "victima"
+    if mode is None or not _pow2_geometry(sim):
+        return None
+    return mode if columnar_available() else None
 
 
 class _PathTable:
@@ -668,9 +1156,12 @@ class _PathTable:
     def clear(self) -> None:
         self.__init__()
 
-    def rows_for(self, vpns: np.ndarray, process, vbias: int) -> np.ndarray:
+    def rows_for(self, vpns: np.ndarray, process, vbias: int,
+                 asap=None) -> np.ndarray:
         """Row index for every element of ``vpns`` (biased), building
-        rows for VPNs not seen before."""
+        rows for VPNs not seen before.  ``asap`` is ``None`` or the
+        ``(starts, descriptors, levels, hole_checker)`` replay context
+        used to precompute the prefetch-target columns."""
         uniq = np.unique(vpns)
         if self.known.size:
             slot = np.searchsorted(self.known, uniq)
@@ -680,10 +1171,11 @@ class _PathTable:
         else:
             new = uniq
         if new.size:
-            self._add(new, process, vbias)
+            self._add(new, process, vbias, asap)
         return self.rows[np.searchsorted(self.known, vpns)]
 
-    def _add(self, new: np.ndarray, process, vbias: int) -> None:
+    def _add(self, new: np.ndarray, process, vbias: int,
+             asap=None) -> None:
         pt = process.page_table
         raw = new & ((1 << ASID_SHIFT) - 1) if vbias else new
         count = new.size
@@ -723,6 +1215,36 @@ class _PathTable:
         rows[:, 7] = leaf
         rows[:, 8] = pframe
         rows[:, 9] = (leaf == 2).astype(np.int64)
+        rows[:, 10] = 0
+        rows[:, 11:15] = -1
+        rows[:, 15:19] = 0
+        if asap is not None:
+            # ASAP replay columns.  Range-register lookup replayed as a
+            # side-effect-free bisect (the hit/miss counters live in the
+            # kernel); entry addresses and hole flags are page-constant
+            # because the dispatch precondition requires page-aligned
+            # descriptors and VMAs, so the page-base VA stands in for
+            # every record VA on the page.
+            from bisect import bisect_right
+
+            starts, descriptors, levels, hole_checker = asap
+            for i in range(count):
+                va = int(raw[i]) << 12
+                idx = bisect_right(starts, va) - 1
+                if idx < 0:
+                    continue
+                descriptor = descriptors[idx]
+                if not (descriptor.start <= va < descriptor.end):
+                    continue
+                rows[i, 10] = 1
+                for s, level in enumerate(levels):
+                    target = descriptor.entry_addr(va, level)
+                    if target is None:
+                        continue
+                    rows[i, 11 + s] = target >> 6
+                    if (hole_checker is not None
+                            and hole_checker(va, level)):
+                        rows[i, 15 + s] = 1
 
         start = self.count
         needed = start + count
@@ -760,8 +1282,13 @@ def _as_array(lst: list) -> np.ndarray:
 
 def run_columnar(sim: "NativeSimulation", chunks, warmup: int,
                  collect_service: bool, stats, carry: tuple,
-                 obs_probe=None) -> tuple:
+                 obs_probe=None, mode: str = "plain") -> tuple:
     """Drive every chunk of ``chunks`` through the C kernel.
+
+    ``mode`` is :func:`engine_mode`'s verdict — ``"plain"``, ``"asap"``
+    or ``"victima"`` — and selects which scheme state machine the
+    kernel replays (and which scheme-side state is round-tripped
+    through flat arrays).
 
     ``carry`` is the scalar loop's run-wide state tuple ``(now,
     measuring, acc, data_c, walk_c, walk_count, tlb_l1_base,
@@ -802,6 +1329,20 @@ def run_columnar(sim: "NativeSimulation", chunks, warmup: int,
     geom[_G_BASE_CYCLES] = sim.machine.core.base_cycles
     geom[_G_VBIAS] = vbias
     geom[_G_PROBE_LARGE] = 1 if tlbs.probe_large[0] else 0
+    geom[_G_MODE] = {"plain": 0, "asap": 1, "victima": 2}[mode]
+
+    # The MSHR file rides along in every mode (the kernel has the merge
+    # branch, and ASAP replays allocations into it): [count, lines...,
+    # completion times...], insertion-ordered like the scalar dict.
+    mshrs = hierarchy.mshrs
+    mshr_cap = int(mshrs.capacity)
+    geom[_G_MSHR_CAP] = mshr_cap
+    mshr_arr = np.zeros(1 + 2 * max(mshr_cap, 1), dtype=np.int64)
+    inflight = list(mshrs._inflight.items())
+    mshr_arr[0] = len(inflight)
+    for i, (line, when) in enumerate(inflight):
+        mshr_arr[1 + i] = line
+        mshr_arr[1 + mshr_cap + i] = when
 
     k = np.zeros(_COUNTER_SLOTS, dtype=np.int64)
     k[K_TH] = tlbs.stats.hits
@@ -835,6 +1376,63 @@ def run_columnar(sim: "NativeSimulation", chunks, warmup: int,
     k[K_SRV_L2] = hierarchy.served["L2"]
     k[K_SRV_L3] = hierarchy.served["L3"]
     k[K_SRV_MEM] = hierarchy.served["MEM"]
+    k[K_H_PF_ISSUED] = hierarchy.prefetches_issued
+    k[K_H_PF_DROP] = hierarchy.prefetches_dropped
+    k[K_MSHR_ALLOC] = mshrs.allocations
+    k[K_MSHR_REJ] = mshrs.rejections
+    k[K_MSHR_MERGE] = mshrs.merges
+
+    prefetcher = None
+    asap_ctx = None
+    if mode == "asap":
+        prefetcher = sim.scheme.walk_start_hook().__self__
+        geom[_G_REQ_MSHR] = 1 if prefetcher.require_mshr else 0
+        geom[_G_PF_N] = len(prefetcher.levels)
+        for s, level in enumerate(prefetcher.levels):
+            geom[_G_PF_L + s] = level
+        registers = prefetcher.registers
+        asap_ctx = (registers._starts, registers._descriptors,
+                    prefetcher.levels, prefetcher.hole_checker)
+        k[K_RR_H] = registers.hits
+        k[K_RR_M] = registers.misses
+        k[K_PF_ISSUED] = prefetcher.stats.issued
+        k[K_PF_USEFUL] = prefetcher.stats.useful
+        k[K_PF_DROPNM] = prefetcher.stats.dropped_no_mshr
+        k[K_PF_NODESC] = prefetcher.stats.no_descriptor
+        k[K_PF_HOLE] = prefetcher.stats.wasted_on_hole
+
+    vscheme = None
+    if mode == "victima":
+        vscheme = sim.scheme
+        geom[_G_PROBE_LAT] = vscheme._probe_latency
+        pool_cap = max(int(vscheme.max_parked), 1)
+        geom[_G_PARK_MAX] = vscheme.max_parked
+        hcap = 1 << max(6, (4 * pool_cap - 1).bit_length())
+        geom[_G_PARK_HCAP] = hcap
+        park_pool = np.full(4 * pool_cap, -1, dtype=np.int64)
+        park_hash = np.full(hcap, -1, dtype=np.int64)
+        park_meta = np.array([0, -1, -1, -1, 0], dtype=np.int64)
+        parked = list(vscheme._parked.items())
+        n_parked = len(parked)
+        for i, (vpn, frame) in enumerate(parked):
+            park_pool[4 * i] = vpn
+            park_pool[4 * i + 1] = frame
+            park_pool[4 * i + 2] = i - 1
+            park_pool[4 * i + 3] = i + 1 if i + 1 < n_parked else -1
+        for i in range(n_parked, pool_cap):
+            park_pool[4 * i + 3] = i + 1 if i + 1 < pool_cap else -1
+        park_meta[0] = n_parked
+        park_meta[1] = 0 if n_parked else -1
+        park_meta[2] = n_parked - 1 if n_parked else -1
+        park_meta[3] = n_parked if n_parked < pool_cap else -1
+        k[K_V_PARKED] = vscheme.stats["parked"]
+        k[K_V_PROBE_H] = vscheme.stats["probe_hits"]
+        k[K_V_PROBE_M] = vscheme.stats["probe_misses"]
+        k[K_V_LOST] = vscheme.stats["parked_lost_to_data"]
+    else:
+        park_pool = np.zeros(4, dtype=np.int64)
+        park_hash = np.zeros(1, dtype=np.int64)
+        park_meta = np.zeros(5, dtype=np.int64)
 
     carry_arr = np.zeros(_CARRY_SLOTS, dtype=np.int64)
     (carry_arr[_CAR_NOW], measuring, carry_arr[_CAR_ACC],
@@ -874,6 +1472,10 @@ def run_columnar(sim: "NativeSimulation", chunks, warmup: int,
         "c1_lines", "c1_sizes", "c2_lines", "c2_sizes",
         "c3_lines", "c3_sizes")]
 
+    if vscheme is not None:
+        lib.col_park_seed(ptr(park_meta), ptr(park_hash), ptr(park_pool),
+                          int(geom[_G_PARK_HCAP]))
+
     try:
         chunk_base = 0
         for chunk in chunks:
@@ -883,14 +1485,16 @@ def run_columnar(sim: "NativeSimulation", chunks, warmup: int,
                 continue
             vpns = (addresses >> 12) | vbias
             rowidx = np.ascontiguousarray(
-                state.rows_for(vpns, sim.process, vbias))
+                state.rows_for(vpns, sim.process, vbias, asap_ctx))
             local_warmup = min(max(warmup - chunk_base, 0), n)
             lib.col_run_chunk(
                 ptr(addresses), n, local_warmup,
                 1 if collect_service else 0,
                 ptr(rowidx), ptr(state.paths),
                 ptr(carry_arr), ptr(k), ptr(geom), ptr(service),
-                *struct_ptrs)
+                *struct_ptrs,
+                ptr(mshr_arr), ptr(park_meta), ptr(park_hash),
+                ptr(park_pool))
             chunk_base += n
             if obs_probe is not None:
                 obs_probe.sample(
@@ -959,6 +1563,38 @@ def run_columnar(sim: "NativeSimulation", chunks, warmup: int,
         hierarchy.served["L2"] = int(k[K_SRV_L2])
         hierarchy.served["L3"] = int(k[K_SRV_L3])
         hierarchy.served["MEM"] = int(k[K_SRV_MEM])
+        hierarchy.prefetches_issued = int(k[K_H_PF_ISSUED])
+        hierarchy.prefetches_dropped = int(k[K_H_PF_DROP])
+        mshrs.allocations = int(k[K_MSHR_ALLOC])
+        mshrs.rejections = int(k[K_MSHR_REJ])
+        mshrs.merges = int(k[K_MSHR_MERGE])
+        mshrs._inflight.clear()
+        for i in range(int(mshr_arr[0])):
+            mshrs._inflight[int(mshr_arr[1 + i])] = int(
+                mshr_arr[1 + mshr_cap + i])
+
+        if prefetcher is not None:
+            registers = prefetcher.registers
+            registers.hits = int(k[K_RR_H])
+            registers.misses = int(k[K_RR_M])
+            prefetcher.stats.issued = int(k[K_PF_ISSUED])
+            prefetcher.stats.useful = int(k[K_PF_USEFUL])
+            prefetcher.stats.dropped_no_mshr = int(k[K_PF_DROPNM])
+            prefetcher.stats.no_descriptor = int(k[K_PF_NODESC])
+            prefetcher.stats.wasted_on_hole = int(k[K_PF_HOLE])
+
+        if vscheme is not None:
+            vscheme.stats["parked"] = int(k[K_V_PARKED])
+            vscheme.stats["probe_hits"] = int(k[K_V_PROBE_H])
+            vscheme.stats["probe_misses"] = int(k[K_V_PROBE_M])
+            vscheme.stats["parked_lost_to_data"] = int(k[K_V_LOST])
+            parked = vscheme._parked
+            parked.clear()
+            idx = int(park_meta[1])
+            while idx >= 0:
+                parked[int(park_pool[4 * idx])] = int(
+                    park_pool[4 * idx + 1])
+                idx = int(park_pool[4 * idx + 3])
 
         if collect_service:
             # Root-first (level 4 down) so dict insertion order matches

@@ -100,8 +100,18 @@ STREAM_CHUNK_RECORDS: int | None = None
 def make_trace(spec: WorkloadSpec, scale: Scale):
     """The trace for ``(spec, scale)``: one cached ndarray at
     interactive scales, a chunk-streaming ``GeneratedSource`` beyond
-    :data:`STREAM_RECORDS` (memory stays bounded by the chunk size)."""
+    :data:`STREAM_RECORDS` (memory stays bounded by the chunk size).
+
+    Inside a sweep worker the share overlay (``repro.traces.share``)
+    may hold this axis as a materialised payload; replaying its mmap is
+    byte-identical to regenerating (same canonical chunk stream) and
+    lets every worker share one on-disk copy."""
     if scale.trace_length > STREAM_RECORDS:
+        from repro.traces import share
+
+        shared = share.lookup(spec.name, scale.trace_length, scale.seed)
+        if shared is not None:
+            return shared
         return GeneratedSource(spec, scale.trace_length, scale.seed,
                                chunk_records=STREAM_CHUNK_RECORDS)
     key = (spec.name, scale.trace_length, scale.seed)

@@ -905,16 +905,19 @@ class NativeSimulation:
         if self.kernel == "columnar":
             from repro.sim import columnar as _columnar
 
-            if _columnar.engine_ready(self, fast_ok):
+            mode = _columnar.engine_mode(self, fast_ok)
+            if mode is not None:
                 # Whole-chunk C engine (byte-identical to the loop
-                # below; see repro.sim.columnar).  Runs whenever the
-                # fast sweep could, falls back to scalar otherwise.
+                # below; see repro.sim.columnar).  Covers the fast-sweep
+                # configuration plus the compiled ASAP and Victima
+                # state machines; falls back to scalar otherwise.
                 (now, measuring, acc, data_c, walk_c, walk_count,
                  tlb_l1_base, tlb_l2_base) = _columnar.run_columnar(
                     self, chunk_stream, warmup,
                     collect_service, stats,
                     (now, measuring, acc, data_c, walk_c, walk_count,
-                     tlb_l1_base, tlb_l2_base), obs_probe=obs)
+                     tlb_l1_base, tlb_l2_base), obs_probe=obs,
+                    mode=mode)
                 stats.accesses = acc
                 stats.base_cycles = acc * base_cycles
                 stats.data_cycles = data_c

@@ -1,0 +1,169 @@
+"""Zero-copy trace sharing across sweep worker processes.
+
+A streamed cell (``scale.trace_length > STREAM_RECORDS``) regenerates
+its trace chunk by chunk inside whichever process runs it.  That keeps
+one run's memory bounded, but a parallel sweep pays the generation cost
+``N`` times — once per worker that draws a cell of the same
+``(workload, records, seed)`` axis — and a 10M-record grid spends more
+time re-deriving identical chunks than simulating some of its cells.
+
+The versioned trace store (:mod:`repro.traces.store`) already gives the
+fix: ``payload.npy`` is a plain ``.npy`` that opens as a read-only
+memory map.  The sweep engine calls :func:`prepare` before opening its
+process pool — each unique streamed axis is materialised **once** into
+the shared trace directory — and passes the resulting mapping to
+:func:`activate` as the pool's initializer.  Workers then resolve
+:func:`lookup` inside :func:`repro.sim.runner.make_trace` and replay
+the one on-disk payload as an :class:`~repro.traces.source.ArraySource`
+mmap: every worker shares the same page-cache copy, and no worker
+regenerates a byte.
+
+Correctness containment:
+
+* the overlay only short-circuits *how* the canonical trace is
+  produced, never *what* it contains — ``materialize_trace`` writes
+  exactly the ``iter_generated_chunks`` stream the worker would have
+  generated, and replaying it through ``ArraySource`` is the same
+  replay path every trace-backed job (``Job.trace``) already uses;
+* job specs and the result cache are untouched — the overlay is
+  per-process runtime state, so cached results and spec hashes cannot
+  depend on whether a run was overlay-fed;
+* any failure to materialise or validate falls back silently to
+  per-worker generation (the pre-overlay behaviour).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+#: Process-global overlay: ``(workload, records, seed) -> trace dir``.
+#: Empty in every process that is not a sweep worker.
+_OVERLAY: dict[tuple[str, int, int], str] = {}
+
+#: Subdirectory of the result-cache root holding shared traces.
+TRACES_SUBDIR = "traces"
+
+
+def _fallback_dir() -> Path:
+    return Path(tempfile.gettempdir()) / "repro-traces"
+
+
+def shared_trace_dir(cache_root: str | Path | None) -> Path:
+    """Where shared trace payloads live: under the result cache when
+    one is configured (same lifecycle as cached results), else a
+    per-machine temp directory."""
+    if cache_root:
+        return Path(cache_root) / TRACES_SUBDIR
+    return _fallback_dir()
+
+
+def _valid(path: Path, workload: str, records: int, seed: int) -> bool:
+    """Does ``path`` hold a finished trace for exactly this axis?"""
+    from repro.traces.store import read_ref
+
+    try:
+        ref = read_ref(path)
+    except Exception:  # noqa: BLE001 - unreadable == not a trace
+        return False
+    return (ref.workload == workload and ref.records == records
+            and ref.seed == seed)
+
+
+def _materialize(workload: str, records: int, seed: int,
+                 base: Path) -> Path | None:
+    """The shared trace directory for one axis, materialising it if no
+    valid one exists yet.  Concurrent materialisers race benignly: each
+    writes a unique temp directory and renames it into place; the loser
+    validates the winner's and discards its own."""
+    from repro.traces.store import materialize_trace
+    from repro.workloads.suite import get as get_workload
+
+    final = base / f"{workload}-{records}-{seed}"
+    if _valid(final, workload, records, seed):
+        return final
+    tmp = base / f".materialize-{workload}-{records}-{seed}-{os.getpid()}"
+    try:
+        spec = get_workload(workload)
+        materialize_trace(spec, records, seed, tmp, force=True)
+        try:
+            os.rename(tmp, final)
+        except OSError:
+            # Another process won the rename; keep its copy if valid.
+            shutil.rmtree(tmp, ignore_errors=True)
+            if not _valid(final, workload, records, seed):
+                return None
+        return final
+    except Exception:  # noqa: BLE001 - fall back to per-worker gen
+        shutil.rmtree(tmp, ignore_errors=True)
+        return None
+
+
+def prepare(jobs, cache_root: str | Path | None) -> dict:
+    """Materialise every unique streamed generated-trace axis in
+    ``jobs`` once; returns the overlay mapping for :func:`activate`.
+
+    Only jobs that would stream (records above the runner's
+    ``STREAM_RECORDS``) and generate their own trace participate;
+    explicitly trace-backed jobs (``job.trace``) already share their
+    payload, and small cells are cheaper to regenerate than to touch
+    disk for.
+    """
+    from repro.sim.runner import STREAM_RECORDS
+
+    mapping: dict[tuple[str, int, int], str] = {}
+    base = None
+    for job in jobs:
+        if getattr(job, "trace", None) is not None:
+            continue
+        scale = getattr(job, "scale", None)
+        if scale is None or scale.trace_length <= STREAM_RECORDS:
+            continue
+        key = (job.workload, scale.trace_length, scale.seed)
+        if key in mapping:
+            continue
+        if base is None:
+            base = shared_trace_dir(cache_root)
+            base.mkdir(parents=True, exist_ok=True)
+        path = _materialize(*key, base)
+        if path is not None:
+            mapping[key] = str(path)
+    return mapping
+
+
+def activate(mapping: dict) -> None:
+    """Install ``mapping`` as this process's overlay (the worker-pool
+    initializer; also callable in-process for tests)."""
+    _OVERLAY.clear()
+    _OVERLAY.update(mapping)
+
+
+def deactivate() -> None:
+    """Drop the overlay (tests)."""
+    _OVERLAY.clear()
+
+
+def lookup(workload: str, records: int, seed: int):
+    """The shared mmap trace for this axis, or ``None``.
+
+    Returns an :class:`~repro.traces.source.ArraySource` over the
+    shared read-only payload.  Validation failures (deleted directory,
+    rewritten payload) demote to ``None`` — the caller regenerates.
+    """
+    path = _OVERLAY.get((workload, records, seed))
+    if path is None:
+        return None
+    from repro.traces.source import ArraySource
+    from repro.traces.store import open_trace
+
+    try:
+        header, payload = open_trace(path)
+    except Exception:  # noqa: BLE001 - stale overlay entry
+        return None
+    if (header.get("workload") != workload
+            or header.get("records") != records
+            or header.get("seed") != seed):
+        return None
+    return ArraySource(payload)

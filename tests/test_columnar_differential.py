@@ -10,11 +10,14 @@ boundaries landing on and around chunk seams — and compare whole
 ``SimStats`` values (``ServiceDistribution`` has value equality, so
 ``==`` covers the Figure 9 distributions too).
 
-Where the columnar engine's preconditions hold (plain baseline, no
-co-runner, standard TLBs) the suite also asserts the C kernel actually
-*engaged*, with ``REPRO_REQUIRE_CCORE=1`` making a silent fallback an
-error; scheme/corunner cells exercise the documented wholesale fallback
-instead.
+Where the columnar engine's preconditions hold (plain baseline, native
+asap, native victima; no co-runner, standard TLBs) the suite also
+asserts the C kernel actually *engaged*, with ``REPRO_REQUIRE_CCORE=1``
+making a silent fallback an error; revelator/corunner cells exercise
+the documented wholesale fallback instead.  The scheme-state seam tests
+pin the hardest part of the compiled scheme paths: in-flight prefetch
+MSHRs and the parked-victim pool must round-trip through the per-chunk
+writeback/reload exactly, even when every record lands on its own seam.
 """
 
 from __future__ import annotations
@@ -64,9 +67,10 @@ def _virt_pair(name: str):
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("name", SCHEME_NAMES)
 def test_native_schemes_differential(name, monkeypatch):
-    # Baseline cells must run the C kernel (the differential point of
-    # the test); scheme cells exercise the wholesale scalar fallback.
-    if name == "baseline":
+    # Baseline, asap and victima cells must run the C kernel (the
+    # differential point of the test); revelator exercises the
+    # wholesale scalar fallback.
+    if name != "revelator":
         monkeypatch.setenv("REPRO_REQUIRE_CCORE", "1")
     scalar, col = _native_pair(name)
     assert scalar == col
@@ -116,6 +120,81 @@ def test_chunk_size_seams(chunk_records, monkeypatch):
 
 
 # ----------------------------------------------------------------------
+# scheme-state chunk seams: in-flight MSHRs and the parked-victim pool
+# must round-trip through the per-chunk writeback/reload exactly
+# ----------------------------------------------------------------------
+def _scheme_sim(name: str, kernel: str, seed: int):
+    entry = SCHEMES[name]
+    spec = get_workload("mc80")
+    process = spec.build_process(
+        asap_levels=entry.native_config.native_levels, seed=seed)
+    return spec, NativeSimulation(process, asap=entry.native_config,
+                                  scheme=entry.spec, kernel=kernel)
+
+
+@pytest.mark.parametrize("chunk_records", (1, 64, 509))
+def test_asap_inflight_mshr_straddles_seams(chunk_records, monkeypatch):
+    """An MSHR allocated for a prefetch in one chunk retires or merges
+    in a later one; with single-record chunks every in-flight window
+    crosses a seam."""
+    monkeypatch.setenv("REPRO_REQUIRE_CCORE", "1")
+    length = 6_000
+    spec = get_workload("mc80")
+    trace = spec.generate_trace(length, seed=37)
+    scale = Scale(trace_length=length, warmup=1_100, seed=37)
+    runs = []
+    for kernel in ("scalar", "columnar"):
+        _, sim = _scheme_sim("asap", kernel, seed=scale.seed)
+        stats = sim.run(ArraySource(trace, chunk_records=chunk_records),
+                        warmup=scale.warmup, init_order=spec.init_order)
+        runs.append((sim, stats))
+    (s_sim, s_stats), (c_sim, c_stats) = runs
+    assert s_stats == c_stats, f"chunk={chunk_records}"
+    # The scenario is real: prefetches issued and MSHRs were allocated.
+    s_pf = s_sim.scheme.walk_start_hook().__self__
+    c_pf = c_sim.scheme.walk_start_hook().__self__
+    assert s_pf.stats.issued > 0
+    assert s_sim.hierarchy.mshrs.allocations > 0
+    # Structure state, not just statistics: the prefetcher counters and
+    # the in-flight MSHR file itself must match the oracle's.
+    assert vars(c_pf.stats) == vars(s_pf.stats)
+    assert c_sim.hierarchy.mshrs.allocations == \
+        s_sim.hierarchy.mshrs.allocations
+    assert c_sim.hierarchy.mshrs.merges == s_sim.hierarchy.mshrs.merges
+    assert c_sim.hierarchy.mshrs._inflight == s_sim.hierarchy.mshrs._inflight
+
+
+@pytest.mark.parametrize("chunk_records", (1, 64, 509))
+def test_victima_parked_entry_evicted_across_seams(chunk_records,
+                                                   monkeypatch):
+    """A victim parked in the L2 data cache in one chunk is probed — or
+    lost to a demand fill — in a later one; the parked pool, its FIFO
+    order and the loss counter must survive every seam."""
+    monkeypatch.setenv("REPRO_REQUIRE_CCORE", "1")
+    length = 6_000
+    spec = get_workload("mc80")
+    trace = spec.generate_trace(length, seed=41)
+    scale = Scale(trace_length=length, warmup=1_100, seed=41)
+    runs = []
+    for kernel in ("scalar", "columnar"):
+        _, sim = _scheme_sim("victima", kernel, seed=scale.seed)
+        stats = sim.run(ArraySource(trace, chunk_records=chunk_records),
+                        warmup=scale.warmup, init_order=spec.init_order)
+        runs.append((sim, stats))
+    (s_sim, s_stats), (c_sim, c_stats) = runs
+    assert s_stats == c_stats, f"chunk={chunk_records}"
+    # The scenario is real: victims were parked, and at least one parked
+    # entry was evicted by a demand fill after its parking chunk.
+    assert s_sim.scheme.stats["parked"] > 0
+    assert s_sim.scheme.stats["parked_lost_to_data"] > 0
+    # Structure state: identical counters, identical pool content *and*
+    # FIFO order (the order decides the next eviction victim).
+    assert c_sim.scheme.stats == s_sim.scheme.stats
+    assert list(c_sim.scheme._parked.items()) == \
+        list(s_sim.scheme._parked.items())
+
+
+# ----------------------------------------------------------------------
 # randomized fuzz over (workload, length, warmup, seed)
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("seed", (0, 1, 2, 3))
@@ -148,6 +227,21 @@ def test_multitenant_native_differential(policy):
     mt = MultiTenantSpec(tenants=2, quantum=700, switch_policy=policy)
     scalar, col = [
         run_native_mt("mc80", mt=mt, scale=SCALE, kernel=kernel)
+        for kernel in ("scalar", "columnar")
+    ]
+    assert scalar == col
+
+
+@pytest.mark.parametrize("name", ("asap", "victima"))
+def test_multitenant_scheme_differential(name):
+    # Per-quantum sections through the scheme modes: asap engages the
+    # compiled state machine per tenant; victima's park hook is wrapped
+    # by the mt victim router, so those sections fall back by design.
+    mt = MultiTenantSpec(tenants=2, quantum=700, switch_policy="asid")
+    entry = SCHEMES[name]
+    scalar, col = [
+        run_native_mt("mc80", entry.native_config, mt=mt, scale=SCALE,
+                      scheme=entry.spec, kernel=kernel)
         for kernel in ("scalar", "columnar")
     ]
     assert scalar == col

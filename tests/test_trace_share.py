@@ -1,0 +1,104 @@
+"""Zero-copy worker-trace sharing (`repro.traces.share`).
+
+The overlay must never change *what* a worker simulates — only how the
+trace bytes reach it.  These tests pin the prepare/activate/lookup
+round-trip, byte-identity of an overlay-fed run against plain
+generation, and the silent-fallback contract on every failure mode.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.runtime.job import NATIVE, Job
+from repro.sim import runner
+from repro.sim.runner import Scale, run_native
+from repro.traces import share
+from repro.traces.source import ArraySource
+from repro.workloads.suite import get as get_workload
+
+STREAMED = 20_000  # > the lowered STREAM_RECORDS below
+
+
+@pytest.fixture(autouse=True)
+def _lowered_threshold(monkeypatch):
+    """Make tiny traces 'streamed' so the overlay path engages, and
+    guarantee no overlay leaks across tests."""
+    monkeypatch.setattr(runner, "STREAM_RECORDS", 10_000)
+    yield
+    share.deactivate()
+
+
+def _job(records: int = STREAMED, seed: int = 7) -> Job:
+    return Job(kind=NATIVE, workload="mc80",
+               scale=Scale(trace_length=records, warmup=records // 5,
+                           seed=seed))
+
+
+def test_prepare_materializes_streamed_axes_once(tmp_path):
+    jobs = [_job(seed=7), _job(seed=7), _job(seed=8),
+            _job(records=2_000)]  # below threshold: not shared
+    overlay = share.prepare(jobs, tmp_path)
+    assert set(overlay) == {("mc80", STREAMED, 7), ("mc80", STREAMED, 8)}
+    for key, path in overlay.items():
+        assert share._valid(type(tmp_path)(path), *key)
+
+
+def test_prepare_skips_trace_backed_jobs(tmp_path):
+    job = _job()
+    assert job.trace is None and share.prepare([job], tmp_path)
+    # ``prepare`` only reads workload/scale/trace, so a namespace stands
+    # in for a trace-backed job (Job validates real TraceRefs).
+    trace_backed = SimpleNamespace(workload="mc80", scale=job.scale,
+                                   trace="sentinel")
+    assert share.prepare([trace_backed], tmp_path) == {}
+
+
+def test_lookup_replays_the_canonical_chunk_stream(tmp_path):
+    overlay = share.prepare([_job()], tmp_path)
+    share.activate(overlay)
+    source = share.lookup("mc80", STREAMED, 7)
+    assert isinstance(source, ArraySource)
+    spec = get_workload("mc80")
+    expected = spec.generate_trace(STREAMED, seed=7)
+    replayed = np.concatenate(list(source.chunks()))
+    assert np.array_equal(replayed, expected)
+    # Unknown axes miss the overlay.
+    assert share.lookup("mc80", STREAMED, 99) is None
+    share.deactivate()
+    assert share.lookup("mc80", STREAMED, 7) is None
+
+
+def test_overlay_fed_run_is_byte_identical(tmp_path):
+    scale = Scale(trace_length=STREAMED, warmup=STREAMED // 5, seed=7)
+    plain = run_native("mc80", scale=scale)
+    share.activate(share.prepare([_job()], tmp_path))
+    overlaid = run_native("mc80", scale=scale)
+    assert plain == overlaid
+
+
+def test_lookup_falls_back_on_stale_entry(tmp_path):
+    overlay = share.prepare([_job()], tmp_path)
+    share.activate(overlay)
+    for path in overlay.values():
+        import shutil
+
+        shutil.rmtree(path)
+    assert share.lookup("mc80", STREAMED, 7) is None
+
+
+def test_prepare_failure_is_silent(tmp_path):
+    # An unmaterializable axis (bogus workload) is skipped, not raised.
+    bogus = SimpleNamespace(workload="no-such-workload",
+                            scale=_job().scale, trace=None)
+    assert share.prepare([bogus], tmp_path) == {}
+
+
+def test_shared_trace_dir_prefers_cache_root(tmp_path):
+    assert share.shared_trace_dir(tmp_path) == \
+        tmp_path / share.TRACES_SUBDIR
+    fallback = share.shared_trace_dir(None)
+    assert fallback.name == "repro-traces"

@@ -127,14 +127,26 @@ def _rung_index(rows: list[dict]) -> dict[tuple[str, int], dict]:
             for row in rows}
 
 
-def _reference_entry(path: Path) -> dict:
+def _reference_entry(path: Path, kernel: str) -> dict:
+    """Latest entry measured with the *same kernel* as this run.
+
+    Blindly taking ``entries[-1]`` could gate a columnar run against a
+    scalar baseline (or vice versa) — a ~10x ratio either trivially
+    passes or meaninglessly fails.  Entries predating the ``kernel``
+    field are scalar by construction.
+    """
     if not path.exists():
         raise SystemExit(f"reference file {path} does not exist")
     document = json.loads(path.read_text())
     entries = document.get("entries")
     if not entries:
         raise SystemExit(f"reference file {path} has no entries")
-    return entries[-1]
+    for entry in reversed(entries):
+        if entry.get("kernel", "scalar") == kernel:
+            return entry
+    raise SystemExit(
+        f"reference file {path} has no entry for kernel {kernel!r} "
+        f"({len(entries)} entries for other kernels)")
 
 
 def check_against(rows: list[dict], reference: Path, threshold: float,
@@ -184,6 +196,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--kernel", choices=("scalar", "columnar"),
                         default="scalar",
                         help="simulation engine for every cell")
+    parser.add_argument("--schemes", default=",".join(scaling.SCHEME_NAMES),
+                        help="comma-separated scheme cells to run "
+                             f"(default {','.join(scaling.SCHEME_NAMES)}; "
+                             "any scheme the experiments define, e.g. "
+                             "victima)")
     parser.add_argument("--output",
                         default=str(REPO_ROOT / "BENCH_scaling.json"))
     parser.add_argument("--label", default=None)
@@ -195,18 +212,26 @@ def main(argv: list[str] | None = None) -> int:
                         help="allowed slowdown factor for --check-against")
     args = parser.parse_args(argv)
 
+    schemes = tuple(name.strip() for name in args.schemes.split(",")
+                    if name.strip())
+    unknown = [name for name in schemes if name not in scaling.SCHEMES]
+    if unknown:
+        raise SystemExit(
+            f"unknown scheme(s) {', '.join(unknown)}; valid: "
+            f"{', '.join(sorted(scaling.SCHEMES))}")
+
     # Snapshot the reference before anything is written: the reference
     # and --output may be the same file, and a run must never be gated
     # against the entry it just appended.
     reference = None
     if args.check_against:
-        reference = _reference_entry(Path(args.check_against))
+        reference = _reference_entry(Path(args.check_against), args.kernel)
 
     scale = Scale(trace_length=args.trace_length,
                   warmup=args.trace_length // 5, seed=args.seed)
     rows = []
     for records in scaling.record_counts(scale):
-        for scheme in scaling.SCHEME_NAMES:
+        for scheme in schemes:
             row = _run_cell_in_child(records, scheme, scale, args.kernel)
             rows.append(row)
             print(f"  {scheme:8s} {records:>10,d} records  "

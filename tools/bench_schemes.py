@@ -203,15 +203,26 @@ def load_trajectory(path: Path) -> dict | None:
     return document
 
 
-def reference_entry(path: Path) -> tuple[dict, dict]:
-    """Latest entry of the reference trajectory plus its metadata."""
+def reference_entry(path: Path, kernel: str = "scalar") -> tuple[dict, dict]:
+    """Latest entry measured with ``kernel``, plus its metadata.
+
+    Taking ``entries[-1]`` blindly would gate a columnar run against a
+    scalar baseline (or vice versa) — a many-x ratio that either
+    trivially passes or meaninglessly fails.  Entries predating the
+    ``kernel`` field are scalar by construction.
+    """
     document = load_trajectory(path)
     if document is None:
         raise SystemExit(f"reference file {path} does not exist")
     entries = document.get("entries")
     if not entries:
         raise SystemExit(f"reference file {path} has no entries")
-    return entries[-1], document
+    for entry in reversed(entries):
+        if entry.get("kernel", "scalar") == kernel:
+            return entry, document
+    raise SystemExit(
+        f"reference file {path} has no entry for kernel {kernel!r} "
+        f"({len(entries)} entries for other kernels)")
 
 
 def check_against(rows: list[dict], trace_length: int, reference: Path,
@@ -289,7 +300,7 @@ def main(argv: list[str] | None = None) -> int:
     # entry it just appended would pass vacuously.
     reference = None
     if args.check_against:
-        reference = reference_entry(Path(args.check_against))
+        reference = reference_entry(Path(args.check_against), args.kernel)
 
     scale = Scale(trace_length=args.trace_length,
                   warmup=args.trace_length // 5, seed=args.seed)
