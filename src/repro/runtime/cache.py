@@ -22,6 +22,7 @@ import hashlib
 import os
 import pickle
 import sys
+import time
 from functools import lru_cache
 from pathlib import Path
 from typing import Any
@@ -36,7 +37,42 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: the pruner must leave it alone.
 OBS_SUBDIR = "obs"
 
+#: Cache-root subdirectory for the experiment service (job-queue journal,
+#: daemon heartbeat, reporter manifest — see ``repro.service``).  Like
+#: ``obs/`` it is not keyed by code version and must survive the pruner.
+SERVICE_SUBDIR = "service"
+
+#: How recently a stale version directory (or an orphaned ``*.tmp.*``
+#: file) must have been touched for the pruner to leave it alone.  A
+#: second engine sharing the cache dir may still be running an older
+#: code version — its directory is hot, not garbage.
+PRUNE_GRACE_SECONDS = 300.0
+
 _MISS = object()
+
+
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe (signal 0; EPERM counts as alive)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def _tmp_writer_pid(path: Path) -> int | None:
+    """The pid encoded in a ``<spec>.tmp.<pid>`` temp-file name."""
+    suffix = path.name.rsplit(".", 1)[-1]
+    try:
+        return int(suffix)
+    except ValueError:
+        return None
 
 
 @lru_cache(maxsize=1)
@@ -63,24 +99,49 @@ class ResultCache:
         self._disabled = False
         self._prune_stale_versions()
 
-    def _prune_stale_versions(self) -> None:
+    def _prune_stale_versions(self, now: float | None = None) -> None:
         """Drop entries from superseded code versions.
 
         Any source edit changes the version directory, so without pruning
         the cache root accumulates unreachable pickles forever.  Entries
-        for the *current* version are never touched, and neither is the
-        ``obs/`` event-log directory — telemetry outlives the code
-        version that recorded it.
+        for the *current* version are never touched, and neither are the
+        ``obs/`` event-log and ``service/`` queue directories — both
+        outlive the code version that wrote them.
+
+        The pruner must be safe against *concurrent* engines on the same
+        cache root:
+
+        * a stale version directory is removed only once it has been
+          quiet for :data:`PRUNE_GRACE_SECONDS` — a daemon still running
+          the previous code version is writing into it right now;
+        * a ``*.tmp.*`` file is never unlinked while the pid encoded in
+          its name is alive (it is mid-``os.replace``), and even a dead
+          writer's temp gets the grace window against pid reuse.
         """
         import shutil
 
+        now = time.time() if now is None else now
+        keep = (self.version[:16], OBS_SUBDIR, SERVICE_SUBDIR)
         try:
             for entry in self.root.iterdir():
-                if (entry.is_dir() and entry.name != self.version[:16]
-                        and entry.name != OBS_SUBDIR):
-                    shutil.rmtree(entry, ignore_errors=True)
+                if not entry.is_dir() or entry.name in keep:
+                    continue
+                try:
+                    if now - entry.stat().st_mtime < PRUNE_GRACE_SECONDS:
+                        continue
+                except OSError:
+                    continue  # vanished under us: another pruner won
+                shutil.rmtree(entry, ignore_errors=True)
             # Orphaned temp files from interrupted writes in the live dir.
             for leftover in self._dir.glob("*.tmp.*"):
+                writer = _tmp_writer_pid(leftover)
+                if writer is not None and pid_alive(writer):
+                    continue
+                try:
+                    if now - leftover.stat().st_mtime < PRUNE_GRACE_SECONDS:
+                        continue
+                except OSError:
+                    continue
                 leftover.unlink(missing_ok=True)
         except OSError:
             pass  # no cache root yet, or unreadable — nothing to prune
@@ -120,6 +181,18 @@ class ResultCache:
                 pass
             print(f"warning: result cache disabled ({error})",
                   file=sys.stderr)
+
+    def digest(self, job: Job) -> str | None:
+        """sha256 of the raw cached entry bytes, or ``None`` when absent.
+
+        The incremental reporter's change detector: hashing the pickle
+        bytes on disk identifies a changed result without unpickling it
+        (reused report sections never materialise their results at all).
+        """
+        try:
+            return hashlib.sha256(self._path(job).read_bytes()).hexdigest()
+        except OSError:
+            return None
 
     @staticmethod
     def is_miss(value: Any) -> bool:

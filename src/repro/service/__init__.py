@@ -1,0 +1,59 @@
+"""Always-on experiment service: queue, daemon, clients, reporter.
+
+The runtime engine (:mod:`repro.runtime`) executes one batch and exits;
+this package makes the batch pipeline a *service* (ROADMAP item 1,
+modelled on FuzzBench's scheduler → measurer → reporter split):
+
+* :mod:`repro.service.queue` — a persistent job queue journaled as
+  append-only JSONL under the cache directory.  Entries carry priority
+  and move through pending → running → done/failed; identity is the
+  job's spec hash, so submissions dedupe against both the queue and
+  the spec-hash × code-version result cache.
+* :mod:`repro.service.daemon` — the long-lived ``repro serve`` process:
+  recovers the journal on start (running entries of dead pids revert to
+  pending), drains the queue through the existing ProcessPool engine,
+  emits obs spans/instants for every state transition, and drains
+  in-flight jobs on SIGTERM instead of dying mid-batch.
+* :mod:`repro.service.client` — ``repro submit`` / ``status`` /
+  ``cancel`` plus :class:`~repro.service.client.ServiceEngine`, the
+  drop-in engine that makes ``repro sweep`` a thin submit-and-wait
+  client when a daemon is alive and an in-process fallback (journaled,
+  byte-identical output) when none is.
+* :mod:`repro.service.reporter` — incremental report regeneration: a
+  manifest of which (spec hash, result digest) cells feed each
+  EXPERIMENTS.md section, so only tables whose cells changed are
+  re-rendered while the assembled document stays byte-identical to a
+  full rebuild.
+* :mod:`repro.service.http` — a stdlib HTTP endpoint on the daemon
+  serving queue status, the obs dashboard (scorecards + BENCH
+  trajectories) and the incrementally regenerated report.
+
+Nothing here is imported by the simulation layers; the service wraps
+the runtime, it does not change what a job computes.
+"""
+
+from repro.service.queue import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    RUNNING,
+    JobQueue,
+    QueueEntry,
+    daemon_alive,
+    read_daemon_meta,
+    service_dir,
+)
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "JobQueue",
+    "PENDING",
+    "QueueEntry",
+    "RUNNING",
+    "daemon_alive",
+    "read_daemon_meta",
+    "service_dir",
+]

@@ -1,0 +1,244 @@
+"""Client side of the experiment service.
+
+:class:`ServiceEngine` is a drop-in :class:`~repro.runtime.engine.Engine`
+whose execution seam routes cold cells through the persistent queue:
+
+* **daemon alive** → submit-and-wait: the cells are journaled, the
+  ``repro serve`` process executes them, and this client streams
+  completions (with queue depth/position on the ``--progress`` line)
+  while reading results from the shared spec-hash × code-version cache.
+* **no daemon** → in-process fallback: the cells are journaled, claimed
+  by this pid and executed through the inherited inline/pool machinery
+  — the journal gains a persistent record, stdout stays byte-identical
+  to the plain engine, and a *concurrent* client that already claimed a
+  cell is waited on instead of recomputed.
+* **no cache** (``--no-cache``) → the service layer disables itself and
+  the engine behaves exactly like the historical one-shot
+  :class:`Engine` (the queue's result channel *is* the cache).
+
+Everything above the seam — dedup, cache probes, report accounting, the
+obs lifecycle — is inherited unchanged, which is what makes ``repro
+sweep`` a thin client: same tables, same summary counters, whichever
+path ran the jobs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.runtime.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runtime.engine import Engine, JobExecutionError
+from repro.runtime.job import Job
+from repro.runtime.progress import JobRecord, SweepReport
+from repro.service.queue import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    RUNNING,
+    JobQueue,
+    daemon_alive,
+    pid_alive,
+)
+
+#: Seconds between journal polls while waiting on a daemon.
+DEFAULT_POLL_INTERVAL = 0.2
+
+
+class ServiceEngine(Engine):
+    """An engine whose cold cells go through the persistent job queue.
+
+    ``priority``      journal priority for cells this client enqueues.
+    ``poll_interval`` journal poll cadence while waiting on a daemon.
+    ``no_service``    force the plain in-process path (no journaling).
+    ``wait_timeout``  give up waiting on remote cells after this many
+                      seconds (``None`` — the default — waits forever;
+                      tests use it to fail fast).
+    """
+
+    def __init__(self, jobs: int = 1, cache: ResultCache | None = None,
+                 progress: bool = False, obs: bool = False,
+                 obs_dir: str | None = None, priority: int = 0,
+                 poll_interval: float = DEFAULT_POLL_INTERVAL,
+                 no_service: bool = False,
+                 wait_timeout: float | None = None) -> None:
+        super().__init__(jobs=jobs, cache=cache, progress=progress,
+                         obs=obs, obs_dir=obs_dir)
+        self.priority = priority
+        self.poll_interval = poll_interval
+        self.wait_timeout = wait_timeout
+        self.queue: JobQueue | None = None
+        if cache is not None and not no_service:
+            self.queue = JobQueue.for_cache_dir(cache.root)
+
+    @classmethod
+    def from_options(cls, jobs: int = 1,
+                     cache_dir: str | None = DEFAULT_CACHE_DIR,
+                     no_cache: bool = False, progress: bool = False,
+                     obs: bool = False, obs_dir: str | None = None,
+                     priority: int = 0, no_service: bool = False,
+                     poll_interval: float = DEFAULT_POLL_INTERVAL,
+                     wait_timeout: float | None = None) -> "ServiceEngine":
+        base = Engine.from_options(jobs=jobs, cache_dir=cache_dir,
+                                   no_cache=no_cache, progress=progress,
+                                   obs=obs, obs_dir=obs_dir)
+        return cls(jobs=base.jobs, cache=base.cache, progress=base.progress,
+                   obs=base.obs, obs_dir=base.obs_dir, priority=priority,
+                   poll_interval=poll_interval, no_service=no_service,
+                   wait_timeout=wait_timeout)
+
+    # ------------------------------------------------------------------
+    def _execute_cold(self, pending: list[Job], recorder, *,
+                      results: dict[Job, Any], report: SweepReport,
+                      printer) -> None:
+        if self.queue is None:
+            super()._execute_cold(pending, recorder, results=results,
+                                  report=report, printer=printer)
+            return
+        self.queue.submit(pending, priority=self.priority)
+        specs = {job.spec_hash(): job for job in pending}
+        if daemon_alive(self.queue.dir):
+            self._wait_for(specs, recorder, results=results,
+                           report=report, printer=printer)
+            return
+        # In-process fallback: claim whatever is claimable (our fresh
+        # submissions plus any orphaned pending entries of the same
+        # cells) and execute through the inherited machinery; cells a
+        # live concurrent executor holds are waited on, not recomputed.
+        claimed = self.queue.claim(limit=len(specs), specs=specs)
+        if claimed:
+            self._execute_claimed([entry.spec for entry in claimed],
+                                  specs, recorder, results=results,
+                                  report=report, printer=printer)
+        remaining = {spec: job for spec, job in specs.items()
+                     if job not in results}
+        if remaining:
+            self._wait_for(remaining, recorder, results=results,
+                           report=report, printer=printer)
+
+    # ------------------------------------------------------------------
+    def _execute_claimed(self, claimed_specs: list[str],
+                         specs: dict[str, Job], recorder, *,
+                         results: dict[Job, Any], report: SweepReport,
+                         printer) -> None:
+        """Run claimed entries locally; journal every outcome."""
+        assert self.queue is not None
+        jobs = [specs[spec] for spec in claimed_specs]
+        before = len(report.records)
+        try:
+            super()._execute_cold(jobs, recorder, results=results,
+                                  report=report, printer=printer)
+        except BaseException as error:
+            finished = {record.job.spec_hash(): record
+                        for record in report.records[before:]}
+            failed_spec = (error.job.spec_hash()
+                           if isinstance(error, JobExecutionError) else
+                           claimed_specs[0] if len(claimed_specs) == 1
+                           else None)
+            for spec in claimed_specs:
+                record = finished.get(spec)
+                if record is not None:
+                    self.queue.mark_done(spec, record.seconds)
+                elif spec == failed_spec:
+                    cause = (error.cause if isinstance(
+                        error, JobExecutionError) else error)
+                    self.queue.mark_failed(
+                        spec, f"{cause.__class__.__name__}: {cause}")
+            self.queue.release(
+                spec for spec in claimed_specs
+                if spec not in finished and spec != failed_spec)
+            raise
+        for record in report.records[before:]:
+            self.queue.mark_done(record.job.spec_hash(), record.seconds)
+
+    # ------------------------------------------------------------------
+    def _wait_for(self, waiting: dict[str, Job], recorder, *,
+                  results: dict[Job, Any], report: SweepReport,
+                  printer) -> None:
+        """Poll the journal until every awaited cell reaches a terminal
+        state; stream completions through the progress printer.
+
+        If the daemon dies mid-wait (stale heartbeat), claimable cells
+        are taken over and executed locally — a sweep never hangs on a
+        crashed daemon.
+        """
+        assert self.queue is not None and self.cache is not None
+        waiting = dict(waiting)
+        deadline = (None if self.wait_timeout is None
+                    else time.monotonic() + self.wait_timeout)
+        while waiting:
+            entries = self.queue.load()
+            alive = daemon_alive(self.queue.dir)
+            if hasattr(printer, "set_queue"):
+                position = min(
+                    (rank for rank in (self.queue.position(spec, entries)
+                                       for spec in waiting)
+                     if rank is not None), default=None)
+                printer.set_queue(self.queue.depth(entries), position)
+            claimable: list[str] = []
+            for spec in list(waiting):
+                job = waiting[spec]
+                entry = entries.get(spec)
+                if entry is None:
+                    claimable.append(spec)  # vanished (compaction race)
+                    continue
+                if entry.state == DONE:
+                    value = self.cache.get(job)
+                    if ResultCache.is_miss(value):
+                        # Done under another code version, or evicted:
+                        # the cell is cold again for *this* client.
+                        claimable.append(spec)
+                        continue
+                    self._finish_remote(job, value,
+                                        entry.seconds or 0.0,
+                                        recorder, results=results,
+                                        report=report, printer=printer)
+                    del waiting[spec]
+                elif entry.state == FAILED:
+                    raise JobExecutionError(
+                        job, RuntimeError(entry.error or "remote failure"))
+                elif entry.state == CANCELLED:
+                    raise JobExecutionError(
+                        job, RuntimeError("cancelled in the queue"))
+                elif entry.state == PENDING and not alive:
+                    claimable.append(spec)
+                elif (entry.state == RUNNING and not alive
+                      and not pid_alive(entry.pid or -1)):
+                    self.queue.release([spec])
+                    claimable.append(spec)
+            if claimable and not alive:
+                resubmit = [waiting[spec] for spec in claimable
+                            if spec in waiting]
+                self.queue.submit(resubmit, priority=self.priority)
+                claimed = self.queue.claim(limit=len(claimable),
+                                           specs=claimable)
+                if claimed:
+                    subset = {entry.spec: waiting[entry.spec]
+                              for entry in claimed}
+                    self._execute_claimed(list(subset), subset, recorder,
+                                          results=results, report=report,
+                                          printer=printer)
+                    for spec in subset:
+                        waiting.pop(spec, None)
+                continue
+            if not waiting:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                stuck = ", ".join(job.label() for job in waiting.values())
+                raise TimeoutError(
+                    f"gave up waiting on the service for: {stuck}")
+            time.sleep(self.poll_interval)
+
+    def _finish_remote(self, job: Job, value: Any, seconds: float,
+                       recorder, *, results: dict[Job, Any],
+                       report: SweepReport, printer) -> None:
+        """Account one remotely executed cell (result read from cache)."""
+        results[job] = value
+        record = JobRecord(job=job, seconds=seconds, cached=False)
+        report.records.append(record)
+        printer.job_done(record)
+        if recorder is not None:
+            recorder.instant("job_remote", "service", job=job.label(),
+                             spec=job.spec_hash()[:12],
+                             seconds=round(seconds, 3))

@@ -1,0 +1,281 @@
+"""The long-lived executor: ``repro serve``.
+
+One daemon per cache directory.  On start it recovers the journal
+(running entries whose executor pid died revert to pending), compacts an
+oversized journal, publishes a heartbeat (``daemon.json``, re-written
+every few seconds from a background thread) and then drains the queue in
+batches through the ordinary :class:`~repro.runtime.engine.Engine` —
+the same dedup/cache/pool machinery a one-shot sweep uses, so a result
+computed by the daemon is bit-identical to one computed inline.
+
+Lifecycle:
+
+* **SIGTERM / SIGINT** — graceful drain: the in-flight batch finishes
+  and is journaled ``done``, the heartbeat file is removed, remaining
+  pending entries stay journaled for the next daemon.
+* **SIGKILL / crash** — the heartbeat goes stale, clients fall back to
+  in-process execution, and the next ``repro serve`` recovers the
+  orphaned running entries from the journal without recomputing
+  anything already cached.
+* a failing job marks only its own entry ``failed``; the rest of the
+  claimed batch is released back to pending and the daemon keeps
+  serving.
+
+Every state transition is observable: with ``--obs`` (or ``REPRO_OBS=1``)
+the daemon opens a ``serve-*.jsonl`` run log and emits a span per batch
+plus instants for claim/done/fail/recover and a queue-depth counter.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+import time
+from typing import Any
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.engine import Engine, JobExecutionError
+from repro.service.queue import (
+    COMPACT_THRESHOLD,
+    JobQueue,
+    clear_daemon_meta,
+    daemon_alive,
+    read_daemon_meta,
+    write_daemon_meta,
+)
+
+#: Seconds between heartbeat re-publications (must be well under
+#: :data:`repro.service.queue.HEARTBEAT_STALENESS`).
+HEARTBEAT_INTERVAL = 5.0
+
+#: Default seconds between queue polls when idle.
+DEFAULT_POLL_INTERVAL = 0.5
+
+
+class Daemon:
+    """Drains one cache directory's job queue until stopped.
+
+    ``jobs``          worker processes per batch (the engine's pool).
+    ``poll_interval`` queue poll cadence while idle.
+    ``once``          exit as soon as the queue has no claimable work
+                      (CI and tests; implies no idle waiting).
+    ``idle_exit``     exit after this many seconds without work
+                      (``None`` serves forever).
+    ``http_port``     serve the status/dashboard endpoint on this port
+                      (``None`` disables it; ``0`` picks a free port).
+    """
+
+    def __init__(self, cache_dir: str, jobs: int = 1,
+                 poll_interval: float = DEFAULT_POLL_INTERVAL,
+                 once: bool = False, idle_exit: float | None = None,
+                 http_port: int | None = None, obs: bool = False,
+                 obs_dir: str | None = None) -> None:
+        self.cache = ResultCache(cache_dir)
+        self.queue = JobQueue.for_cache_dir(cache_dir)
+        self.jobs = jobs
+        self.poll_interval = poll_interval
+        self.once = once
+        self.idle_exit = idle_exit
+        self.http_port = http_port
+        self.obs = obs
+        self.obs_dir = obs_dir
+        self.engine = Engine(jobs=jobs, cache=self.cache, progress=False)
+        self.stop_event = threading.Event()
+        self.batches = 0
+        self.completed = 0
+        self.failed = 0
+        self._recorder = None
+        self._http_server = None
+        self._heartbeat_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def _log(self, message: str) -> None:
+        print(f"[serve] {message}", file=sys.stderr, flush=True)
+
+    def _heartbeat_extra(self) -> dict[str, Any]:
+        extra: dict[str, Any] = {"jobs": self.jobs,
+                                 "batches": self.batches,
+                                 "completed": self.completed,
+                                 "failed": self.failed}
+        if self._http_server is not None:
+            extra["http_port"] = self._http_server.server_address[1]
+        return extra
+
+    def _beat(self) -> None:
+        write_daemon_meta(self.queue.dir, **self._heartbeat_extra())
+
+    def _heartbeat_loop(self) -> None:
+        while not self.stop_event.wait(HEARTBEAT_INTERVAL):
+            self._beat()
+
+    def request_stop(self, *_signal_args: Any) -> None:
+        """Signal-safe stop request: finish the in-flight batch, exit."""
+        self.stop_event.set()
+
+    # ------------------------------------------------------------------
+    def _open_obs(self) -> None:
+        if not self.obs:
+            from repro.obs.events import env_enabled
+
+            self.obs = env_enabled()
+        if not self.obs:
+            return
+        from repro.obs import events as obs_events
+        from repro.runtime.cache import OBS_SUBDIR
+
+        directory = self.obs_dir or str(self.cache.root / OBS_SUBDIR)
+        self._recorder = obs_events.open_run_log(
+            directory, prefix="serve",
+            meta={"jobs": self.jobs, "cache_dir": str(self.cache.root)})
+        self._recorder.begin("serve", "daemon", workers=self.jobs)
+        self._log(f"[obs] recording to {self._recorder.path}")
+
+    def _obs_instant(self, name: str, **args: Any) -> None:
+        if self._recorder is not None:
+            self._recorder.instant(name, "daemon", **args)
+
+    def _obs_depth(self) -> None:
+        if self._recorder is not None:
+            counts = self.queue.counts()
+            self._recorder.counter("queue", "daemon",
+                                   pending=counts["pending"],
+                                   running=counts["running"])
+
+    # ------------------------------------------------------------------
+    def _serve_batch(self) -> bool:
+        """Claim and execute one batch; True when work was done."""
+        claimed = self.queue.claim(limit=self.jobs)
+        if not claimed:
+            return False
+        self.batches += 1
+        jobs = [entry.job() for entry in claimed]
+        for entry in claimed:
+            self._obs_instant("job_claimed", job=entry.label,
+                              spec=entry.spec[:12], priority=entry.priority)
+        self._obs_depth()
+        span_recorder = self._recorder
+        if span_recorder is not None:
+            span_recorder.begin("batch", "daemon", jobs=len(jobs))
+        try:
+            self.engine.run_jobs(jobs)
+        except BaseException as error:
+            self._journal_partial_batch(claimed, error)
+            if span_recorder is not None:
+                span_recorder.end("batch", error=True)
+            if isinstance(error, JobExecutionError):
+                self.failed += 1
+                self._log(f"job failed: {error}")
+                return True
+            raise
+        by_spec = {record.job.spec_hash(): record
+                   for record in self.engine.last_report.records}
+        for entry in claimed:
+            record = by_spec.get(entry.spec)
+            seconds = record.seconds if record is not None else 0.0
+            self.queue.mark_done(entry.spec, seconds)
+            self.completed += 1
+            self._obs_instant("job_done", job=entry.label,
+                              spec=entry.spec[:12],
+                              seconds=round(seconds, 3))
+        if span_recorder is not None:
+            span_recorder.end("batch", jobs=len(jobs))
+        self._obs_depth()
+        self._beat()
+        return True
+
+    def _journal_partial_batch(self, claimed, error: BaseException) -> None:
+        """After a failed batch: done for the finished cells, fail for
+        the culprit, release the rest back to pending."""
+        finished = {record.job.spec_hash(): record
+                    for record in self.engine.last_report.records
+                    if not record.cached}
+        failed_spec = (error.job.spec_hash()
+                       if isinstance(error, JobExecutionError) else None)
+        for entry in claimed:
+            record = finished.get(entry.spec)
+            if record is not None:
+                self.queue.mark_done(entry.spec, record.seconds)
+                self.completed += 1
+            elif entry.spec == failed_spec:
+                cause = error.cause if isinstance(
+                    error, JobExecutionError) else error
+                self.queue.mark_failed(
+                    entry.spec, f"{cause.__class__.__name__}: {cause}")
+                self._obs_instant("job_failed", job=entry.label,
+                                  spec=entry.spec[:12],
+                                  error=str(cause)[:200])
+        self.queue.release(entry.spec for entry in claimed
+                           if entry.spec not in finished
+                           and entry.spec != failed_spec)
+
+    # ------------------------------------------------------------------
+    def serve(self) -> int:
+        """Run the daemon loop; returns a process exit code."""
+        if daemon_alive(self.queue.dir):
+            meta = read_daemon_meta(self.queue.dir) or {}
+            self._log(f"another daemon (pid {meta.get('pid')}) already "
+                      f"serves {self.queue.dir}")
+            return 1
+        recovered = self.queue.recover()
+        for entry in recovered:
+            self._obs_instant("job_recovered", job=entry.label,
+                              spec=entry.spec[:12])
+        if recovered:
+            self._log(f"recovered {len(recovered)} orphaned running "
+                      f"entr{'y' if len(recovered) == 1 else 'ies'}")
+        self.queue.compact(COMPACT_THRESHOLD)
+        self._open_obs()
+        if self.http_port is not None:
+            from repro.service.http import start_http_server
+
+            self._http_server = start_http_server(
+                self.http_port, cache_dir=str(self.cache.root),
+                queue=self.queue)
+            self._log("http endpoint on port "
+                      f"{self._http_server.server_address[1]}")
+        self._beat()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, name="repro-serve-heartbeat",
+            daemon=True)
+        self._heartbeat_thread.start()
+        previous = {signal.SIGTERM: signal.signal(signal.SIGTERM,
+                                                  self.request_stop),
+                    signal.SIGINT: signal.signal(signal.SIGINT,
+                                                 self.request_stop)}
+        self._log(f"serving {self.queue.dir} "
+                  f"(pid {read_daemon_meta(self.queue.dir)['pid']}, "
+                  f"workers={self.jobs})")
+        idle_since = time.monotonic()
+        try:
+            while not self.stop_event.is_set():
+                worked = self._serve_batch()
+                if worked:
+                    idle_since = time.monotonic()
+                    continue
+                if self.once:
+                    break
+                if (self.idle_exit is not None
+                        and time.monotonic() - idle_since > self.idle_exit):
+                    self._log(f"idle for {self.idle_exit:.0f}s, exiting")
+                    break
+                self.stop_event.wait(self.poll_interval)
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            if self._http_server is not None:
+                self._http_server.shutdown()
+            if self._recorder is not None:
+                self._recorder.end("serve", batches=self.batches,
+                                   completed=self.completed,
+                                   failed=self.failed)
+                self._recorder.close()
+            clear_daemon_meta(self.queue.dir)
+            self._log(f"stopped after {self.batches} batches "
+                      f"({self.completed} done, {self.failed} failed)")
+        return 0
+
+
+def serve(cache_dir: str, **kwargs: Any) -> int:
+    """Convenience wrapper used by the CLI."""
+    return Daemon(cache_dir, **kwargs).serve()

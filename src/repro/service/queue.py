@@ -1,0 +1,464 @@
+"""The persistent job queue: an append-only JSONL journal.
+
+The queue lives under ``<cache_dir>/service/`` and survives any process:
+
+* ``journal.jsonl`` — one JSON object per line.  The first op for an
+  entry is ``submit`` (carrying the pickled :class:`~repro.runtime.job.
+  Job`, its spec hash, priority and the submitting client); later ops —
+  ``start``, ``done``, ``fail``, ``cancel``, ``recover`` — move the
+  entry through its states.  State is reconstructed by replaying the
+  file in order, so a crash can at worst lose the tail line being
+  written, never corrupt history.
+* ``journal.lock`` — an ``fcntl`` advisory lock serialising every
+  read-decide-append sequence (submission dedup, claiming) across
+  processes.  Appends themselves are single ``O_APPEND`` writes.
+* ``daemon.json`` — the live daemon's heartbeat (pid, started, beat
+  wall-clock), written atomically; :func:`daemon_alive` is how clients
+  decide between submit-and-wait and the in-process fallback.
+
+Entry identity is the job's **spec hash** — the same key as the result
+cache — which is what makes dedup compositional: a submission first
+consults the spec-hash × code-version cache (warm cells never enqueue),
+then the journal (cells already pending/running never enqueue twice).
+
+States: ``pending`` → ``running`` → ``done`` | ``failed``; ``pending``
+entries can be ``cancelled``; a ``running`` entry whose executor pid is
+dead reverts to ``pending`` on :meth:`JobQueue.recover` (the
+daemon-restart path).  Terminal entries may be resubmitted (a new
+``submit`` line re-opens them) — needed when a done entry's cached
+result was evicted by a code-version change.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.runtime.cache import (
+    SERVICE_SUBDIR,
+    ResultCache,
+    code_version,
+    pid_alive,
+)
+from repro.runtime.job import Job
+
+JOURNAL_NAME = "journal.jsonl"
+LOCK_NAME = "journal.lock"
+DAEMON_META_NAME = "daemon.json"
+
+#: Entry states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES = (PENDING, RUNNING, DONE, FAILED, CANCELLED)
+
+#: A daemon whose heartbeat is older than this many seconds is presumed
+#: dead even if its pid is still allocated (pid reuse, hung process).
+HEARTBEAT_STALENESS = 30.0
+
+#: Journals longer than this many lines are compacted on daemon start.
+COMPACT_THRESHOLD = 5_000
+
+
+def service_dir(cache_dir: str | os.PathLike[str]) -> Path:
+    """The service state directory for a cache root."""
+    return Path(cache_dir) / SERVICE_SUBDIR
+
+
+# ----------------------------------------------------------------------
+# daemon heartbeat
+# ----------------------------------------------------------------------
+def write_daemon_meta(directory: Path, **extra: Any) -> None:
+    """Atomically publish this process as the directory's daemon."""
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / DAEMON_META_NAME
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    payload = {"pid": os.getpid(), "beat_wall": time.time(), **extra}
+    tmp.write_text(json.dumps(payload), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def clear_daemon_meta(directory: Path) -> None:
+    try:
+        (directory / DAEMON_META_NAME).unlink(missing_ok=True)
+    except OSError:
+        pass
+
+
+def read_daemon_meta(directory: Path) -> dict[str, Any] | None:
+    """The published daemon heartbeat, or ``None``."""
+    try:
+        return json.loads((directory / DAEMON_META_NAME).read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def daemon_alive(directory: Path,
+                 staleness: float = HEARTBEAT_STALENESS) -> bool:
+    """True when a daemon with a fresh heartbeat and a live pid exists."""
+    meta = read_daemon_meta(directory)
+    if meta is None:
+        return False
+    if time.time() - meta.get("beat_wall", 0.0) > staleness:
+        return False
+    return pid_alive(int(meta.get("pid", 0)))
+
+
+# ----------------------------------------------------------------------
+# journal entries
+# ----------------------------------------------------------------------
+@dataclass
+class QueueEntry:
+    """Reconstructed state of one queued job."""
+
+    spec: str
+    label: str
+    priority: int
+    seq: int
+    submitted: float
+    client: int
+    code_version: str
+    job_b64: str
+    state: str = PENDING
+    pid: int | None = None
+    seconds: float | None = None
+    error: str | None = None
+    starts: int = 0
+    _job: Job | None = field(default=None, repr=False)
+
+    def job(self) -> Job:
+        if self._job is None:
+            self._job = pickle.loads(base64.b64decode(self.job_b64))
+        return self._job
+
+
+def _encode_job(job: Job) -> str:
+    return base64.b64encode(
+        pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+
+
+class _FileLock:
+    """``fcntl.flock`` on a sidecar file; no-op where unavailable."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._fh = None
+
+    def __enter__(self) -> "_FileLock":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a+")
+        try:
+            import fcntl
+
+            fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX)
+        except ImportError:  # pragma: no cover - non-POSIX fallback
+            pass
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._fh is not None:
+            try:
+                import fcntl
+
+                fcntl.flock(self._fh.fileno(), fcntl.LOCK_UN)
+            except ImportError:  # pragma: no cover
+                pass
+            self._fh.close()
+            self._fh = None
+
+
+class JobQueue:
+    """Persistent queue over one cache directory's journal."""
+
+    def __init__(self, directory: str | os.PathLike[str]) -> None:
+        self.dir = Path(directory)
+        self.journal = self.dir / JOURNAL_NAME
+        self._lock = _FileLock(self.dir / LOCK_NAME)
+        self._seq = 0
+
+    @classmethod
+    def for_cache_dir(cls, cache_dir: str | os.PathLike[str]) -> "JobQueue":
+        return cls(service_dir(cache_dir))
+
+    # ------------------------------------------------------------------
+    def _append(self, record: dict[str, Any]) -> None:
+        """One record as one ``O_APPEND`` write (callers hold the lock)."""
+        self.dir.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self.journal.open("a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def load(self) -> dict[str, QueueEntry]:
+        """Replay the journal into per-entry state (last op wins)."""
+        entries: dict[str, QueueEntry] = {}
+        try:
+            lines = self.journal.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return entries
+        for raw in lines:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except ValueError:
+                continue  # torn tail line from a crashed writer
+            self._apply(entries, record)
+        return entries
+
+    def _apply(self, entries: dict[str, QueueEntry],
+               record: dict[str, Any]) -> None:
+        op = record.get("op")
+        spec = record.get("spec")
+        if not spec:
+            return
+        if op == "submit":
+            existing = entries.get(spec)
+            if existing is not None and existing.state in (PENDING, RUNNING):
+                return  # duplicate submission of a live entry: no-op
+            entries[spec] = QueueEntry(
+                spec=spec,
+                label=record.get("label", spec[:12]),
+                priority=int(record.get("priority", 0)),
+                seq=int(record.get("seq", 0)),
+                submitted=float(record.get("ts", 0.0)),
+                client=int(record.get("client", 0)),
+                code_version=record.get("code_version", ""),
+                job_b64=record.get("job", ""),
+                state=record.get("state", PENDING),
+                seconds=record.get("seconds"),
+                error=record.get("error"),
+            )
+            return
+        entry = entries.get(spec)
+        if entry is None:
+            return  # op for an entry compacted away — ignore
+        if op == "start":
+            entry.state = RUNNING
+            entry.pid = int(record.get("pid", 0))
+            entry.starts += 1
+        elif op == "done":
+            entry.state = DONE
+            entry.seconds = record.get("seconds")
+        elif op == "fail":
+            entry.state = FAILED
+            entry.error = record.get("error")
+        elif op == "cancel":
+            if entry.state == PENDING:
+                entry.state = CANCELLED
+        elif op == "recover":
+            if entry.state == RUNNING:
+                entry.state = PENDING
+                entry.pid = None
+
+    # ------------------------------------------------------------------
+    def _next_seq(self, entries: dict[str, QueueEntry]) -> int:
+        top = max((entry.seq for entry in entries.values()), default=0)
+        self._seq = max(self._seq, top) + 1
+        return self._seq
+
+    def submit(self, jobs: Iterable[Job], priority: int = 0,
+               cache: ResultCache | None = None) -> dict[str, list[Job]]:
+        """Enqueue the cold cells of ``jobs``; dedup against cache+queue.
+
+        Returns a dict with the disposition of every (unique) job:
+        ``cached`` (result already on disk), ``queued`` (already
+        pending/running), ``enqueued`` (newly journaled).
+        """
+        unique = list(dict.fromkeys(jobs))
+        out: dict[str, list[Job]] = {
+            "cached": [], "queued": [], "enqueued": []}
+        cold: list[Job] = []
+        for job in unique:
+            if cache is not None and not ResultCache.is_miss(cache.get(job)):
+                out["cached"].append(job)
+            else:
+                cold.append(job)
+        if not cold:
+            return out
+        version = code_version()
+        with self._lock:
+            entries = self.load()
+            for job in cold:
+                spec = job.spec_hash()
+                existing = entries.get(spec)
+                if existing is not None and existing.state in (PENDING,
+                                                               RUNNING):
+                    out["queued"].append(job)
+                    continue
+                record = {
+                    "op": "submit",
+                    "spec": spec,
+                    "label": job.label(),
+                    "priority": priority,
+                    "seq": self._next_seq(entries),
+                    "ts": time.time(),
+                    "client": os.getpid(),
+                    "code_version": version[:16],
+                    "job": _encode_job(job),
+                }
+                self._append(record)
+                self._apply(entries, record)
+                out["enqueued"].append(job)
+        return out
+
+    def claim(self, limit: int, pid: int | None = None,
+              specs: Iterable[str] | None = None) -> list[QueueEntry]:
+        """Atomically move up to ``limit`` pending entries to running.
+
+        Highest priority first, FIFO within a priority.  ``specs``
+        restricts claiming to a subset (the client fallback claims only
+        its own submissions).
+        """
+        pid = os.getpid() if pid is None else pid
+        wanted = None if specs is None else set(specs)
+        claimed: list[QueueEntry] = []
+        with self._lock:
+            entries = self.load()
+            pending = [entry for entry in entries.values()
+                       if entry.state == PENDING
+                       and (wanted is None or entry.spec in wanted)]
+            pending.sort(key=lambda entry: (-entry.priority, entry.seq))
+            for entry in pending[:limit]:
+                self._append({"op": "start", "spec": entry.spec,
+                              "pid": pid, "ts": time.time()})
+                entry.state = RUNNING
+                entry.pid = pid
+                claimed.append(entry)
+        return claimed
+
+    def mark_done(self, spec: str, seconds: float) -> None:
+        with self._lock:
+            self._append({"op": "done", "spec": spec,
+                          "seconds": round(seconds, 3), "ts": time.time()})
+
+    def mark_failed(self, spec: str, error: str) -> None:
+        with self._lock:
+            self._append({"op": "fail", "spec": spec, "error": error[:500],
+                          "ts": time.time()})
+
+    def release(self, specs: Iterable[str]) -> None:
+        """Running → pending for entries this executor cannot finish."""
+        with self._lock:
+            entries = self.load()
+            for spec in specs:
+                entry = entries.get(spec)
+                if entry is not None and entry.state == RUNNING:
+                    self._append({"op": "recover", "spec": spec,
+                                  "ts": time.time()})
+
+    def cancel(self, spec_prefixes: Iterable[str] | None = None,
+               all_pending: bool = False) -> list[QueueEntry]:
+        """Cancel pending entries by spec-hash prefix (or all of them)."""
+        prefixes = tuple(spec_prefixes or ())
+        cancelled: list[QueueEntry] = []
+        with self._lock:
+            entries = self.load()
+            for entry in entries.values():
+                if entry.state != PENDING:
+                    continue
+                if all_pending or any(entry.spec.startswith(p)
+                                      for p in prefixes):
+                    self._append({"op": "cancel", "spec": entry.spec,
+                                  "ts": time.time()})
+                    entry.state = CANCELLED
+                    cancelled.append(entry)
+        return cancelled
+
+    # ------------------------------------------------------------------
+    def recover(self) -> list[QueueEntry]:
+        """Revert running entries whose executor pid is dead to pending.
+
+        The daemon-restart path: a SIGKILLed daemon leaves its claimed
+        entries ``running``; replaying the journal alone would park them
+        forever.  Entries running under a *live* pid (another daemon, a
+        client fallback) are left alone.
+        """
+        recovered: list[QueueEntry] = []
+        with self._lock:
+            entries = self.load()
+            for entry in entries.values():
+                if entry.state == RUNNING and not pid_alive(entry.pid or -1):
+                    self._append({"op": "recover", "spec": entry.spec,
+                                  "ts": time.time()})
+                    entry.state = PENDING
+                    entry.pid = None
+                    recovered.append(entry)
+        return recovered
+
+    def compact(self, threshold: int = COMPACT_THRESHOLD) -> bool:
+        """Rewrite the journal as one submit line per entry.
+
+        Runs under the lock, writes a temp file and ``os.replace``s it,
+        so readers never observe a torn journal.  Entry state is folded
+        into the submit line (``state`` field), which :meth:`_apply`
+        honours on replay.
+        """
+        with self._lock:
+            try:
+                lines = self.journal.read_text(
+                    encoding="utf-8").splitlines()
+            except OSError:
+                return False
+            if len(lines) <= threshold:
+                return False
+            entries = self.load()
+            tmp = self.journal.with_suffix(f".tmp.{os.getpid()}")
+            with tmp.open("w", encoding="utf-8") as fh:
+                for entry in sorted(entries.values(),
+                                    key=lambda e: e.seq):
+                    fh.write(json.dumps({
+                        "op": "submit",
+                        "spec": entry.spec,
+                        "label": entry.label,
+                        "priority": entry.priority,
+                        "seq": entry.seq,
+                        "ts": entry.submitted,
+                        "client": entry.client,
+                        "code_version": entry.code_version,
+                        "job": entry.job_b64,
+                        "state": entry.state,
+                        "seconds": entry.seconds,
+                        "error": entry.error,
+                    }, separators=(",", ":")) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.journal)
+        return True
+
+    # ------------------------------------------------------------------
+    def counts(self, entries: dict[str, QueueEntry] | None = None
+               ) -> dict[str, int]:
+        entries = self.load() if entries is None else entries
+        out = {state: 0 for state in STATES}
+        for entry in entries.values():
+            out[entry.state] += 1
+        return out
+
+    def depth(self, entries: dict[str, QueueEntry] | None = None) -> int:
+        """Live entries (pending + running)."""
+        counts = self.counts(entries)
+        return counts[PENDING] + counts[RUNNING]
+
+    def position(self, spec: str,
+                 entries: dict[str, QueueEntry] | None = None) -> int | None:
+        """1-based rank of ``spec`` in the pending order, or ``None``."""
+        entries = self.load() if entries is None else entries
+        entry = entries.get(spec)
+        if entry is None or entry.state != PENDING:
+            return None
+        pending = sorted((e for e in entries.values()
+                          if e.state == PENDING),
+                         key=lambda e: (-e.priority, e.seq))
+        return 1 + [e.spec for e in pending].index(spec)

@@ -48,6 +48,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from bench_schemes import atomic_append_entry  # noqa: E402
 from bench_schemes import environment_metadata  # noqa: E402
 from repro.experiments import scaling  # noqa: E402
 from repro.sim.runner import Scale  # noqa: E402
@@ -239,11 +240,8 @@ def main(argv: list[str] | None = None) -> int:
                   f"walk%={100 * row['translation_fraction']:.2f}")
 
     path = Path(args.output)
-    document = (json.loads(path.read_text()) if path.exists()
-                else {"benchmark": "scaling", "workload": scaling.WORKLOAD,
-                      "entries": []})
     env = environment_metadata()
-    document["entries"].append({
+    entry = {
         "generated": datetime.now(timezone.utc).isoformat(
             timespec="seconds"),
         "label": args.label,
@@ -256,8 +254,15 @@ def main(argv: list[str] | None = None) -> int:
         "base_trace_length": args.trace_length,
         "kernel": args.kernel,
         "results": rows,
-    })
-    path.write_text(json.dumps(document, indent=2) + "\n")
+    }
+
+    def merged_document() -> dict:
+        # Re-read under the append lock so concurrent benches merge.
+        return (json.loads(path.read_text()) if path.exists()
+                else {"benchmark": "scaling", "workload": scaling.WORKLOAD,
+                      "entries": []})
+
+    atomic_append_entry(path, entry, merged_document)
     print(f"appended entry to {path}")
 
     if reference is not None:

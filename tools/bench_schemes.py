@@ -203,6 +203,36 @@ def load_trajectory(path: Path) -> dict | None:
     return document
 
 
+def atomic_append_entry(path: Path, entry: dict,
+                        merged_document) -> dict:
+    """Append ``entry`` to a trajectory file without losing concurrent
+    writers' entries.
+
+    The read-merge-write sequence runs under an ``fcntl`` lock on a
+    sidecar file (``<name>.lock``), so two benches appending to the same
+    trajectory — a daemon-triggered run racing a manual one — serialise
+    instead of clobbering each other.  ``merged_document()`` is called
+    *inside* the lock to (re-)read the current file and produce the
+    document to append to; the result is written to a temp file and
+    ``os.replace``d into place, so readers never observe a torn JSON.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lock_path = path.with_name(path.name + ".lock")
+    with open(lock_path, "a+", encoding="utf-8") as lock_fh:
+        try:
+            import fcntl
+
+            fcntl.flock(lock_fh.fileno(), fcntl.LOCK_EX)
+        except ImportError:  # non-POSIX: best effort, still atomic
+            pass
+        document = merged_document()
+        document["entries"].append(entry)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(document, indent=2) + "\n")
+        os.replace(tmp, path)
+    return document
+
+
 def reference_entry(path: Path, kernel: str = "scalar") -> tuple[dict, dict]:
     """Latest entry measured with ``kernel``, plus its metadata.
 
@@ -346,7 +376,6 @@ def main(argv: list[str] | None = None) -> int:
         entry["label"] = args.label
 
     output = Path(args.output)
-    document = load_trajectory(output)
     header = {
         "benchmark": "scheme dispatch hot path",
         "tool": "tools/bench_schemes.py",
@@ -356,25 +385,33 @@ def main(argv: list[str] | None = None) -> int:
         "warmup": scale.warmup,
         "seed": args.seed,
     }
-    # ``repeats`` is a measurement-quality knob, recorded per entry; it
-    # does not make entries incomparable and is not part of the header.
-    if document is not None and any(
-            document.get(key, value) != value
-            for key, value in header.items()):
-        # Entries are only comparable at equal run parameters; never
-        # silently discard an existing history (the checked-in
-        # trajectory is the perf gate's reference).
-        if not args.fresh:
-            raise SystemExit(
-                f"{output} holds a trajectory with different run "
-                "parameters; write elsewhere with --output or pass "
-                "--fresh to replace it")
-        document = None
-    if document is None:
-        document = dict(header)
-        document["entries"] = []
-    document["entries"].append(entry)
-    output.write_text(json.dumps(document, indent=2) + "\n")
+
+    def merged_document() -> dict:
+        # Runs under atomic_append_entry's lock: re-reads the current
+        # file so a concurrent bench's fresh entries are merged, not
+        # clobbered.
+        document = load_trajectory(output)
+        # ``repeats`` is a measurement-quality knob, recorded per entry;
+        # it does not make entries incomparable and is not part of the
+        # header.
+        if document is not None and any(
+                document.get(key, value) != value
+                for key, value in header.items()):
+            # Entries are only comparable at equal run parameters; never
+            # silently discard an existing history (the checked-in
+            # trajectory is the perf gate's reference).
+            if not args.fresh:
+                raise SystemExit(
+                    f"{output} holds a trajectory with different run "
+                    "parameters; write elsewhere with --output or pass "
+                    "--fresh to replace it")
+            document = None
+        if document is None:
+            document = dict(header)
+            document["entries"] = []
+        return document
+
+    atomic_append_entry(output, entry, merged_document)
     print(f"wrote {output}")
 
     if reference is not None:
