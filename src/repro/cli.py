@@ -35,7 +35,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments.common import CONFIGS, SCHEMES
+from repro.experiments.common import CONFIGS, REPORT_SEEDS, SCHEMES
 from repro.runtime.cache import DEFAULT_CACHE_DIR
 from repro.runtime.engine import Engine, positive_int
 from repro.sim.runner import Scale, run_native, run_virtualized
@@ -171,7 +171,8 @@ def _cmd_compare(args) -> int:
     engine = _engine_from(args)
     try:
         tables = compare.run(scale, engine, schemes=schemes,
-                             kernel=args.kernel)
+                             kernel=args.kernel,
+                             seeds=args.seeds or REPORT_SEEDS)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -187,7 +188,7 @@ def _cmd_mt(args) -> int:
     scale = Scale(trace_length=args.trace_length,
                   warmup=args.trace_length // 5, seed=args.seed)
     engine = _engine_from(args)
-    for table in mt.run(scale, engine):
+    for table in mt.run(scale, engine, seeds=args.seeds or REPORT_SEEDS):
         print(table.render())
         print()
     return 0
@@ -210,7 +211,8 @@ def _cmd_scaling(args) -> int:
             scale = Scale(trace_length=args.trace_length,
                           warmup=args.trace_length // 5,
                           seed=42 if args.seed is None else args.seed)
-            table = scaling.run(scale, engine, kernel=args.kernel)
+            table = scaling.run(scale, engine, kernel=args.kernel,
+                                seeds=args.seeds or REPORT_SEEDS)
     except (ValueError, FileNotFoundError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -573,6 +575,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="simulation kernel per cell (byte-identical "
                            "tables; scheme cells without a compiled "
                            "fast path fall back per run)")
+    comp.add_argument("--seeds", type=positive_int, default=None,
+                      help="replicate seeds per cell; tables render "
+                           "mean ±95%% CI with Mann-Whitney significance "
+                           "markers vs the baseline column (default: "
+                           f"{REPORT_SEEDS})")
     _add_engine_options(comp)
 
     mt = sub.add_parser(
@@ -580,6 +587,9 @@ def build_parser() -> argparse.ArgumentParser:
                    "(schemes x tenants x quantum x switch policy)")
     mt.add_argument("--trace-length", type=positive_int, default=30_000)
     mt.add_argument("--seed", type=int, default=42)
+    mt.add_argument("--seeds", type=positive_int, default=None,
+                    help="replicate seeds per cell (default: "
+                         f"{REPORT_SEEDS})")
     _add_engine_options(mt)
 
     scal = sub.add_parser(
@@ -600,6 +610,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="simulation kernel: the per-record loop or "
                            "the compiled columnar chunk kernel "
                            "(byte-identical statistics)")
+    scal.add_argument("--seeds", type=positive_int, default=None,
+                      help="replicate seeds for the base rung only — "
+                           "the larger rungs stay single-run convergence "
+                           f"anchors (default: {REPORT_SEEDS}; ignored "
+                           "with --trace)")
     _add_engine_options(scal)
 
     trace = sub.add_parser(

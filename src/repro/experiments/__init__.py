@@ -3,8 +3,8 @@
 Each module exposes ``jobs(scale)`` (its grid as declarative
 :class:`~repro.runtime.job.Job` specs), ``tables(results, scale)`` and
 ``run(scale=None, engine=None)`` returning one or more
-:class:`~repro.experiments.common.ExperimentTable` objects that render in
-the paper's layout.  ``repro.experiments.report`` regenerates everything;
+:class:`~repro.stats.tables.Table` objects (the structured cell model
+shared with the service layer) that render in the paper's layout.  ``repro.experiments.report`` regenerates everything;
 ``python -m repro sweep`` batches all grids through one engine call.
 
 Paper cross-references: Tables 1/2 and Figures 2/3 (§1-2 motivation),
@@ -29,11 +29,12 @@ from repro.experiments import (
     table2,
     table6,
 )
-from repro.experiments.common import DEFAULT_SCALE, ExperimentTable
+from repro.experiments.common import DEFAULT_SCALE, ExperimentTable, Table
 
 __all__ = [
     "DEFAULT_SCALE",
     "ExperimentTable",
+    "Table",
     "ablations",
     "compare",
     "fig10",

@@ -19,7 +19,7 @@ from repro.core.config import BASELINE, P1_P2, P1_P2_P3
 from repro.experiments.common import (
     DEFAULT_SCALE,
     Engine,
-    ExperimentTable,
+    Table,
     execute,
     mean,
     reduction,
@@ -46,8 +46,8 @@ def pwc_jobs(scale: Scale) -> list[Job]:
             for pwc_scale in (1, 2)]
 
 
-def pwc_tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
-    table = ExperimentTable(
+def pwc_tables(results: Mapping[Job, Any], scale: Scale) -> Table:
+    table = Table(
         title="Ablation (§5.1.1): doubling every PWC's capacity",
         columns=["workload", "default_pwc", "doubled_pwc", "red_%"],
         notes="Paper: ~2% reduction in native scenarios.",
@@ -73,7 +73,7 @@ def pwc_tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
 
 
 def run_pwc_scaling(scale: Scale | None = None,
-                    engine: Engine | None = None) -> ExperimentTable:
+                    engine: Engine | None = None) -> Table:
     """Doubling PWC capacity (native, isolation)."""
     scale = scale or DEFAULT_SCALE
     return pwc_tables(execute(pwc_jobs(scale), engine), scale)
@@ -102,8 +102,8 @@ def five_level_jobs(scale: Scale) -> list[Job]:
 
 
 def five_level_tables(results: Mapping[Job, Any],
-                      scale: Scale) -> ExperimentTable:
-    table = ExperimentTable(
+                      scale: Scale) -> Table:
+    table = Table(
         title="Ablation (§3.5): five-level page tables",
         columns=["workload", "4L_base", "5L_base", "5L_P1+P2",
                  "5L_P1+P2+P3", "5L_red_%"],
@@ -121,7 +121,7 @@ def five_level_tables(results: Mapping[Job, Any],
 
 
 def run_five_level(scale: Scale | None = None,
-                   engine: Engine | None = None) -> ExperimentTable:
+                   engine: Engine | None = None) -> Table:
     """Four- vs five-level page tables, baseline and ASAP (§3.5)."""
     scale = scale or DEFAULT_SCALE
     return five_level_tables(execute(five_level_jobs(scale), engine), scale)
@@ -141,8 +141,8 @@ def hole_jobs(scale: Scale) -> list[Job]:
     return [_hole_job(rate, scale) for rate in HOLE_RATES]
 
 
-def hole_tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
-    table = ExperimentTable(
+def hole_tables(results: Mapping[Job, Any], scale: Scale) -> Table:
+    table = Table(
         title="Ablation (§3.7.2): ASAP with PT-region holes (mc80, P1+P2)",
         columns=["hole_rate", "avg_walk", "useful_prefetch_%"],
         notes="Holes lose acceleration for their walks but never break "
@@ -161,7 +161,7 @@ def hole_tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
 
 
 def run_holes(scale: Scale | None = None,
-              engine: Engine | None = None) -> ExperimentTable:
+              engine: Engine | None = None) -> Table:
     """PT-region holes degrade gracefully (§3.7.2)."""
     scale = scale or DEFAULT_SCALE
     return hole_tables(execute(hole_jobs(scale), engine), scale)
@@ -173,7 +173,7 @@ def jobs(scale: Scale) -> list[Job]:
 
 
 def tables(results: Mapping[Job, Any],
-           scale: Scale) -> list[ExperimentTable]:
+           scale: Scale) -> list[Table]:
     return [
         pwc_tables(results, scale),
         five_level_tables(results, scale),
@@ -182,7 +182,7 @@ def tables(results: Mapping[Job, Any],
 
 
 def run(scale: Scale | None = None,
-        engine: Engine | None = None) -> list[ExperimentTable]:
+        engine: Engine | None = None) -> list[Table]:
     scale = scale or DEFAULT_SCALE
     return tables(execute(jobs(scale), engine), scale)
 

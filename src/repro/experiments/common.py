@@ -14,14 +14,23 @@ sweep`` batch every experiment's jobs into one engine invocation: shared
 cells (every ladder's baseline, Table 1's reuse of Figure 3 scenarios, …)
 execute once, and the whole batch fans out over ``--jobs`` processes.
 
-The table carries labelled rows and renders itself in the paper's layout
-so benchmark output reads side by side with the original.
+Tables are :class:`repro.stats.tables.Table` objects — the structured
+cell model shared with the incremental reporter and the HTTP endpoint —
+and render in the paper's layout so benchmark output reads side by side
+with the original.  ``ExperimentTable`` remains as an alias for the many
+historical call sites.
+
+The replication axis (multi-seed cells with confidence intervals and
+significance markers) lives here too: :func:`replicates` expands a base
+scale into :data:`REPORT_SEEDS` seed-perturbed copies via
+``Scale.with_replicate``; replicate 0 is the base scale itself, so
+adding replication never invalidates a cached cell.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core import config as cfg
 from repro.core.config import (
@@ -34,26 +43,51 @@ from repro.runtime.engine import Engine, execute
 from repro.runtime.job import NATIVE, VIRTUALIZED, Job
 from repro.schemes import SchemeSpec
 from repro.sim.runner import Scale
+from repro.stats.tables import Cell, Table, aggregate
 
 __all__ = [
     "CONFIGS",
+    "Cell",
     "DEFAULT_SCALE",
     "DEPLOYMENT_SCENARIOS",
     "Engine",
     "ExperimentTable",
     "NATIVE_LADDER",
+    "REPORT_SEEDS",
     "SCHEMES",
     "SchemeEntry",
+    "Table",
     "VIRT_LADDER",
+    "aggregate",
     "deployment_job",
     "execute",
     "mean",
     "reduction",
+    "replicates",
+    "sample_key",
     "scheme_job",
 ]
 
 #: Default scale for experiment modules when none is given.
 DEFAULT_SCALE = Scale(trace_length=60_000, warmup=12_000, seed=42)
+
+#: Default replicate count for the comparative experiments
+#: (compare/mt/scaling): every report-scale cell is measured over this
+#: many seeds and rendered as ``mean ±95% CI``.
+REPORT_SEEDS = 5
+
+
+def replicates(scale: Scale, seeds: int) -> list[Scale]:
+    """``seeds`` replicate scales of ``scale`` (replicate 0 = itself)."""
+    if seeds < 1:
+        raise ValueError(f"seeds must be >= 1, got {seeds}")
+    return [scale.with_replicate(r) for r in range(seeds)]
+
+
+def sample_key(jobs: Iterable[Job]) -> str:
+    """The deterministic seeding key for a cell's resampling streams:
+    the joined spec hashes of the jobs whose samples it summarizes."""
+    return ",".join(job.spec_hash() for job in jobs)
 
 #: Canonical name -> AsapConfig registry: the one source of truth for
 #: the CLI's ``--config`` choices and any module that needs a ladder by
@@ -127,60 +161,9 @@ def deployment_job(name: str, kind: str, colocated: bool,
                colocated=colocated)
 
 
-@dataclass
-class ExperimentTable:
-    """Labelled rows plus formatting, one per reproduced table/figure."""
-
-    title: str
-    columns: list[str]
-    rows: list[dict[str, Any]] = field(default_factory=list)
-    notes: str = ""
-
-    def add_row(self, **values: Any) -> None:
-        self.rows.append(values)
-
-    def column(self, name: str) -> list[Any]:
-        return [row.get(name) for row in self.rows]
-
-    def row_by(self, key_column: str, key: Any) -> dict[str, Any]:
-        for row in self.rows:
-            if row.get(key_column) == key:
-                return row
-        raise KeyError(f"no row with {key_column}={key!r}")
-
-    # ------------------------------------------------------------------
-    def render(self) -> str:
-        def fmt(value: Any) -> str:
-            if isinstance(value, float):
-                return f"{value:.2f}"
-            return str(value)
-
-        widths = {
-            column: max(
-                len(column),
-                *(len(fmt(row.get(column, ""))) for row in self.rows),
-            ) if self.rows else len(column)
-            for column in self.columns
-        }
-        header = "  ".join(c.ljust(widths[c]) for c in self.columns)
-        rule = "-" * len(header)
-        lines = [self.title, rule, header, rule]
-        for row in self.rows:
-            lines.append(
-                "  ".join(
-                    fmt(row.get(c, "")).rjust(widths[c])
-                    if isinstance(row.get(c), (int, float))
-                    else fmt(row.get(c, "")).ljust(widths[c])
-                    for c in self.columns
-                )
-            )
-        lines.append(rule)
-        if self.notes:
-            lines.append(self.notes)
-        return "\n".join(lines)
-
-    def __str__(self) -> str:  # pragma: no cover - convenience
-        return self.render()
+#: Back-compat alias: the table model moved to :mod:`repro.stats.tables`
+#: so the service layer can use it without importing experiment code.
+ExperimentTable = Table
 
 
 def reduction(baseline: float, improved: float) -> float:

@@ -11,9 +11,15 @@ execution cycles the core spends stalled on address translation (probe
 latencies, page walks, speculation penalties — everything the scheme is
 responsible for).  Lower is better; an infinite TLB would score 0.
 
-The baseline and ASAP cells are value-equal to the figure modules' jobs,
-so a ``repro sweep`` executes them once for both; the runtime engine
-deduplicates and caches like every other experiment.
+Every cell is replicated over ``seeds`` trace seeds (default
+:data:`~repro.experiments.common.REPORT_SEEDS`) and rendered as
+``mean ±95% CI``; a ``*`` marks cells whose difference from the
+``baseline`` column is Mann-Whitney significant at p < 0.05.  With
+``seeds=1`` the tables are byte-identical to the pre-statistics output.
+
+The replicate-0 baseline and ASAP cells are value-equal to the figure
+modules' jobs, so a ``repro sweep`` executes them once for both; the
+runtime engine deduplicates and caches like every other experiment.
 """
 
 from __future__ import annotations
@@ -22,11 +28,15 @@ from typing import Any, Mapping
 
 from repro.experiments.common import (
     DEFAULT_SCALE,
+    REPORT_SEEDS,
     SCHEMES,
     Engine,
-    ExperimentTable,
+    Table,
+    aggregate,
     execute,
     mean,
+    replicates,
+    sample_key,
     scheme_job,
 )
 from repro.runtime.job import NATIVE, VIRTUALIZED, Job
@@ -34,6 +44,9 @@ from repro.sim.runner import Scale
 from repro.workloads.suite import ALL_NAMES
 
 MODES = (NATIVE, VIRTUALIZED)
+
+#: The column every significance marker compares against.
+BASELINE_SCHEME = "baseline"
 
 
 def _roster(schemes: list[str] | None) -> list[str]:
@@ -48,42 +61,75 @@ def _roster(schemes: list[str] | None) -> list[str]:
 
 def jobs(scale: Scale,
          schemes: list[str] | None = None,
-         kernel: str = "scalar") -> list[Job]:
-    return [scheme_job(kind, workload, SCHEMES[name], scale, kernel)
+         kernel: str = "scalar",
+         seeds: int = REPORT_SEEDS) -> list[Job]:
+    return [scheme_job(kind, workload, SCHEMES[name], rep, kernel)
             for kind in MODES
             for name in _roster(schemes)
-            for workload in ALL_NAMES]
+            for workload in ALL_NAMES
+            for rep in replicates(scale, seeds)]
 
 
-def _fraction(results: Mapping[Job, Any], kind: str, name: str,
-              workload: str, scale: Scale, kernel: str) -> float:
-    stats = results[scheme_job(kind, workload, SCHEMES[name], scale,
-                               kernel)]
-    return 100.0 * stats.walk_fraction
+def _cell_jobs(kind: str, name: str, workload: str, scale: Scale,
+               kernel: str, seeds: int) -> list[Job]:
+    return [scheme_job(kind, workload, SCHEMES[name], rep, kernel)
+            for rep in replicates(scale, seeds)]
+
+
+def _samples(results: Mapping[Job, Any], cell: list[Job]) -> list[float]:
+    return [100.0 * results[job].walk_fraction for job in cell]
 
 
 def _detail(results: Mapping[Job, Any], kind: str, roster: list[str],
-            scale: Scale, kernel: str) -> ExperimentTable:
-    table = ExperimentTable(
+            scale: Scale, kernel: str, seeds: int) -> Table:
+    table = Table(
         title=f"Compare ({kind}): translation-cycle fraction per "
               "workload (%; lower is better)",
         columns=["workload"] + roster,
+        baseline=BASELINE_SCHEME if BASELINE_SCHEME in roster else None,
     )
+    samples = {
+        (workload, name): _samples(
+            results, _cell_jobs(kind, name, workload, scale, kernel, seeds))
+        for workload in ALL_NAMES for name in roster
+    }
+    keys = {
+        (workload, name): sample_key(
+            _cell_jobs(kind, name, workload, scale, kernel, seeds))
+        for workload in ALL_NAMES for name in roster
+    }
     for workload in ALL_NAMES:
+        base = (samples[(workload, BASELINE_SCHEME)]
+                if table.baseline else None)
         table.add_row(workload=workload, **{
-            name: _fraction(results, kind, name, workload, scale, kernel)
+            name: aggregate(
+                samples[(workload, name)], key=keys[(workload, name)],
+                baseline=None if name == BASELINE_SCHEME else base)
             for name in roster
         })
+    # Average row: sample r is the cross-workload mean at seed r, so the
+    # interval and marker describe the suite average itself.
+    avg = {
+        name: [mean([samples[(workload, name)][r]
+                     for workload in ALL_NAMES])
+               for r in range(seeds)]
+        for name in roster
+    }
+    base_avg = avg[BASELINE_SCHEME] if table.baseline else None
     table.add_row(workload="Average", **{
-        name: mean([row[name] for row in table.rows]) for name in roster
+        name: aggregate(
+            avg[name],
+            key="average:" + ",".join(keys[(workload, name)]
+                                      for workload in ALL_NAMES),
+            baseline=None if name == BASELINE_SCHEME else base_avg)
+        for name in roster
     })
     return table
 
 
-def _ranking(native: ExperimentTable,
-             virtualized: ExperimentTable,
-             roster: list[str]) -> ExperimentTable:
-    table = ExperimentTable(
+def _ranking(native: Table, virtualized: Table,
+             roster: list[str]) -> Table:
+    table = Table(
         title="Compare: schemes ranked by translation-cycle fraction "
               "(%; lower is better)",
         columns=["rank", "scheme", "native_%", "virtualized_%", "mean_%"],
@@ -108,10 +154,12 @@ def _ranking(native: ExperimentTable,
 def tables(results: Mapping[Job, Any], scale: Scale,
            schemes: list[str] | None = None,
            kernel: str = "scalar",
-           ) -> tuple[ExperimentTable, ExperimentTable, ExperimentTable]:
+           seeds: int = REPORT_SEEDS,
+           ) -> tuple[Table, Table, Table]:
     roster = _roster(schemes)
-    native = _detail(results, NATIVE, roster, scale, kernel)
-    virtualized = _detail(results, VIRTUALIZED, roster, scale, kernel)
+    native = _detail(results, NATIVE, roster, scale, kernel, seeds)
+    virtualized = _detail(results, VIRTUALIZED, roster, scale, kernel,
+                          seeds)
     return (_ranking(native, virtualized, roster), native, virtualized)
 
 
@@ -119,13 +167,14 @@ def run(scale: Scale | None = None,
         engine: Engine | None = None,
         schemes: list[str] | None = None,
         kernel: str = "scalar",
-        ) -> tuple[ExperimentTable, ExperimentTable, ExperimentTable]:
+        seeds: int = REPORT_SEEDS,
+        ) -> tuple[Table, Table, Table]:
     """``kernel`` selects the simulation engine per cell; the tables are
     byte-identical across kernels (the determinism CI gate compares
     them), so it never appears in a title."""
     scale = scale or DEFAULT_SCALE
-    return tables(execute(jobs(scale, schemes, kernel), engine), scale,
-                  schemes, kernel)
+    return tables(execute(jobs(scale, schemes, kernel, seeds), engine),
+                  scale, schemes, kernel, seeds)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,7 +14,7 @@ from repro.experiments.common import VIRT_LADDER
 from repro.experiments.common import (
     DEFAULT_SCALE,
     Engine,
-    ExperimentTable,
+    Table,
     execute,
     mean,
     reduction,
@@ -37,10 +37,10 @@ def jobs(scale: Scale) -> list[Job]:
 
 
 def _panel(results: Mapping[Job, Any], colocated: bool,
-           scale: Scale) -> ExperimentTable:
+           scale: Scale) -> Table:
     label = "under SMT colocation" if colocated else "in isolation"
     config_names = [config.name for config in VIRT_LADDER]
-    table = ExperimentTable(
+    table = Table(
         title=f"Figure 10{'b' if colocated else 'a'}: virtualized walk "
               f"latency {label} (cycles; lower is better)",
         columns=["workload", *config_names, "best_red_%"],
@@ -65,13 +65,13 @@ def _panel(results: Mapping[Job, Any], colocated: bool,
 
 
 def tables(results: Mapping[Job, Any],
-           scale: Scale) -> tuple[ExperimentTable, ExperimentTable]:
+           scale: Scale) -> tuple[Table, Table]:
     return (_panel(results, False, scale), _panel(results, True, scale))
 
 
 def run(scale: Scale | None = None,
-        engine: Engine | None = None) -> tuple[ExperimentTable,
-                                               ExperimentTable]:
+        engine: Engine | None = None) -> tuple[Table,
+                                               Table]:
     scale = scale or DEFAULT_SCALE
     return tables(execute(jobs(scale), engine), scale)
 

@@ -16,7 +16,7 @@ from repro.core.config import BASELINE, P1_P2
 from repro.experiments.common import (
     DEFAULT_SCALE,
     Engine,
-    ExperimentTable,
+    Table,
     execute,
     mean,
     reduction,
@@ -46,15 +46,15 @@ def jobs(scale: Scale) -> list[Job]:
 
 
 def tables(results: Mapping[Job, Any],
-           scale: Scale) -> tuple[ExperimentTable, ExperimentTable]:
-    fig = ExperimentTable(
+           scale: Scale) -> tuple[Table, Table]:
+    fig = Table(
         title="Figure 11: reduction in page-walk cycles, native isolation "
               "(higher is better)",
         columns=["workload", "ClusteredTLB_%", "ASAP_%",
                  "Clustered+ASAP_%"],
         notes="Paper averages: 5% / 14% / 22% (41% best case).",
     )
-    tab7 = ExperimentTable(
+    tab7 = Table(
         title="Table 7: reduction in TLB MPKI with Clustered TLB",
         columns=["workload", "baseline_mpki", "clustered_mpki",
                  "reduction_%"],
@@ -93,8 +93,8 @@ def tables(results: Mapping[Job, Any],
 
 
 def run(scale: Scale | None = None,
-        engine: Engine | None = None) -> tuple[ExperimentTable,
-                                               ExperimentTable]:
+        engine: Engine | None = None) -> tuple[Table,
+                                               Table]:
     scale = scale or DEFAULT_SCALE
     return tables(execute(jobs(scale), engine), scale)
 

@@ -15,7 +15,7 @@ from repro.core.config import BASELINE, LARGE_HOST
 from repro.experiments.common import (
     DEFAULT_SCALE,
     Engine,
-    ExperimentTable,
+    Table,
     execute,
     mean,
     reduction,
@@ -37,8 +37,8 @@ def jobs(scale: Scale) -> list[Job]:
             for colocated in (False, True)]
 
 
-def tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
-    table = ExperimentTable(
+def tables(results: Mapping[Job, Any], scale: Scale) -> Table:
+    table = Table(
         title="Figure 12: virtualized walk latency with 2MB host pages "
               "(cycles; lower is better)",
         columns=["workload", "Baseline", "ASAP", "red_%",
@@ -75,7 +75,7 @@ def tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
 
 
 def run(scale: Scale | None = None,
-        engine: Engine | None = None) -> ExperimentTable:
+        engine: Engine | None = None) -> Table:
     scale = scale or DEFAULT_SCALE
     return tables(execute(jobs(scale), engine), scale)
 

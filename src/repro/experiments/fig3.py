@@ -12,7 +12,7 @@ from repro.experiments.common import (
     DEFAULT_SCALE,
     DEPLOYMENT_SCENARIOS,
     Engine,
-    ExperimentTable,
+    Table,
     deployment_job,
     execute,
     mean,
@@ -28,8 +28,8 @@ def jobs(scale: Scale) -> list[Job]:
             for _, kind, colocated in DEPLOYMENT_SCENARIOS]
 
 
-def tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
-    table = ExperimentTable(
+def tables(results: Mapping[Job, Any], scale: Scale) -> Table:
+    table = Table(
         title="Figure 3: average page walk latency (cycles)",
         columns=["workload",
                  *(label for label, _, _ in DEPLOYMENT_SCENARIOS)],
@@ -54,7 +54,7 @@ def tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
 
 
 def run(scale: Scale | None = None,
-        engine: Engine | None = None) -> ExperimentTable:
+        engine: Engine | None = None) -> Table:
     scale = scale or DEFAULT_SCALE
     return tables(execute(jobs(scale), engine), scale)
 

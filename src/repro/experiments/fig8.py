@@ -12,7 +12,7 @@ from repro.experiments.common import (
     DEFAULT_SCALE,
     NATIVE_LADDER,
     Engine,
-    ExperimentTable,
+    Table,
     execute,
     mean,
     reduction,
@@ -37,9 +37,9 @@ def jobs(scale: Scale) -> list[Job]:
 
 
 def _panel(results: Mapping[Job, Any], colocated: bool,
-           scale: Scale) -> ExperimentTable:
+           scale: Scale) -> Table:
     label = "under SMT colocation" if colocated else "in isolation"
-    table = ExperimentTable(
+    table = Table(
         title=f"Figure 8{'b' if colocated else 'a'}: native walk latency "
               f"{label} (cycles; lower is better)",
         columns=["workload", "Baseline", "P1", "P1+P2",
@@ -74,13 +74,13 @@ def _panel(results: Mapping[Job, Any], colocated: bool,
 
 
 def tables(results: Mapping[Job, Any],
-           scale: Scale) -> tuple[ExperimentTable, ExperimentTable]:
+           scale: Scale) -> tuple[Table, Table]:
     return (_panel(results, False, scale), _panel(results, True, scale))
 
 
 def run(scale: Scale | None = None,
-        engine: Engine | None = None) -> tuple[ExperimentTable,
-                                               ExperimentTable]:
+        engine: Engine | None = None) -> tuple[Table,
+                                               Table]:
     scale = scale or DEFAULT_SCALE
     return tables(execute(jobs(scale), engine), scale)
 

@@ -20,7 +20,7 @@ from repro.core.config import BASELINE
 from repro.experiments.common import (
     DEFAULT_SCALE,
     Engine,
-    ExperimentTable,
+    Table,
     execute,
 )
 from repro.runtime.job import NATIVE, Job
@@ -46,10 +46,10 @@ def jobs(scale: Scale) -> list[Job]:
 
 
 def _panel(results: Mapping[Job, Any], letter: str, workload: str,
-           colocated: bool, scale: Scale) -> ExperimentTable:
+           colocated: bool, scale: Scale) -> Table:
     label = "under SMT colocation" if colocated else "in isolation"
     stats = results[_job(workload, colocated, scale)]
-    table = ExperimentTable(
+    table = Table(
         title=f"Figure 9{letter}: {workload} {label} — % of walk requests "
               "served per level",
         columns=["pt_level", *SERVICE_LABELS],
@@ -64,13 +64,13 @@ def _panel(results: Mapping[Job, Any], letter: str, workload: str,
 
 
 def tables(results: Mapping[Job, Any],
-           scale: Scale) -> list[ExperimentTable]:
+           scale: Scale) -> list[Table]:
     return [_panel(results, letter, workload, colocated, scale)
             for letter, workload, colocated in PANELS]
 
 
 def run(scale: Scale | None = None,
-        engine: Engine | None = None) -> list[ExperimentTable]:
+        engine: Engine | None = None) -> list[Table]:
     scale = scale or DEFAULT_SCALE
     return tables(execute(jobs(scale), engine), scale)
 

@@ -9,9 +9,13 @@ across process count, scheduling quantum and context-switch policy
 (full translation-state flush vs ASID-tagged retention).
 
 The ranking metric is the translation-cycle fraction, as in ``repro
-compare``.  The single-tenant reference row averages the mix's members
-at full trace length; those cells are value-equal to ``repro compare``'s
-jobs, so a ``repro sweep`` executes them once for both experiments.
+compare``, measured over ``seeds`` replicate trace seeds per cell and
+rendered ``mean ±95% CI`` with a ``*`` where the scheme differs from
+the baseline column at Mann-Whitney p < 0.05 (``seeds=1`` reproduces
+the pre-statistics tables byte-for-byte).  The single-tenant reference
+row averages the mix's members at full trace length; those cells are
+value-equal to ``repro compare``'s jobs — replicate by replicate — so
+a ``repro sweep`` executes them once for both experiments.
 """
 
 from __future__ import annotations
@@ -20,12 +24,16 @@ from typing import Any, Mapping
 
 from repro.experiments.common import (
     DEFAULT_SCALE,
+    REPORT_SEEDS,
     SCHEMES,
     Engine,
-    ExperimentTable,
     SchemeEntry,
+    Table,
+    aggregate,
     execute,
     mean,
+    replicates,
+    sample_key,
     scheme_job,
 )
 from repro.runtime.job import NATIVE, VIRTUALIZED, Job
@@ -55,6 +63,9 @@ VIRT_SCHEMES = ("baseline", "asap")
 VIRT_TENANTS = (2,)
 VIRT_QUANTUM_DIVISORS = (8,)
 
+#: The column the significance markers compare against.
+BASELINE_SCHEME = "baseline"
+
 
 def _quanta(kind: str, scale: Scale) -> tuple[int, ...]:
     divisors = (QUANTUM_DIVISORS if kind == NATIVE
@@ -80,29 +91,50 @@ def _roster(kind: str) -> list[str]:
     return list(SCHEMES) if kind == NATIVE else list(VIRT_SCHEMES)
 
 
-def jobs(scale: Scale) -> list[Job]:
+def jobs(scale: Scale, seeds: int = REPORT_SEEDS) -> list[Job]:
     out: list[Job] = []
     for kind in (NATIVE, VIRTUALIZED):
         for name in _roster(kind):
             entry = SCHEMES[name]
-            # Single-tenant reference: the mix's members at full length
-            # (value-equal to the `repro compare` cells -> deduplicated).
-            for member in MT_MIXES[MIX]:
-                out.append(scheme_job(kind, member, entry, scale))
-            for tenants, quantum, policy in _grid(kind, scale):
-                out.append(_mt_job(kind, entry, tenants, quantum, policy,
-                                   scale))
+            for rep in replicates(scale, seeds):
+                # Single-tenant reference: the mix's members at full
+                # length (value-equal to the `repro compare` cells at
+                # the same replicate -> deduplicated).
+                for member in MT_MIXES[MIX]:
+                    out.append(scheme_job(kind, member, entry, rep))
+                for tenants, quantum, policy in _grid(kind, scale):
+                    out.append(_mt_job(kind, entry, tenants, quantum,
+                                       policy, rep))
     return out
 
 
-def _fraction(results: Mapping[Job, Any], job: Job) -> float:
-    return 100.0 * results[job].walk_fraction
+def _mt_cell(kind: str, name: str, tenants: int, quantum: int,
+             policy: str, scale: Scale, seeds: int) -> list[Job]:
+    return [_mt_job(kind, SCHEMES[name], tenants, quantum, policy, rep)
+            for rep in replicates(scale, seeds)]
+
+
+def _samples(results: Mapping[Job, Any], cell: list[Job]) -> list[float]:
+    return [100.0 * results[job].walk_fraction for job in cell]
+
+
+def _isolated_samples(results: Mapping[Job, Any], kind: str, name: str,
+                      scale: Scale, seeds: int) -> list[float]:
+    """Per-seed mean over the mix's members, each run alone."""
+    member_samples = [
+        _samples(results,
+                 [scheme_job(kind, member, SCHEMES[name], rep)
+                  for rep in replicates(scale, seeds)])
+        for member in MT_MIXES[MIX]
+    ]
+    return [mean([samples[r] for samples in member_samples])
+            for r in range(seeds)]
 
 
 def _detail(results: Mapping[Job, Any], kind: str,
-            scale: Scale) -> ExperimentTable:
+            scale: Scale, seeds: int) -> Table:
     roster = _roster(kind)
-    table = ExperimentTable(
+    table = Table(
         title=f"Multi-tenant ({kind}): translation-cycle fraction, "
               f"{MIX} (%; lower is better)",
         columns=["scenario"] + roster,
@@ -110,28 +142,40 @@ def _detail(results: Mapping[Job, Any], kind: str,
               "full trace length; N x qQ = N tenants, Q-record quantum; "
               "flush = full translation-state flush per switch, asid = "
               "ASID-tagged retention.",
+        baseline=BASELINE_SCHEME,
     )
+    isolated = {name: _isolated_samples(results, kind, name, scale, seeds)
+                for name in roster}
     table.add_row(scenario="isolated", **{
-        name: mean([
-            _fraction(results,
-                      scheme_job(kind, member, SCHEMES[name], scale))
-            for member in MT_MIXES[MIX]
-        ])
+        name: aggregate(
+            isolated[name],
+            key="isolated:" + sample_key(
+                scheme_job(kind, member, SCHEMES[name], rep)
+                for member in MT_MIXES[MIX]
+                for rep in replicates(scale, seeds)),
+            baseline=None if name == BASELINE_SCHEME
+            else isolated[BASELINE_SCHEME])
         for name in roster
     })
     for tenants, quantum, policy in _grid(kind, scale):
+        cells = {name: _mt_cell(kind, name, tenants, quantum, policy,
+                                scale, seeds)
+                 for name in roster}
+        base = _samples(results, cells[BASELINE_SCHEME])
         table.add_row(scenario=f"{tenants} x q{quantum} {policy}", **{
-            name: _fraction(results,
-                            _mt_job(kind, SCHEMES[name], tenants, quantum,
-                                    policy, scale))
+            name: aggregate(
+                _samples(results, cells[name]),
+                key=sample_key(cells[name]),
+                baseline=None if name == BASELINE_SCHEME else base)
             for name in roster
         })
     return table
 
 
-def _retention(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
+def _retention(results: Mapping[Job, Any], scale: Scale,
+               seeds: int) -> Table:
     """ASID retention's win over full flushing, in percentage points."""
-    table = ExperimentTable(
+    table = Table(
         title="Multi-tenant: ASID retention benefit over full flush "
               "(translation-fraction percentage points; higher = "
               "retention matters more)",
@@ -140,45 +184,62 @@ def _retention(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
               "fraction(asid).  Retention pays most at small quanta, "
               "where a flushed TLB never warms up within a slice.",
     )
+
+    def cell_deltas(kind: str, name: str, tenants: int,
+                    quantum: int) -> list[float]:
+        flush = _samples(results, _mt_cell(kind, name, tenants, quantum,
+                                           "flush", scale, seeds))
+        asid = _samples(results, _mt_cell(kind, name, tenants, quantum,
+                                          "asid", scale, seeds))
+        return [f - a for f, a in zip(flush, asid)]
+
     for name in SCHEMES:
-        deltas = []
-        for tenants in TENANT_COUNTS:
-            for quantum in _quanta(NATIVE, scale):
-                flush = _fraction(results, _mt_job(
-                    NATIVE, SCHEMES[name], tenants, quantum, "flush", scale))
-                asid = _fraction(results, _mt_job(
-                    NATIVE, SCHEMES[name], tenants, quantum, "asid", scale))
-                deltas.append(flush - asid)
-        virt_deltas = []
+        deltas = [cell_deltas(NATIVE, name, tenants, quantum)
+                  for tenants in TENANT_COUNTS
+                  for quantum in _quanta(NATIVE, scale)]
+        # Per-seed mean over the grid's cells -> the interval describes
+        # the grid-average retention benefit itself.
+        per_seed = [mean([cell[r] for cell in deltas])
+                    for r in range(seeds)]
+        native_key = "retention-native:" + sample_key(
+            job for tenants in TENANT_COUNTS
+            for quantum in _quanta(NATIVE, scale)
+            for policy in POLICIES
+            for job in _mt_cell(NATIVE, name, tenants, quantum, policy,
+                                scale, seeds))
+        virt_cell: Any = "-"
         if name in VIRT_SCHEMES:
-            for tenants in VIRT_TENANTS:
-                for quantum in _quanta(VIRTUALIZED, scale):
-                    flush = _fraction(results, _mt_job(
-                        VIRTUALIZED, SCHEMES[name], tenants, quantum,
-                        "flush", scale))
-                    asid = _fraction(results, _mt_job(
-                        VIRTUALIZED, SCHEMES[name], tenants, quantum,
-                        "asid", scale))
-                    virt_deltas.append(flush - asid)
+            virt_deltas = [cell_deltas(VIRTUALIZED, name, tenants, quantum)
+                           for tenants in VIRT_TENANTS
+                           for quantum in _quanta(VIRTUALIZED, scale)]
+            virt_per_seed = [mean([cell[r] for cell in virt_deltas])
+                             for r in range(seeds)]
+            virt_cell = aggregate(
+                virt_per_seed,
+                key="retention-virt:" + sample_key(
+                    job for tenants in VIRT_TENANTS
+                    for quantum in _quanta(VIRTUALIZED, scale)
+                    for policy in POLICIES
+                    for job in _mt_cell(VIRTUALIZED, name, tenants,
+                                        quantum, policy, scale, seeds)))
         table.add_row(scheme=name,
-                      native_mean=mean(deltas),
-                      native_max=max(deltas),
-                      virtualized_mean=mean(virt_deltas)
-                      if virt_deltas else "-")
+                      native_mean=aggregate(per_seed, key=native_key),
+                      native_max=max(mean(cell) for cell in deltas),
+                      virtualized_mean=virt_cell)
     return table
 
 
-def tables(results: Mapping[Job, Any], scale: Scale
-           ) -> tuple[ExperimentTable, ExperimentTable, ExperimentTable]:
-    return (_detail(results, NATIVE, scale),
-            _detail(results, VIRTUALIZED, scale),
-            _retention(results, scale))
+def tables(results: Mapping[Job, Any], scale: Scale,
+           seeds: int = REPORT_SEEDS) -> tuple[Table, Table, Table]:
+    return (_detail(results, NATIVE, scale, seeds),
+            _detail(results, VIRTUALIZED, scale, seeds),
+            _retention(results, scale, seeds))
 
 
-def run(scale: Scale | None = None, engine: Engine | None = None
-        ) -> tuple[ExperimentTable, ExperimentTable, ExperimentTable]:
+def run(scale: Scale | None = None, engine: Engine | None = None,
+        seeds: int = REPORT_SEEDS) -> tuple[Table, Table, Table]:
     scale = scale or DEFAULT_SCALE
-    return tables(execute(jobs(scale), engine), scale)
+    return tables(execute(jobs(scale, seeds), engine), scale, seeds)
 
 
 if __name__ == "__main__":  # pragma: no cover

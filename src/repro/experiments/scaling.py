@@ -29,12 +29,17 @@ from typing import Any, Mapping
 
 from repro.experiments.common import (
     DEFAULT_SCALE,
+    REPORT_SEEDS,
     SCHEMES,
     Engine,
-    ExperimentTable,
     SchemeEntry,
+    Table,
+    aggregate,
     execute,
+    mean,
     reduction,
+    replicates,
+    sample_key,
 )
 from repro.runtime.job import NATIVE, Job
 from repro.sim.runner import Scale
@@ -79,12 +84,24 @@ def _job(records: int, entry: SchemeEntry, scale: Scale,
     )
 
 
+def _cell_scales(records: int, scale: Scale, seeds: int) -> list[Scale]:
+    """Replicate only the base rung: the larger rungs exist to measure
+    convergence against a single long run, and replicating a 10M-record
+    cell would multiply the sweep's dominant cost for a column whose
+    variance the base rung already characterizes."""
+    if records == scale.trace_length:
+        return replicates(scale, seeds)
+    return [scale]
+
+
 def jobs(scale: Scale | None = None,
-         kernel: str = "scalar") -> list[Job]:
+         kernel: str = "scalar",
+         seeds: int = REPORT_SEEDS) -> list[Job]:
     scale = scale or DEFAULT_SCALE
-    return [_job(records, _entry(name), scale, kernel=kernel)
+    return [_job(records, _entry(name), rep, kernel=kernel)
             for records in record_counts(scale)
-            for name in SCHEME_NAMES]
+            for name in SCHEME_NAMES
+            for rep in _cell_scales(records, scale, seeds)]
 
 
 def jobs_for_trace(ref: TraceRef, seed: int | None = None,
@@ -100,17 +117,20 @@ def jobs_for_trace(ref: TraceRef, seed: int | None = None,
 
 # ----------------------------------------------------------------------
 def _table_for(job_list: list[Job], results: Mapping[Job, Any],
-               title: str) -> ExperimentTable:
-    by_cell = {(job.scale.trace_length, job.scheme.kind): job
-               for job in job_list}
-    counts = sorted({job.scale.trace_length for job in job_list})
-    fractions = {
-        (records, name): 100.0 * results[by_cell[(records, name)]]
-        .walk_fraction
-        for records in counts for name in SCHEME_NAMES
+               title: str) -> Table:
+    # Group each (records, scheme) cell's replicate jobs in list order;
+    # single-replicate cells degenerate to the historical one-job cell.
+    cells: dict[tuple[int, str], list[Job]] = {}
+    for job in job_list:
+        cells.setdefault(
+            (job.scale.trace_length, job.scheme.kind), []).append(job)
+    counts = sorted({records for records, _ in cells})
+    samples = {
+        key: [100.0 * results[job].walk_fraction for job in jobs_]
+        for key, jobs_ in cells.items()
     }
     largest = counts[-1]
-    table = ExperimentTable(
+    table = Table(
         title=title,
         columns=["records", "baseline_pct", "asap_pct", "asap_reduction",
                  "baseline_drift_pp", "asap_drift_pp"],
@@ -118,29 +138,43 @@ def _table_for(job_list: list[Job], results: Mapping[Job, Any],
                "is better).  drift_pp: percentage-point distance from "
                "the largest run — how far a small-trace measurement "
                "sits from converged steady state."),
+        baseline="baseline_pct",
     )
+    # The largest rung is the single convergence anchor every drift
+    # column measures against.
+    anchor = {name: mean(samples[(largest, name)])
+              for name in SCHEME_NAMES}
     for records in counts:
-        base = fractions[(records, "baseline")]
-        asap = fractions[(records, "asap")]
+        base = samples[(records, "baseline")]
+        asap = samples[(records, "asap")]
+        base_key = sample_key(cells[(records, "baseline")])
+        asap_key = sample_key(cells[(records, "asap")])
         table.add_row(
             records=records,
-            baseline_pct=base,
-            asap_pct=asap,
-            asap_reduction=reduction(base, asap),
-            baseline_drift_pp=base - fractions[(largest, "baseline")],
-            asap_drift_pp=asap - fractions[(largest, "asap")],
+            baseline_pct=aggregate(base, key=base_key),
+            asap_pct=aggregate(asap, key=asap_key, baseline=base),
+            asap_reduction=aggregate(
+                [reduction(b, a) for b, a in zip(base, asap)],
+                key="reduction:" + base_key + ";" + asap_key),
+            baseline_drift_pp=aggregate(
+                [b - anchor["baseline"] for b in base],
+                key="drift:" + base_key),
+            asap_drift_pp=aggregate(
+                [a - anchor["asap"] for a in asap],
+                key="drift:" + asap_key),
         )
     return table
 
 
 def tables(results: Mapping[Job, Any],
            scale: Scale | None = None,
-           kernel: str = "scalar") -> ExperimentTable:
+           kernel: str = "scalar",
+           seeds: int = REPORT_SEEDS) -> Table:
     # The title deliberately omits the kernel: scalar and columnar runs
     # of the same cells must render byte-identical tables (CI's
     # sweep-determinism job diffs them).
     scale = scale or DEFAULT_SCALE
-    job_list = jobs(scale, kernel=kernel)
+    job_list = jobs(scale, kernel=kernel, seeds=seeds)
     return _table_for(
         job_list, results,
         title=(f"Scaling: translation-cycle fraction convergence "
@@ -150,15 +184,16 @@ def tables(results: Mapping[Job, Any],
 
 def run(scale: Scale | None = None,
         engine: Engine | None = None,
-        kernel: str = "scalar") -> ExperimentTable:
+        kernel: str = "scalar",
+        seeds: int = REPORT_SEEDS) -> Table:
     scale = scale or DEFAULT_SCALE
-    return tables(execute(jobs(scale, kernel=kernel), engine), scale,
-                  kernel=kernel)
+    return tables(execute(jobs(scale, kernel=kernel, seeds=seeds),
+                          engine), scale, kernel=kernel, seeds=seeds)
 
 
 def run_for_trace(ref: TraceRef, engine: Engine | None = None,
                   seed: int | None = None,
-                  kernel: str = "scalar") -> ExperimentTable:
+                  kernel: str = "scalar") -> Table:
     """``repro scaling --trace``: the pair of cells over one file."""
     job_list = jobs_for_trace(ref, seed=seed, kernel=kernel)
     results = execute(job_list, engine)

@@ -12,7 +12,7 @@ from typing import Any, Mapping
 from repro.experiments.common import (
     DEFAULT_SCALE,
     Engine,
-    ExperimentTable,
+    Table,
     deployment_job,
     execute,
 )
@@ -36,10 +36,10 @@ def jobs(scale: Scale) -> list[Job]:
             for _, workload, kind, colocated in SCENARIOS]
 
 
-def tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
+def tables(results: Mapping[Job, Any], scale: Scale) -> Table:
     reference = results[deployment_job("mc80", NATIVE, False,
                                        scale)].avg_walk_latency
-    table = ExperimentTable(
+    table = Table(
         title=("Table 1: increase in memcached page walk latency "
                "(normalised to native, isolated, 80GB)"),
         columns=["scenario", "avg_walk_cycles", "normalised"],
@@ -56,7 +56,7 @@ def tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
 
 
 def run(scale: Scale | None = None,
-        engine: Engine | None = None) -> ExperimentTable:
+        engine: Engine | None = None) -> Table:
     scale = scale or DEFAULT_SCALE
     return tables(execute(jobs(scale), engine), scale)
 

@@ -19,7 +19,7 @@ from typing import Any, Mapping
 from repro.experiments.common import (
     DEFAULT_SCALE,
     Engine,
-    ExperimentTable,
+    Table,
     execute,
 )
 from repro.runtime.job import PT_INVENTORY, Job
@@ -35,8 +35,8 @@ def jobs(scale: Scale) -> list[Job]:
     return [_job(name, scale) for name in ALL_NAMES]
 
 
-def tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
-    table = ExperimentTable(
+def tables(results: Mapping[Job, Any], scale: Scale) -> Table:
+    table = Table(
         title=("Table 2: VMAs, physical PT contiguity and PT page count "
                "(measured from the simulated OS)"),
         columns=["application", "total_vmas", "vmas_for_99pct",
@@ -51,7 +51,7 @@ def tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
 
 
 def run(scale: Scale | None = None,
-        engine: Engine | None = None) -> ExperimentTable:
+        engine: Engine | None = None) -> Table:
     scale = scale or DEFAULT_SCALE
     return tables(execute(jobs(scale), engine), scale)
 

@@ -18,7 +18,7 @@ from repro.core.config import BASELINE, FULL_2D
 from repro.experiments.common import (
     DEFAULT_SCALE,
     Engine,
-    ExperimentTable,
+    Table,
     execute,
     mean,
     reduction,
@@ -53,8 +53,8 @@ def jobs(scale: Scale) -> list[Job]:
             for builder in (_normal, _no_walks, _virt_base, _virt_asap)]
 
 
-def tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
-    table = ExperimentTable(
+def tables(results: Mapping[Job, Any], scale: Scale) -> Table:
+    table = Table(
         title="Table 6: conservative projection of ASAP's performance "
               "improvement",
         columns=["workload", "critical_path_%", "asap_reduction_%",
@@ -93,7 +93,7 @@ def tables(results: Mapping[Job, Any], scale: Scale) -> ExperimentTable:
 
 
 def run(scale: Scale | None = None,
-        engine: Engine | None = None) -> ExperimentTable:
+        engine: Engine | None = None) -> Table:
     scale = scale or DEFAULT_SCALE
     return tables(execute(jobs(scale), engine), scale)
 

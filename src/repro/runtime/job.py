@@ -219,6 +219,11 @@ class Job:
                 "host": list(self.config.host_levels),
             },
             "scheme": self.scheme.payload(),
+            # The scale's replicate index is deliberately absent: it is
+            # provenance, not identity.  A replicated scale's *derived
+            # seed* is what changes the simulation, and it is right
+            # here — so replicate 0 hashes identically to every
+            # pre-replication spec and its cached results stay valid.
             "scale": [self.scale.trace_length, self.scale.warmup,
                       self.scale.seed],
             "colocated": self.colocated,
@@ -261,6 +266,7 @@ class Job:
             (self.trace is not None,
              f"trace={self.trace.digest[:8]}" if self.trace else ""),
             (self.kernel != "scalar", self.kernel),
+            (self.scale.replicate != 0, f"rep{self.scale.replicate}"),
         ):
             if flag:
                 parts.append(text)

@@ -13,6 +13,9 @@ read-only, bound to localhost:
                      ``BENCH_*.json`` trajectory files
 * ``/report``        the incrementally regenerated EXPERIMENTS.md
 * ``/report/raw``    its raw report text
+* ``/tables``        JSON: every stored section's structured cell model
+                     (per-seed samples, confidence intervals,
+                     significance verdicts — `repro.stats.tables`)
 * ``/bench/schemes`` and ``/bench/scaling`` — the trajectory JSONs
 
 Handlers only read files and replay the journal; they never mutate
@@ -43,6 +46,7 @@ _INDEX = """<!DOCTYPE html>
 <li><a href="/dashboard">/dashboard</a> — obs dashboard (HTML)</li>
 <li><a href="/report">/report</a> — EXPERIMENTS.md (markdown)</li>
 <li><a href="/report/raw">/report/raw</a> — raw report text</li>
+<li><a href="/tables">/tables</a> — structured cell models (JSON)</li>
 <li><a href="/bench/schemes">/bench/schemes</a> — BENCH_schemes.json</li>
 <li><a href="/bench/scaling">/bench/scaling</a> — BENCH_scaling.json</li>
 </ul></body></html>
@@ -95,6 +99,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             elif route == "/report/raw":
                 self._send(self.server.report_raw().encode("utf-8"),
                            "text/plain; charset=utf-8")
+            elif route == "/tables":
+                self._send_json(self.server.tables_model())
             elif route == "/bench/schemes":
                 self._send_json(self.server.bench("schemes"))
             elif route == "/bench/scaling":
@@ -191,6 +197,31 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
     def report_raw(self) -> str:
         return self._report_file("experiments_raw.txt")
+
+    def tables_model(self) -> dict[str, Any]:
+        """Every stored section's cell model, keyed by section slug."""
+        from repro.service.queue import service_dir
+        from repro.service.reporter import MANIFEST_NAME, REPORT_SUBDIR
+
+        root = service_dir(self.cache_dir) / REPORT_SUBDIR
+        try:
+            manifest = json.loads((root / MANIFEST_NAME).read_text())
+        except (OSError, ValueError):
+            manifest = {}
+        sections: dict[str, Any] = {}
+        for path in sorted((root / "sections").glob("*.json")):
+            try:
+                payloads = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue  # being rewritten right now — skip it
+            slug = path.stem
+            entry = manifest.get(slug, {})
+            sections[slug] = {
+                "title": entry.get("title", slug),
+                "model_digest": entry.get("model_digest"),
+                "tables": payloads,
+            }
+        return sections
 
     def _bench_or_none(self, which: str) -> dict[str, Any] | None:
         try:

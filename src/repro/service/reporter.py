@@ -8,15 +8,27 @@ FuzzBench measurer→reporter pattern): a **manifest** under
 the cells that feed it — ``sha256`` over the ordered ``(spec hash,
 result-pickle digest)`` pairs of the section's job grid.  On the next
 pass a section whose signature is unchanged is served from its stored
-rendering without unpickling a single result; only sections whose cells
+form without unpickling a single result; only sections whose cells
 changed (new code version, changed scale, evicted entry) are re-rendered.
+
+What is stored per section is the **cell model**, not rendered strings:
+``sections/<slug>.json`` holds each table's
+:meth:`~repro.stats.tables.Table.payload` — values, per-seed samples,
+confidence intervals, significance verdicts — and the manifest records
+a digest over that model.  Text is produced on demand through the one
+shared renderer (:meth:`Table.render`), so the reporter, the HTTP
+endpoint (``/tables`` serves the models directly) and a live
+``tables()`` call can never disagree on formatting.
 
 Parity is structural, not asserted: the assembled document goes through
 :func:`repro.service.assemble.build` — the same code path as
 ``tools/build_experiments_md.py`` — and the raw text reproduces the
 ``generate()`` section format, so a fully-incremental pass and a full
 rebuild emit byte-identical documents (the timing separator lines are
-stripped by the assembler).
+stripped by the assembler).  A pass restricted with ``--only`` updates
+its selected sections and merges every other section's stored model
+into the written document, so a partial refresh never degrades
+EXPERIMENTS.md to placeholders.
 """
 
 from __future__ import annotations
@@ -37,6 +49,7 @@ from repro.runtime.sweep import Sweep
 from repro.service import assemble
 from repro.service.queue import service_dir
 from repro.sim.runner import Scale
+from repro.stats.tables import Table
 
 REPORT_SUBDIR = "report"
 MANIFEST_NAME = "manifest.json"
@@ -44,6 +57,26 @@ MANIFEST_NAME = "manifest.json"
 
 def _slug(name: str) -> str:
     return re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-")
+
+
+def _model_json(payloads: list[dict[str, Any]]) -> str:
+    """Canonical JSON of a section's table payloads."""
+    return json.dumps(payloads, indent=1, sort_keys=True)
+
+
+def _model_digest(payloads: list[dict[str, Any]]) -> str:
+    canonical = json.dumps(payloads, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _render_section(payloads: list[dict[str, Any]]) -> str:
+    """A stored cell model back to ``generate()``-format section text."""
+    rendered: list[str] = []
+    for payload in payloads:
+        rendered.append(Table.from_payload(payload).render())
+        rendered.append("")
+    return "\n".join(rendered) + "\n" if rendered else ""
 
 
 def section_signature(jobs: list[Job], cache: ResultCache) -> str | None:
@@ -62,12 +95,20 @@ def section_signature(jobs: list[Job], cache: ResultCache) -> str | None:
 
 @dataclass
 class ReportUpdate:
-    """Outcome of one incremental pass."""
+    """Outcome of one incremental pass.
+
+    ``raw`` covers the *selected* sections (the parity contract with a
+    full ``generate()`` pass over the same selection); ``sections``
+    maps each selected section's name to its rendered text so
+    :meth:`IncrementalReporter.write_outputs` can merge unselected
+    sections' stored models into the published document.
+    """
 
     raw: str
     rebuilt: list[str] = field(default_factory=list)
     reused: list[str] = field(default_factory=list)
     executed: int = 0
+    sections: dict[str, str] = field(default_factory=dict)
 
     def summary(self) -> str:
         return (f"{len(self.rebuilt)} section(s) rebuilt, "
@@ -80,8 +121,9 @@ class IncrementalReporter:
 
     State layout under ``<cache_dir>/service/report/``::
 
-        manifest.json      {section: {signature, file, title, seconds}}
-        sections/<slug>.txt  the section's rendered tables
+        manifest.json       {section: {signature, model_digest, file,
+                                       title, seconds}}
+        sections/<slug>.json  the section's cell model (table payloads)
         experiments_raw.txt  last assembled raw report text
         EXPERIMENTS.md       last assembled document
     """
@@ -135,42 +177,80 @@ class IncrementalReporter:
             signature = section_signature(jobs, self.cache)
             slug = _slug(name)
             entry = manifest.get(slug)
-            section_file = self.sections_dir / f"{slug}.txt"
+            section_file = self.sections_dir / f"{slug}.json"
             text: str | None = None
+            model_digest = None
             if (entry is not None and signature is not None
                     and entry.get("signature") == signature):
-                try:
-                    text = section_file.read_text()
-                except OSError:
-                    text = None
+                payloads = self._load_section(slug)
+                if payloads is not None:
+                    text = _render_section(payloads)
+                    model_digest = entry.get("model_digest")
             if text is not None:
                 update.reused.append(name)
                 seconds = float(entry.get("seconds", 0.0))
             else:
                 started = time.time()
                 results = {job: self.cache.get(job) for job in jobs}
-                rendered: list[str] = []
-                for table in _tables(module.tables(results, scale)):
-                    rendered.append(table.render())
-                    rendered.append("")
-                text = "\n".join(rendered) + "\n" if rendered else ""
+                payloads = [table.payload()
+                            for table in _tables(module.tables(results,
+                                                               scale))]
+                text = _render_section(payloads)
+                model_digest = _model_digest(payloads)
                 seconds = time.time() - started
                 self.sections_dir.mkdir(parents=True, exist_ok=True)
-                section_file.write_text(text)
+                tmp = section_file.with_suffix(".tmp")
+                tmp.write_text(_model_json(payloads))
+                tmp.replace(section_file)
                 update.rebuilt.append(name)
             manifest[slug] = {
                 "title": name,
                 "signature": signature,
-                "file": f"sections/{slug}.txt",
+                "model_digest": model_digest,
+                "file": f"sections/{slug}.json",
                 "seconds": round(seconds, 3),
             }
+            update.sections[name] = text
             raw_parts.append(text)
             raw_parts.append(f"[{name}: {seconds:.0f}s]\n\n")
         self._save_manifest(manifest)
         update.raw = "".join(raw_parts)
         return update
 
+    def _load_section(self, slug: str) -> list[dict[str, Any]] | None:
+        """The stored cell model of one section, or ``None``."""
+        try:
+            payloads = json.loads(
+                (self.sections_dir / f"{slug}.json").read_text())
+        except (OSError, ValueError):
+            return None
+        return payloads if isinstance(payloads, list) else None
+
     # ------------------------------------------------------------------
+    def document_raw(self, update: ReportUpdate) -> str:
+        """The full-document raw text for ``update``: selected sections
+        from the pass itself, every other section from its stored cell
+        model — so a ``--only`` refresh never publishes a document with
+        placeholder sections."""
+        manifest = self._load_manifest()
+        parts: list[str] = []
+        for name, _module in MODULES:
+            slug = _slug(name)
+            if name in update.sections:
+                text = update.sections[name]
+                seconds = float(manifest.get(slug, {}).get("seconds", 0.0))
+            else:
+                payloads = self._load_section(slug)
+                if payloads is None:
+                    continue  # never built; assemble() reports it missing
+                text = _render_section(payloads)
+                seconds = float(manifest.get(slug, {}).get("seconds", 0.0))
+            parts.append(text)
+            parts.append(f"[{name}: {seconds:.0f}s]\n\n")
+        if not parts:
+            return update.raw
+        return "".join(parts)
+
     def write_outputs(self, update: ReportUpdate,
                       markdown_path: str | Path | None = None) -> Path:
         """Persist the raw text and the assembled document.
@@ -180,8 +260,9 @@ class IncrementalReporter:
         repository's EXPERIMENTS.md).
         """
         self.root.mkdir(parents=True, exist_ok=True)
-        (self.root / "experiments_raw.txt").write_text(update.raw)
-        built = assemble.build(update.raw)
+        raw = self.document_raw(update)
+        (self.root / "experiments_raw.txt").write_text(raw)
+        built = assemble.build(raw)
         target = Path(markdown_path) if markdown_path is not None \
             else self.root / "EXPERIMENTS.md"
         target.write_text(built)

@@ -16,6 +16,7 @@ identical address streams.
 
 from __future__ import annotations
 
+import dataclasses
 from contextlib import nullcontext
 from dataclasses import dataclass
 
@@ -52,11 +53,21 @@ class Scale:
     would silently produce all-zero statistics, and ``warmup >=
     trace_length`` would leave the measured window empty — every
     fraction/ratio then reads 0.0 and looks like a (nonsense) result.
+
+    ``replicate`` is the statistics layer's replication axis
+    (docs/ARCHITECTURE.md §15): replicate ``r`` of a scale is the same
+    geometry with a seed derived deterministically from ``(seed, r)``
+    via :meth:`with_replicate`.  The field itself is provenance only —
+    the derived ``seed`` fully determines the simulation, so everything
+    downstream (trace generation, buddy allocator, co-runner, cache
+    identity) composes unchanged, and replicate 0 *is* the base scale:
+    same seed, same spec hash, same cached result.
     """
 
     trace_length: int = 60_000
     warmup: int = 10_000
     seed: int = 42
+    replicate: int = 0
 
     def __post_init__(self) -> None:
         if self.trace_length < 1:
@@ -68,12 +79,40 @@ class Scale:
             raise ValueError(
                 f"warmup ({self.warmup}) must be smaller than the trace "
                 f"length ({self.trace_length}); nothing would be measured")
+        if self.replicate < 0:
+            raise ValueError(
+                f"replicate cannot be negative ({self.replicate})")
+
+    def with_replicate(self, replicate: int) -> "Scale":
+        """Replicate ``replicate`` of this base scale.
+
+        Replicate 0 returns ``self`` unchanged — identical seed, spec
+        hash and cached results — so adding replication to an
+        experiment never invalidates its existing cells.  Higher
+        indices perturb only the seed, derived content-deterministically
+        from ``(seed, replicate)`` so every process and machine agrees.
+        """
+        if replicate < 0:
+            raise ValueError(f"replicate cannot be negative ({replicate})")
+        if self.replicate != 0:
+            raise ValueError(
+                f"derive replicates from the base (replicate-0) scale, "
+                f"not from replicate {self.replicate}")
+        if replicate == 0:
+            return self
+        from repro.stats.rng import seed_from
+
+        derived = seed_from("scale-replicate", self.seed,
+                            replicate) % (1 << 31)
+        return dataclasses.replace(self, seed=derived,
+                                   replicate=replicate)
 
     def smaller(self, factor: int) -> "Scale":
         return Scale(
             trace_length=max(1000, self.trace_length // factor),
             warmup=max(200, self.warmup // factor),
             seed=self.seed,
+            replicate=self.replicate,
         )
 
 

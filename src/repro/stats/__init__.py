@@ -1,0 +1,46 @@
+"""Statistics layer: deterministic kernels and the structured table model.
+
+Three modules, no third-party dependencies:
+
+* :mod:`repro.stats.rng` — content-seeded SplitMix64 streams (no
+  ``random``-module state anywhere in the layer);
+* :mod:`repro.stats.kernels` — mean/median/percentile, percentile-
+  bootstrap confidence intervals, exact Mann-Whitney U and paired
+  permutation tests, Vargha-Delaney A12;
+* :mod:`repro.stats.tables` — the shared :class:`~repro.stats.tables.Table`
+  / :class:`~repro.stats.tables.Cell` model and the one renderer every
+  experiment table goes through.
+
+The replication axis itself lives on
+:class:`repro.sim.runner.Scale` (``Scale.with_replicate``); see
+docs/ARCHITECTURE.md §15.
+"""
+
+from repro.stats.kernels import (
+    a12,
+    bootstrap_ci,
+    mann_whitney_u,
+    mean,
+    median,
+    paired_permutation_test,
+    percentile,
+)
+from repro.stats.rng import SplitMix64, seed_from
+from repro.stats.tables import ALPHA, CONFIDENCE, Cell, Table, aggregate
+
+__all__ = [
+    "ALPHA",
+    "CONFIDENCE",
+    "Cell",
+    "SplitMix64",
+    "Table",
+    "a12",
+    "aggregate",
+    "bootstrap_ci",
+    "mann_whitney_u",
+    "mean",
+    "median",
+    "paired_permutation_test",
+    "percentile",
+    "seed_from",
+]

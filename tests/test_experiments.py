@@ -157,7 +157,10 @@ class TestMultiTenant:
     @pytest.fixture(scope="class")
     def tables(self):
         from repro.experiments import mt
-        return mt.run(Scale(trace_length=1_500, warmup=300, seed=13))
+        # seeds=1: the replicate axis has its own tests
+        # (test_replication); this class checks table shape cheaply.
+        return mt.run(Scale(trace_length=1_500, warmup=300, seed=13),
+                      seeds=1)
 
     def test_structure(self, tables):
         native, virt, retention = tables
@@ -196,7 +199,8 @@ class TestMultiTenant:
     def test_cells_shared_with_compare(self):
         from repro.experiments import compare, mt
         scale = Scale(trace_length=1_500, warmup=300, seed=13)
-        shared = set(mt.jobs(scale)) & set(compare.jobs(scale))
+        shared = set(mt.jobs(scale, seeds=1)) \
+            & set(compare.jobs(scale, seeds=1))
         # Every single-tenant reference cell is value-equal to a
         # compare cell, so a sweep executes them once for both.
         assert len(shared) >= 16

@@ -466,6 +466,38 @@ class TestIncrementalReporter:
             ["Table 1", "Table 2"]
         assert cache._path(job).exists()
 
+    def test_unknown_only_name_rejected(self, warm):
+        _, engine, reporter, _ = warm
+        with pytest.raises(ValueError, match="unknown experiment"):
+            reporter.update(TINY, engine, only=["tableX"])
+
+    def test_only_pass_merges_stored_sections(self, warm):
+        # A pass restricted to table2 must still publish table1's
+        # stored model — a partial refresh never degrades the document
+        # to placeholders for sections built earlier.
+        cache, engine, reporter, _ = warm
+        update = reporter.update(TINY, engine, only=["table2"])
+        assert "Table 1:" not in update.raw  # parity contract: raw
+        # covers only the selected sections...
+        merged = reporter.document_raw(update)
+        assert "Table 1:" in merged and "Table 2:" in merged
+        target = reporter.write_outputs(update)
+        text = target.read_text()
+        assert "Table 1:" in text
+        raw_file = (reporter.root / "experiments_raw.txt").read_text()
+        assert "Table 1:" in raw_file
+
+    def test_stored_model_reserialization_is_render_stable(self, warm):
+        # The stored cell model re-renders byte-identically to the text
+        # the section was first built from (the /tables endpoint and the
+        # reporter share one renderer).
+        from repro.service.reporter import _render_section, _slug
+        _, _, reporter, update = warm
+        for name in update.sections:
+            payloads = reporter._load_section(_slug(name))
+            assert payloads is not None
+            assert _render_section(payloads) == update.sections[name]
+
 
 class TestAssemblySplit:
     def test_tool_and_module_agree(self):

@@ -4,7 +4,7 @@
 Usage::
 
     python tools/bench_scaling.py [--trace-length 60000]
-        [--kernel scalar|columnar]
+        [--seeds 1] [--kernel scalar|columnar]
         [--output BENCH_scaling.json] [--label TEXT]
         [--check-against BENCH_scaling.json [--threshold 1.25]]
 
@@ -25,6 +25,15 @@ row, so the trajectory can hold both engines' histories side by side.
 (CI uses a reduced ``--trace-length``), normalise both sides to seconds
 per record, and fail if any cell of the ladder is slower than the
 reference entry's matching cell by more than ``--threshold``.
+
+``--seeds N`` replays the *base rung* on N replicate trace seeds
+(``Scale.with_replicate`` — the same replicate axis the experiment
+tables aggregate over; the 1M/10M rungs stay single-seed, matching
+``repro scaling``'s own replication policy).  A replicated cell's row
+keeps one (scheme, records) entry whose ``seconds``/``wall_seconds``
+are medians over the replicates, with the per-seed times and spread
+recorded alongside, so the ``--check-against`` gate compares
+median-of-replicates instead of trusting a single trace seed.
 
 This is deliberately a *tool*, not part of the experiment: the
 experiment's tables must stay deterministic (the sweep-determinism CI
@@ -52,6 +61,7 @@ from bench_schemes import atomic_append_entry  # noqa: E402
 from bench_schemes import environment_metadata  # noqa: E402
 from repro.experiments import scaling  # noqa: E402
 from repro.sim.runner import Scale  # noqa: E402
+from repro.stats.kernels import median  # noqa: E402
 
 _CHILD_FLAG = "--run-cell"
 
@@ -113,6 +123,34 @@ def _child_main(spec_json: str) -> int:
         "avg_walk_latency": round(stats.avg_walk_latency, 1),
     }))
     return 0
+
+
+def _bench_cell(records: int, scheme: str, scale: Scale, kernel: str,
+                seeds: int) -> dict:
+    """One (records, scheme) row, replicated across trace seeds on the
+    base rung only (the larger rungs mirror ``repro scaling``'s
+    single-seed policy — replicating a 10M-record cell would multiply
+    the bench's dominant cost).
+
+    The row keeps the replicate-0 child's behaviour statistics, phases
+    and RSS; ``seconds``/``wall_seconds`` become medians over the
+    replicates so the perf gate compares median-of-replicates.
+    """
+    replicated = records == scale.trace_length and seeds > 1
+    scales = ([scale.with_replicate(rep) for rep in range(seeds)]
+              if replicated else [scale])
+    results = [_run_cell_in_child(records, scheme, rep_scale, kernel)
+               for rep_scale in scales]
+    row = results[0]
+    row["seed"] = scale.seed
+    if len(results) > 1:
+        per_seed = [r["seconds"] for r in results]
+        row["seconds"] = round(median(per_seed), 2)
+        row["wall_seconds"] = round(
+            median([r["wall_seconds"] for r in results]), 2)
+        row["per_seed_seconds"] = per_seed
+        row["seed_spread"] = round(max(per_seed) - min(per_seed), 2)
+    return row
 
 
 def _rung_index(rows: list[dict]) -> dict[tuple[str, int], dict]:
@@ -194,6 +232,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="base of the record ladder (default 60000 "
                              "-> 60k/1M/10M)")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="replicate trace seeds for the base rung's "
+                             "cells (Scale.with_replicate); recorded "
+                             "seconds become the median over replicates")
     parser.add_argument("--kernel", choices=("scalar", "columnar"),
                         default="scalar",
                         help="simulation engine for every cell")
@@ -228,12 +270,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.check_against:
         reference = _reference_entry(Path(args.check_against), args.kernel)
 
+    if args.seeds < 1:
+        raise SystemExit("--seeds must be >= 1")
     scale = Scale(trace_length=args.trace_length,
                   warmup=args.trace_length // 5, seed=args.seed)
     rows = []
     for records in scaling.record_counts(scale):
         for scheme in schemes:
-            row = _run_cell_in_child(records, scheme, scale, args.kernel)
+            row = _bench_cell(records, scheme, scale, args.kernel,
+                              args.seeds)
             rows.append(row)
             print(f"  {scheme:8s} {records:>10,d} records  "
                   f"{row['seconds']:8.2f}s  {row['peak_rss_mb']:8.1f}MB  "
@@ -252,6 +297,8 @@ def main(argv: list[str] | None = None) -> int:
         # so the two trajectories stay cross-interpretable.
         "env": env,
         "base_trace_length": args.trace_length,
+        "seed": args.seed,
+        "seeds": args.seeds,
         "kernel": args.kernel,
         "results": rows,
     }
